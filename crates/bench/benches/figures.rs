@@ -1,0 +1,37 @@
+//! Criterion timing companions to the figure reproductions: wall-clock per
+//! benchmark at Figure 5's block size (2^5) and at the Table 1 best block,
+//! under both schedulers — the timing ablation behind the "restart wins at
+//! small blocks" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_core::prelude::SchedConfig;
+use tb_suite::{benchmark_by_name, Scale, Tier};
+
+fn small_vs_best_block(c: &mut Criterion) {
+    for name in ["nqueens", "graphcol", "uts"] {
+        let b = benchmark_by_name(name, Scale::Tiny).expect("known");
+        let (best, rb) = tb_bench::paper_block_sizes(name);
+        let mut g = c.benchmark_group(format!("blocks_{name}"));
+        g.sample_size(20);
+        g.bench_function("reexp_2^5", |bb| {
+            let cfg = SchedConfig::reexpansion(b.q(), 1 << 5);
+            bb.iter(|| b.blocked_seq(cfg, Tier::Simd).stats.tasks_executed)
+        });
+        g.bench_function("restart_2^5", |bb| {
+            let cfg = SchedConfig::restart(b.q(), 1 << 5, 1 << 5);
+            bb.iter(|| b.blocked_seq(cfg, Tier::Simd).stats.tasks_executed)
+        });
+        g.bench_function("reexp_best", |bb| {
+            let cfg = SchedConfig::reexpansion(b.q(), best);
+            bb.iter(|| b.blocked_seq(cfg, Tier::Simd).stats.tasks_executed)
+        });
+        g.bench_function("restart_best", |bb| {
+            let cfg = SchedConfig::restart(b.q(), best, rb);
+            bb.iter(|| b.blocked_seq(cfg, Tier::Simd).stats.tasks_executed)
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, small_vs_best_block);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the SIMD substrate: streaming compaction (scalar
+//! vs AVX2), lane arithmetic, and the AoS-vs-SoA-vs-SIMD expand ladder on
+//! a real benchmark kernel (the Table 2 story in microcosm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_core::prelude::*;
+use tb_simd::{compact::compact_append_u32x8, compact_append, Lanes, Mask};
+use tb_suite::{Benchmark, Tier};
+
+fn compaction(c: &mut Criterion) {
+    let src = Lanes([1u32, 2, 3, 4, 5, 6, 7, 8]);
+    let mask = Mask([true, false, true, true, false, false, true, false]);
+    let mut g = c.benchmark_group("compaction");
+    g.bench_function("scalar_u32x8", |b| {
+        let mut out = Vec::with_capacity(1 << 16);
+        b.iter(|| {
+            out.clear();
+            for _ in 0..1024 {
+                compact_append(&mut out, &src, &mask);
+            }
+            out.len()
+        })
+    });
+    g.bench_function("avx2_u32x8", |b| {
+        let mut out = Vec::with_capacity(1 << 16);
+        b.iter(|| {
+            out.clear();
+            for _ in 0..1024 {
+                compact_append_u32x8(&mut out, &src, &mask);
+            }
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+fn lane_arith(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| i as f32 * 0.5).collect();
+    c.bench_function("lanes_f32x8_distance", |b| {
+        b.iter(|| {
+            let q = Lanes::<f32, 8>::splat(1.5);
+            let mut acc = 0u32;
+            let mut i = 0;
+            while i + 8 <= xs.len() {
+                let v = Lanes::<f32, 8>::from_slice(&xs[i..]);
+                let d = (v - q) * (v - q);
+                acc += d.le(Lanes::splat(100.0)).count() as u32;
+                i += 8;
+            }
+            acc
+        })
+    });
+}
+
+fn tier_ladder(c: &mut Criterion) {
+    // The Block -> SOA -> SIMD ladder of Table 2 on one kernel.
+    let bench = tb_suite::binomial::Binomial { n: 22, k: 8 };
+    let cfg = SchedConfig::restart(16, 1 << 11, 1 << 9);
+    let mut g = c.benchmark_group("tier_ladder_binomial");
+    g.sample_size(20);
+    for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
+        g.bench_function(tier.name(), |b| b.iter(|| bench.blocked_seq(cfg, tier).stats.tasks_executed));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, compaction, lane_arith, tier_ladder);
+criterion_main!(benches);

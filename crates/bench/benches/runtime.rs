@@ -1,0 +1,57 @@
+//! Criterion benches for the work-stealing runtime substrate: fork/join
+//! overhead at per-task granularity (the paper's `T1/Ts` overhead column)
+//! and the tentative-spawn primitive behind simplified restart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_runtime::{ThreadPool, WorkerCtx};
+
+fn fib(ctx: &WorkerCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join(move |c| fib(c, n - 1), move |c| fib(c, n - 2));
+    a + b
+}
+
+fn fib_plain(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_plain(n - 1) + fib_plain(n - 2)
+    }
+}
+
+fn join_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_overhead_fib22");
+    g.bench_function("plain_recursion", |b| b.iter(|| fib_plain(22)));
+    for workers in [1usize, 2] {
+        let pool = ThreadPool::new(workers);
+        g.bench_function(format!("per_task_join_w{workers}"), |b| {
+            b.iter(|| pool.install(|ctx| fib(ctx, 22)))
+        });
+    }
+    g.finish();
+}
+
+fn tentative(c: &mut Criterion) {
+    let pool = ThreadPool::new(1);
+    c.bench_function("tentative_spawn_cancel", |b| {
+        b.iter(|| {
+            pool.install(|ctx| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    let (body, resolved) = ctx.tentative_scope(i, |v, _| v, |_| i * 2);
+                    acc += body
+                        + match resolved {
+                            tb_runtime::Resolved::Cancelled(v) => v,
+                            tb_runtime::Resolved::Stolen(v) => v,
+                        };
+                }
+                acc
+            })
+        })
+    });
+}
+
+criterion_group!(benches, join_overhead, tentative);
+criterion_main!(benches);

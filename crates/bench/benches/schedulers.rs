@@ -1,0 +1,61 @@
+//! Criterion benches for the scheduler engines themselves: the same
+//! program under basic / re-expansion / restart at small and large block
+//! sizes (the ablation behind Figure 4's utilization story), plus the
+//! parallel schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_core::prelude::*;
+use tb_model::{CompTree, TreeWalk};
+use tb_runtime::ThreadPool;
+
+fn seq_policies(c: &mut Criterion) {
+    let tree = CompTree::random_binary(60_000, 0.75, 7);
+    let mut g = c.benchmark_group("seq_scheduler");
+    for (name, cfg) in [
+        ("basic/b=2^6", SchedConfig::basic(8, 1 << 6)),
+        ("reexp/b=2^6", SchedConfig::reexpansion(8, 1 << 6)),
+        ("restart/b=2^6", SchedConfig::restart(8, 1 << 6, 1 << 6)),
+        ("basic/b=2^12", SchedConfig::basic(8, 1 << 12)),
+        ("reexp/b=2^12", SchedConfig::reexpansion(8, 1 << 12)),
+        ("restart/b=2^12", SchedConfig::restart(8, 1 << 12, 1 << 12)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let walk = TreeWalk::new(&tree);
+                SeqScheduler::new(&walk, cfg).run().stats.tasks_executed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn par_schedulers(c: &mut Criterion) {
+    let tree = CompTree::random_binary(60_000, 0.75, 7);
+    let cfg = SchedConfig::restart(8, 1 << 9, 1 << 7);
+    let mut g = c.benchmark_group("par_scheduler");
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::new(workers);
+        g.bench_with_input(BenchmarkId::new("reexp", workers), &workers, |b, _| {
+            b.iter(|| {
+                let walk = TreeWalk::new(&tree);
+                ParReExpansion::new(&walk, SchedConfig::reexpansion(8, 1 << 9)).run(&pool).stats.tasks_executed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("restart_simplified", workers), &workers, |b, _| {
+            b.iter(|| {
+                let walk = TreeWalk::new(&tree);
+                ParRestartSimplified::new(&walk, cfg).run(&pool).stats.tasks_executed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("restart_ideal", workers), &workers, |b, _| {
+            b.iter(|| {
+                let walk = TreeWalk::new(&tree);
+                ParRestartIdeal::new(&walk, cfg, workers).run().stats.tasks_executed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, seq_policies, par_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Task blocks and the storage contract they are built on.
+//!
+//! A [`TaskBlock`] is the scheduler's unit of work: a dense batch of tasks
+//! that all sit at the same level of the computation tree. The framework is
+//! deliberately agnostic about *how* tasks are stored; schedulers only ever
+//! move tasks around wholesale (merge, split, drain), which is captured by
+//! the [`TaskStore`] trait. This lets a program choose an array-of-structs
+//! layout (`Vec<Task>`, the easy default) or a struct-of-arrays layout (one
+//! column per task field, the SIMD-friendly choice — see `tb-simd`'s
+//! `SoaVec`) without the scheduler changing at all.
+
+/// Storage for the tasks of one block.
+///
+/// Implementations must behave like a growable dense sequence. The scheduler
+/// uses only bulk operations: it never inspects individual tasks.
+///
+/// `Vec<T>` implements this for any `T: Send`; struct-of-arrays stores in
+/// `tb-simd` implement it column-wise.
+pub trait TaskStore: Send + Default {
+    /// Number of tasks currently held.
+    fn len(&self) -> usize;
+
+    /// True when no tasks are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Move every task of `other` to the end of `self`, leaving `other`
+    /// empty (but with its capacity intact, so it can be reused).
+    fn append(&mut self, other: &mut Self);
+
+    /// Remove all tasks (capacity retained).
+    fn clear(&mut self);
+
+    /// Split off the tasks at positions `at..` into a fresh store, keeping
+    /// `..at` in `self`. Used for strip-mining oversized root blocks (§5.3)
+    /// and for splitting work between workers.
+    fn split_off(&mut self, at: usize) -> Self;
+
+    /// Hint that `additional` more tasks are coming.
+    fn reserve(&mut self, _additional: usize) {}
+
+    /// Take the contents, leaving `self` empty.
+    fn take(&mut self) -> Self {
+        std::mem::take(self)
+    }
+}
+
+impl<T: Send> TaskStore for Vec<T> {
+    #[inline]
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    #[inline]
+    fn append(&mut self, other: &mut Self) {
+        Vec::append(self, other);
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        Vec::clear(self);
+    }
+
+    #[inline]
+    fn split_off(&mut self, at: usize) -> Self {
+        Vec::split_off(self, at)
+    }
+
+    #[inline]
+    fn reserve(&mut self, additional: usize) {
+        Vec::reserve(self, additional);
+    }
+}
+
+/// A dense batch of same-level tasks: the scheduler's unit of both SIMD
+/// execution and stealing.
+///
+/// `level` is the depth in the computation tree shared by every task in the
+/// block. Executing a block of `t` tasks on a `Q`-lane vector unit costs
+/// `ceil(t / Q)` SIMD steps (§4 "superstep"), which is what
+/// [`ExecStats`](crate::stats::ExecStats) accounts.
+#[derive(Debug, Clone, Default)]
+pub struct TaskBlock<S> {
+    /// Depth in the computation tree of every task in this block.
+    pub level: usize,
+    /// The tasks themselves.
+    pub store: S,
+}
+
+impl<S: TaskStore> TaskBlock<S> {
+    /// A block at `level` holding `store`.
+    pub fn new(level: usize, store: S) -> Self {
+        TaskBlock { level, store }
+    }
+
+    /// An empty block at the root level.
+    pub fn empty() -> Self {
+        TaskBlock { level: 0, store: S::default() }
+    }
+
+    /// Number of tasks in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the block holds no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Merge `other` (which must sit at the same level) into `self`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the levels differ — merging across levels
+    /// would break the "all tasks in a block share a recursion depth"
+    /// invariant that makes blocks vectorizable.
+    pub fn merge(&mut self, other: &mut Self) {
+        debug_assert!(
+            self.is_empty() || other.is_empty() || self.level == other.level,
+            "merging task blocks from different levels ({} vs {})",
+            self.level,
+            other.level
+        );
+        if self.is_empty() {
+            self.level = other.level;
+        }
+        self.store.append(&mut other.store);
+    }
+
+    /// Split the last `self.len() - at` tasks into a new same-level block.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        TaskBlock { level: self.level, store: self.store.split_off(at) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_store_roundtrip() {
+        let mut a: Vec<u32> = vec![1, 2, 3];
+        let mut b: Vec<u32> = vec![4, 5];
+        TaskStore::append(&mut a, &mut b);
+        assert_eq!(a, vec![1, 2, 3, 4, 5]);
+        assert!(b.is_empty());
+        let tail = TaskStore::split_off(&mut a, 2);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(tail, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn block_merge_same_level() {
+        let mut a = TaskBlock::new(3, vec![1u8, 2]);
+        let mut b = TaskBlock::new(3, vec![3u8]);
+        a.merge(&mut b);
+        assert_eq!(a.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn block_merge_into_empty_adopts_level() {
+        let mut a: TaskBlock<Vec<u8>> = TaskBlock::empty();
+        let mut b = TaskBlock::new(7, vec![9u8]);
+        a.merge(&mut b);
+        assert_eq!(a.level, 7);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn block_merge_level_mismatch_panics() {
+        let mut a = TaskBlock::new(1, vec![1u8]);
+        let mut b = TaskBlock::new(2, vec![2u8]);
+        a.merge(&mut b);
+    }
+
+    #[test]
+    fn split_preserves_level() {
+        let mut a = TaskBlock::new(5, vec![0u8; 10]);
+        let b = a.split_off(4);
+        assert_eq!(b.level, 5);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn take_leaves_empty() {
+        let mut v = vec![1u8, 2, 3];
+        let t = TaskStore::take(&mut v);
+        assert_eq!(t.len(), 3);
+        assert!(v.is_empty());
+    }
+}

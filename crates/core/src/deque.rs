@@ -1,0 +1,482 @@
+//! The leveled deque: one slot pair per computation-tree level.
+//!
+//! §3.1: "The scheduler has a deque, with multiple levels. Each level
+//! represents a particular level of the computation tree." The restart
+//! invariant (§3.3) allows at most *two* blocks per level — one DFE leftover
+//! (a right-sibling block pushed during depth-first descent) and one restart
+//! leftover (an underfull block parked by a restart action) — so a level is
+//! represented as exactly those two optional slots.
+//!
+//! "Bottom" of the deque is the deepest level (where the worker pushes and
+//! pops), "top" is the shallowest (where thieves steal), matching standard
+//! work-stealing orientation.
+
+use crate::block::{TaskBlock, TaskStore};
+
+/// One level of the deque: up to one DFE-leftover block and one
+/// restart-leftover block.
+#[derive(Debug, Default)]
+pub struct LevelSlot<S> {
+    /// Right-sibling block left behind by a DFE action. May hold up to
+    /// `arity-1` merged sibling buckets; may be larger than `t_restart`.
+    pub dfe: Option<S>,
+    /// Underfull block parked by a restart action; always smaller than
+    /// `t_restart` while parked.
+    pub restart: Option<S>,
+}
+
+impl<S: TaskStore> LevelSlot<S> {
+    fn is_empty(&self) -> bool {
+        self.dfe.is_none() && self.restart.is_none()
+    }
+
+    fn blocks(&self) -> usize {
+        usize::from(self.dfe.is_some()) + usize::from(self.restart.is_some())
+    }
+
+    fn tasks(&self) -> usize {
+        self.dfe.as_ref().map_or(0, TaskStore::len) + self.restart.as_ref().map_or(0, TaskStore::len)
+    }
+}
+
+/// Result of a restart scan ([`LeveledDeque::find_restart`]).
+#[derive(Debug)]
+pub enum RestartFind<S> {
+    /// A merged block of at least `t_restart` tasks was assembled at this
+    /// level; execute it with DFE.
+    Dfe(TaskBlock<S>),
+    /// The scan reached the top without assembling `t_restart` tasks; this
+    /// is the shallowest non-empty (merged) block — execute it with BFE to
+    /// generate more work.
+    Top(TaskBlock<S>),
+    /// The deque is completely empty.
+    Empty,
+}
+
+/// A deque of task blocks indexed by computation-tree level.
+#[derive(Debug, Default)]
+pub struct LeveledDeque<S> {
+    levels: Vec<LevelSlot<S>>,
+    blocks: usize,
+    tasks: usize,
+}
+
+impl<S: TaskStore> LeveledDeque<S> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        LeveledDeque { levels: Vec::new(), blocks: 0, tasks: 0 }
+    }
+
+    /// Number of blocks currently parked.
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of tasks currently parked.
+    pub fn task_count(&self) -> usize {
+        self.tasks
+    }
+
+    /// True when no block is parked.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    fn slot_mut(&mut self, level: usize) -> &mut LevelSlot<S> {
+        if level >= self.levels.len() {
+            self.levels.resize_with(level + 1, LevelSlot::default);
+        }
+        &mut self.levels[level]
+    }
+
+    /// Park a DFE-leftover block at its level. If the slot is occupied the
+    /// blocks are merged (same level ⇒ still vectorizable together);
+    /// returns `true` when a merge happened.
+    pub fn push_dfe(&mut self, block: TaskBlock<S>) -> bool {
+        if block.is_empty() {
+            return false;
+        }
+        self.blocks += 1;
+        self.tasks += block.len();
+        let slot = self.slot_mut(block.level);
+        match &mut slot.dfe {
+            Some(existing) => {
+                let mut incoming = block.store;
+                existing.append(&mut incoming);
+                self.blocks -= 1; // merged: net block count unchanged
+                true
+            }
+            none => {
+                *none = Some(block.store);
+                false
+            }
+        }
+    }
+
+    /// Park a restart-leftover block at its level, merging with any block
+    /// already parked there (the merge of §3.1's Restart action); returns
+    /// `true` when a merge happened.
+    pub fn push_restart(&mut self, block: TaskBlock<S>) -> bool {
+        if block.is_empty() {
+            return false;
+        }
+        self.blocks += 1;
+        self.tasks += block.len();
+        let slot = self.slot_mut(block.level);
+        match &mut slot.restart {
+            Some(existing) => {
+                let mut incoming = block.store;
+                existing.append(&mut incoming);
+                self.blocks -= 1;
+                true
+            }
+            none => {
+                *none = Some(block.store);
+                false
+            }
+        }
+    }
+
+    /// Pop the deepest parked DFE block (the "bottom" pop used by the basic
+    /// and re-expansion schedulers, §3.2).
+    pub fn pop_deepest_dfe(&mut self) -> Option<TaskBlock<S>> {
+        for level in (0..self.levels.len()).rev() {
+            if let Some(store) = self.levels[level].dfe.take() {
+                self.blocks -= 1;
+                self.tasks -= store.len();
+                return Some(TaskBlock::new(level, store));
+            }
+        }
+        None
+    }
+
+    /// Remove and return the merged contents of `level` (both slots), if any.
+    pub fn take_level(&mut self, level: usize) -> Option<TaskBlock<S>> {
+        let slot = self.levels.get_mut(level)?;
+        let mut merged: Option<S> = None;
+        for part in [slot.dfe.take(), slot.restart.take()] {
+            if let Some(mut s) = part {
+                self.blocks -= 1;
+                self.tasks -= s.len();
+                match &mut merged {
+                    Some(m) => m.append(&mut s),
+                    none => *none = Some(s),
+                }
+            }
+        }
+        merged.map(|s| TaskBlock::new(level, s))
+    }
+
+    /// The restart scan of §3.3: walk from the bottom (deepest level) toward
+    /// the top, merging the blocks at each level. The first level whose
+    /// merged block reaches `t_restart` tasks is removed and returned for
+    /// DFE. If no level qualifies, the merged blocks are left parked (in the
+    /// restart slot) and the shallowest non-empty block is removed and
+    /// returned for BFE. Each merge performed is reported through `merges`.
+    pub fn find_restart(&mut self, t_restart: usize, merges: &mut u64) -> RestartFind<S> {
+        let mut shallowest: Option<usize> = None;
+        for level in (0..self.levels.len()).rev() {
+            let slot = &mut self.levels[level];
+            if slot.is_empty() {
+                continue;
+            }
+            // Merge the level's two slots into the restart slot.
+            if let Some(mut d) = slot.dfe.take() {
+                match &mut slot.restart {
+                    Some(r) => {
+                        r.append(&mut d);
+                        self.blocks -= 1;
+                        *merges += 1;
+                    }
+                    none => *none = Some(d),
+                }
+            }
+            let len = slot.restart.as_ref().map_or(0, TaskStore::len);
+            if len >= t_restart {
+                let store = slot.restart.take().expect("nonempty level");
+                self.blocks -= 1;
+                self.tasks -= store.len();
+                return RestartFind::Dfe(TaskBlock::new(level, store));
+            }
+            shallowest = Some(level);
+        }
+        match shallowest {
+            Some(level) => {
+                let store = self.levels[level].restart.take().expect("tracked nonempty");
+                self.blocks -= 1;
+                self.tasks -= store.len();
+                RestartFind::Top(TaskBlock::new(level, store))
+            }
+            None => RestartFind::Empty,
+        }
+    }
+
+    /// The parallel variant of the restart scan (§3.4): like
+    /// [`LeveledDeque::find_restart`] it walks bottom-up merging each
+    /// level's slots, but on failure it leaves everything parked and
+    /// returns `None` — the parallel worker then *steals* instead of
+    /// executing its own top block.
+    pub fn find_restart_full(&mut self, t_restart: usize, merges: &mut u64) -> Option<TaskBlock<S>> {
+        for level in (0..self.levels.len()).rev() {
+            let slot = &mut self.levels[level];
+            if slot.is_empty() {
+                continue;
+            }
+            if let Some(mut d) = slot.dfe.take() {
+                match &mut slot.restart {
+                    Some(r) => {
+                        r.append(&mut d);
+                        self.blocks -= 1;
+                        *merges += 1;
+                    }
+                    none => *none = Some(d),
+                }
+            }
+            let len = slot.restart.as_ref().map_or(0, TaskStore::len);
+            if len >= t_restart {
+                let store = slot.restart.take().expect("nonempty level");
+                self.blocks -= 1;
+                self.tasks -= store.len();
+                return Some(TaskBlock::new(level, store));
+            }
+        }
+        None
+    }
+
+    /// Remove the shallowest parked block (either slot; the DFE slot is
+    /// preferred if both are occupied and at least `prefer_at_least` tasks
+    /// large). This is the steal target of §3.4: "the top of the victim's
+    /// deque contains one or two blocks".
+    pub fn steal_top(&mut self, prefer_at_least: usize) -> Option<TaskBlock<S>> {
+        for level in 0..self.levels.len() {
+            let slot = &mut self.levels[level];
+            if slot.is_empty() {
+                continue;
+            }
+            let dfe_len = slot.dfe.as_ref().map_or(0, TaskStore::len);
+            let restart_len = slot.restart.as_ref().map_or(0, TaskStore::len);
+            let store = if dfe_len >= prefer_at_least || dfe_len >= restart_len {
+                slot.dfe.take().unwrap_or_else(|| slot.restart.take().expect("nonempty"))
+            } else {
+                slot.restart.take().unwrap_or_else(|| slot.dfe.take().expect("nonempty"))
+            };
+            self.blocks -= 1;
+            self.tasks -= store.len();
+            return Some(TaskBlock::new(level, store));
+        }
+        None
+    }
+
+    /// Iterate over `(level, slot)` pairs for inspection (tests, invariant
+    /// checks, space accounting).
+    pub fn iter_levels(&self) -> impl Iterator<Item = (usize, &LevelSlot<S>)> {
+        self.levels.iter().enumerate().filter(|(_, s)| !s.is_empty())
+    }
+
+    /// Verify the §3.3 invariants at a quiescent point: at most two blocks
+    /// per level, and every *restart* block smaller than `t_restart`.
+    /// Panics with a description on violation. Used by tests.
+    pub fn assert_restart_invariants(&self, t_restart: usize) {
+        for (level, slot) in self.iter_levels() {
+            assert!(slot.blocks() <= 2, "level {level}: more than two blocks");
+            if let Some(r) = &slot.restart {
+                assert!(
+                    r.len() < t_restart,
+                    "level {level}: parked restart block has {} >= t_restart {}",
+                    r.len(),
+                    t_restart
+                );
+            }
+        }
+        let blocks: usize = self.iter_levels().map(|(_, s)| s.blocks()).sum();
+        let tasks: usize = self.iter_levels().map(|(_, s)| s.tasks()).sum();
+        assert_eq!(blocks, self.blocks, "block counter out of sync");
+        assert_eq!(tasks, self.tasks, "task counter out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(level: usize, n: usize) -> TaskBlock<Vec<u32>> {
+        TaskBlock::new(level, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn push_pop_deepest_order() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(1, 3));
+        d.push_dfe(blk(4, 2));
+        d.push_dfe(blk(2, 5));
+        assert_eq!(d.block_count(), 3);
+        assert_eq!(d.task_count(), 10);
+        assert_eq!(d.pop_deepest_dfe().unwrap().level, 4);
+        assert_eq!(d.pop_deepest_dfe().unwrap().level, 2);
+        assert_eq!(d.pop_deepest_dfe().unwrap().level, 1);
+        assert!(d.pop_deepest_dfe().is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn push_dfe_merges_same_level() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        assert!(!d.push_dfe(blk(3, 2)));
+        assert!(d.push_dfe(blk(3, 4)));
+        assert_eq!(d.block_count(), 1);
+        assert_eq!(d.task_count(), 6);
+        assert_eq!(d.pop_deepest_dfe().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn restart_scan_finds_deepest_full_level() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_restart(blk(2, 3)); // small
+        d.push_dfe(blk(5, 4));
+        d.push_restart(blk(5, 4)); // merged: 8 >= t_restart
+        d.push_restart(blk(7, 2)); // deeper but small
+        let mut merges = 0;
+        match d.find_restart(8, &mut merges) {
+            RestartFind::Dfe(b) => {
+                assert_eq!(b.level, 5);
+                assert_eq!(b.len(), 8);
+            }
+            other => panic!("expected Dfe, got {other:?}"),
+        }
+        assert_eq!(merges, 1);
+        // Levels 2 and 7 remain parked.
+        assert_eq!(d.block_count(), 2);
+        d.assert_restart_invariants(8);
+    }
+
+    #[test]
+    fn restart_scan_falls_back_to_top_block() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_restart(blk(6, 2));
+        d.push_restart(blk(3, 1));
+        let mut merges = 0;
+        match d.find_restart(100, &mut merges) {
+            RestartFind::Top(b) => {
+                assert_eq!(b.level, 3, "top = shallowest");
+                assert_eq!(b.len(), 1);
+            }
+            other => panic!("expected Top, got {other:?}"),
+        }
+        // Level 6 block still parked.
+        assert_eq!(d.block_count(), 1);
+    }
+
+    #[test]
+    fn restart_scan_empty() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        let mut merges = 0;
+        assert!(matches!(d.find_restart(4, &mut merges), RestartFind::Empty));
+    }
+
+    #[test]
+    fn steal_takes_shallowest() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(4, 10));
+        d.push_restart(blk(2, 1));
+        let stolen = d.steal_top(8).unwrap();
+        assert_eq!(stolen.level, 2);
+        let stolen = d.steal_top(8).unwrap();
+        assert_eq!(stolen.level, 4);
+        assert!(d.steal_top(8).is_none());
+    }
+
+    #[test]
+    fn steal_prefers_full_dfe_block_at_same_level() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(1, 10));
+        d.push_restart(blk(1, 3));
+        let stolen = d.steal_top(8).unwrap();
+        assert_eq!(stolen.len(), 10, "the >= t_restart block is preferred");
+        assert_eq!(d.task_count(), 3);
+    }
+
+    #[test]
+    fn take_level_merges_both_slots() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(2, 3));
+        d.push_restart(blk(2, 4));
+        let b = d.take_level(2).unwrap();
+        assert_eq!(b.len(), 7);
+        assert!(d.is_empty());
+        assert!(d.take_level(2).is_none());
+    }
+
+    #[test]
+    fn empty_blocks_are_ignored() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(0, 0));
+        d.push_restart(blk(1, 0));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn find_restart_full_takes_deepest_and_leaves_small_work_parked() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_restart(blk(1, 2)); // small, shallow
+        d.push_dfe(blk(3, 6));
+        d.push_restart(blk(3, 4)); // merged: 10 >= 8
+        d.push_restart(blk(5, 3)); // small, deep
+        let mut merges = 0;
+        let got = d.find_restart_full(8, &mut merges).expect("level 3 qualifies");
+        assert_eq!(got.level, 3);
+        assert_eq!(got.len(), 10);
+        assert_eq!(merges, 1);
+        // Unlike find_restart, nothing else was removed.
+        assert_eq!(d.task_count(), 5);
+        assert_eq!(d.block_count(), 2);
+    }
+
+    #[test]
+    fn find_restart_full_returns_none_without_taking_top() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_restart(blk(2, 3));
+        d.push_dfe(blk(4, 2));
+        let mut merges = 0;
+        assert!(d.find_restart_full(100, &mut merges).is_none());
+        // The scan merged each level into its restart slot but kept all work.
+        assert_eq!(d.task_count(), 5);
+        d.assert_restart_invariants(100);
+    }
+
+    #[test]
+    fn find_restart_prefers_deepest_qualifying_level() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        d.push_dfe(blk(2, 20)); // shallow, full
+        d.push_dfe(blk(6, 9)); // deep, also full
+        let mut merges = 0;
+        match d.find_restart(8, &mut merges) {
+            RestartFind::Dfe(b) => assert_eq!(b.level, 6, "bottom-up scan takes the deepest"),
+            other => panic!("expected Dfe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_stay_consistent_through_mixed_traffic() {
+        let mut d: LeveledDeque<Vec<u32>> = LeveledDeque::new();
+        let mut merges = 0;
+        for i in 0..50usize {
+            d.push_dfe(blk(i % 7, 1 + i % 5));
+            if i % 3 == 0 {
+                d.push_restart(blk(i % 7, 1 + i % 3));
+            }
+            if i % 11 == 0 {
+                let _ = d.find_restart(6, &mut merges);
+            }
+            if i % 13 == 0 {
+                let _ = d.steal_top(6);
+            }
+        }
+        let blocks: usize = d.iter_levels().map(|(_, s)| usize::from(s.dfe.is_some()) + usize::from(s.restart.is_some())).sum();
+        let tasks: usize = d
+            .iter_levels()
+            .map(|(_, s)| s.dfe.as_ref().map_or(0, Vec::len) + s.restart.as_ref().map_or(0, Vec::len))
+            .sum();
+        assert_eq!(blocks, d.block_count());
+        assert_eq!(tasks, d.task_count());
+    }
+}

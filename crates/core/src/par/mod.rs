@@ -1,0 +1,25 @@
+//! Multicore schedulers (§3.4 and §6 of the paper).
+//!
+//! Three parallel instantiations of the framework:
+//!
+//! * [`ParReExpansion`] — blocked re-expansion as a Cilk program
+//!   (Fig. 3(a)): child blocks are forked with `join`, so idle workers steal
+//!   whole right-hand blocks.
+//! * [`ParRestartSimplified`] — the paper's actual restart implementation
+//!   (Fig. 3(c)): restart stacks are threaded through return values and
+//!   merged after each sync, with the *no-intervening-steal* optimisation
+//!   that passes a stack straight through when the forked sibling was never
+//!   stolen.
+//! * [`ParRestartIdeal`] — the §3.4 formulation the theory analyses:
+//!   dedicated workers, per-worker leveled deques, steals take the top block
+//!   of a random victim (possibly yourself), with a bounded BFE burst on
+//!   undersized loot.
+
+mod common;
+mod reexp;
+mod restart_ideal;
+mod restart_simplified;
+
+pub use reexp::ParReExpansion;
+pub use restart_ideal::ParRestartIdeal;
+pub use restart_simplified::{ParRestartSimplified, RestartStack};

@@ -1,0 +1,152 @@
+//! Parallel blocked re-expansion (Fig. 3(a) of the paper).
+//!
+//! The sequential re-expansion scheduler maps onto a Cilk program almost
+//! verbatim: a block below `t_bfe` is executed breadth-first (children
+//! merged, loop continues — re-expansion); a block at or above `t_bfe` is
+//! executed depth-first and its child blocks are *forked*, making the
+//! right-hand blocks available for stealing. "Other aspects of TaskBlock
+//! management, such as the stack of task blocks, are handled by the default
+//! Cilk runtime" — here, by `tb-runtime`'s deques.
+
+use tb_runtime::{ThreadPool, WorkerCtx};
+
+use crate::block::TaskBlock;
+use crate::par::common::{drive, split_strips, Env};
+use crate::policy::{PolicyKind, SchedConfig};
+use crate::program::{BlockProgram, RunOutput};
+
+/// Multicore re-expansion scheduler.
+pub struct ParReExpansion<'p, P: BlockProgram> {
+    prog: &'p P,
+    cfg: SchedConfig,
+}
+
+impl<'p, P: BlockProgram> ParReExpansion<'p, P> {
+    /// Schedule `prog` with re-expansion thresholds from `cfg` (the policy
+    /// field is coerced to `ReExpansion`).
+    pub fn new(prog: &'p P, cfg: SchedConfig) -> Self {
+        ParReExpansion { prog, cfg: cfg.with_policy(PolicyKind::ReExpansion) }
+    }
+
+    /// Run on `pool`, returning the merged reduction and pooled stats.
+    pub fn run(&self, pool: &ThreadPool) -> RunOutput<P::Reducer> {
+        let prog = self.prog;
+        let cfg = self.cfg;
+        let (reducer, stats) = drive(prog, cfg, pool, |env, ctx| {
+            let root = TaskBlock::new(0, env.prog.make_root());
+            if !root.is_empty() {
+                split_strips(env, ctx, root, blocked_reexp);
+            }
+        });
+        RunOutput { reducer, stats }
+    }
+}
+
+/// The blocked re-expansion recursion over one block.
+fn blocked_reexp<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut cur: TaskBlock<P::Store>) {
+    loop {
+        if cur.is_empty() {
+            return;
+        }
+        if cur.len() < env.cfg.t_bfe {
+            // Re-expansion: breadth-first, children merged, keep going.
+            cur = env.execute_bfe(ctx, cur);
+        } else {
+            // Depth-first: fork the child blocks.
+            let mut children = env.execute_dfe(ctx, cur);
+            match children.len() {
+                0 => return,
+                1 => cur = children.pop().expect("one child"),
+                _ => {
+                    fork_children(env, ctx, children);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Fork a set of sibling blocks as a balanced join tree. The left half runs
+/// first on this worker (depth-first order); right halves are stealable.
+fn fork_children<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut blocks: Vec<TaskBlock<P::Store>>) {
+    match blocks.len() {
+        0 => {}
+        1 => blocked_reexp(env, ctx, blocks.pop().expect("one block")),
+        _ => {
+            let right = blocks.split_off(blocks.len() / 2);
+            ctx.join(
+                move |c| fork_children(env, c, blocks),
+                move |c| fork_children(env, c, right),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BucketSet;
+    use crate::seq::SeqScheduler;
+
+    struct Fib(u32);
+
+    impl BlockProgram for Fib {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![self.0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n < 2 {
+                    *red += u64::from(n);
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_scheduler() {
+        let prog = Fib(24);
+        let cfg = SchedConfig::reexpansion(8, 256);
+        let seq = SeqScheduler::new(&prog, cfg).run();
+        let pool = ThreadPool::new(4);
+        let par = ParReExpansion::new(&prog, cfg).run(&pool);
+        assert_eq!(par.reducer, seq.reducer);
+        assert_eq!(par.stats.tasks_executed, seq.stats.tasks_executed);
+    }
+
+    #[test]
+    fn single_worker_matches_too() {
+        let prog = Fib(20);
+        let cfg = SchedConfig::reexpansion(4, 64);
+        let pool = ThreadPool::new(1);
+        let par = ParReExpansion::new(&prog, cfg).run(&pool);
+        assert_eq!(par.reducer, 6765);
+    }
+
+    #[test]
+    fn stats_include_steal_counters() {
+        let prog = Fib(24);
+        let pool = ThreadPool::new(4);
+        let out = ParReExpansion::new(&prog, SchedConfig::reexpansion(8, 64)).run(&pool);
+        assert!(out.stats.steal_attempts > 0 || pool.threads() == 1);
+    }
+}

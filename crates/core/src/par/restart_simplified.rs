@@ -1,0 +1,373 @@
+//! The paper's *simplified restart* implementation (§6, Fig. 3(c)).
+//!
+//! Rather than keeping restart blocks on the work-stealing deque (which
+//! would require modifying the runtime's spawn/sync internals), restart
+//! blocks live in an explicitly managed [`RestartStack`] — one entry per
+//! computation-tree level — that is threaded *into* each blocked recursive
+//! call and returned *out* of it. After a fork's sync, the two returned
+//! stacks are merged; any level that accumulated `t_restart` tasks is
+//! re-executed.
+//!
+//! The key optimisation (§6): if no steal intervened between the two
+//! spawns, the first child's returned stack is passed directly as the
+//! second child's input stack and the merge is skipped. We reproduce the
+//! "did a steal intervene?" test with `tb-runtime`'s
+//! [`tentative_scope`](tb_runtime::WorkerCtx::tentative_scope): the second
+//! child is forked tentatively; if nobody stole it we cancel it and run it
+//! inline with the first child's fresh stack.
+
+use tb_runtime::{Resolved, ThreadPool, WorkerCtx};
+
+use crate::block::{TaskBlock, TaskStore};
+use crate::par::common::{drive, Env};
+use crate::policy::{PolicyKind, SchedConfig};
+use crate::program::{BlockProgram, RunOutput};
+
+/// A stack of restart blocks, one per computation-tree level, sorted
+/// shallowest-first. The paper's `RestartBlock` linked list.
+#[derive(Debug)]
+pub struct RestartStack<S> {
+    /// `(level, tasks)` nodes with strictly increasing levels.
+    nodes: Vec<(usize, S)>,
+}
+
+impl<S: TaskStore> Default for RestartStack<S> {
+    fn default() -> Self {
+        Self::nil()
+    }
+}
+
+impl<S: TaskStore> RestartStack<S> {
+    /// The empty stack (the paper's `NIL`).
+    pub fn nil() -> Self {
+        RestartStack { nodes: Vec::new() }
+    }
+
+    /// True when no level holds tasks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total parked tasks across all levels.
+    pub fn total_len(&self) -> usize {
+        self.nodes.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Number of levels holding tasks.
+    pub fn depth(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tasks parked at `level`.
+    pub fn len_at(&self, level: usize) -> usize {
+        match self.nodes.binary_search_by_key(&level, |(l, _)| *l) {
+            Ok(i) => self.nodes[i].1.len(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Park `tasks` at `level`, merging with any tasks already there.
+    pub fn push(&mut self, level: usize, mut tasks: S) {
+        if tasks.is_empty() {
+            return;
+        }
+        match self.nodes.binary_search_by_key(&level, |(l, _)| *l) {
+            Ok(i) => self.nodes[i].1.append(&mut tasks),
+            Err(i) => self.nodes.insert(i, (level, tasks)),
+        }
+    }
+
+    /// Remove and return the tasks parked at `level`.
+    pub fn take_level(&mut self, level: usize) -> Option<S> {
+        match self.nodes.binary_search_by_key(&level, |(l, _)| *l) {
+            Ok(i) => Some(self.nodes.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Remove and return the shallowest node as a block.
+    pub fn pop_shallowest(&mut self) -> Option<TaskBlock<S>> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            let (level, tasks) = self.nodes.remove(0);
+            Some(TaskBlock::new(level, tasks))
+        }
+    }
+
+    /// Merge two stacks level-wise (the paper's `merge(rleft, rright)`
+    /// without the overflow re-execution, which the caller drives).
+    pub fn merge(mut a: Self, mut b: Self) -> Self {
+        if a.is_empty() {
+            return b;
+        }
+        for (level, tasks) in b.nodes.drain(..) {
+            a.push(level, tasks);
+        }
+        a
+    }
+
+    /// Remove every level holding at least `t_restart` tasks and return
+    /// them as blocks (they must be re-executed).
+    pub fn drain_overflow(&mut self, t_restart: usize) -> Vec<TaskBlock<S>> {
+        let mut over = Vec::new();
+        let mut i = 0;
+        while i < self.nodes.len() {
+            if self.nodes[i].1.len() >= t_restart {
+                let (level, tasks) = self.nodes.remove(i);
+                over.push(TaskBlock::new(level, tasks));
+            } else {
+                i += 1;
+            }
+        }
+        over
+    }
+
+    /// Shallowest level with parked tasks.
+    pub fn shallowest_level(&self) -> Option<usize> {
+        self.nodes.first().map(|(l, _)| *l)
+    }
+}
+
+/// Multicore simplified-restart scheduler (the paper's evaluated `restart`).
+pub struct ParRestartSimplified<'p, P: BlockProgram> {
+    prog: &'p P,
+    cfg: SchedConfig,
+}
+
+impl<'p, P: BlockProgram> ParRestartSimplified<'p, P> {
+    /// Schedule `prog` with restart thresholds from `cfg` (the policy field
+    /// is coerced to `Restart`).
+    pub fn new(prog: &'p P, cfg: SchedConfig) -> Self {
+        ParRestartSimplified { prog, cfg: cfg.with_policy(PolicyKind::Restart) }
+    }
+
+    /// Run on `pool`, returning the merged reduction and pooled stats.
+    pub fn run(&self, pool: &ThreadPool) -> RunOutput<P::Reducer> {
+        let prog = self.prog;
+        let cfg = self.cfg;
+        let (reducer, stats) = drive(prog, cfg, pool, |env, ctx| {
+            let root = TaskBlock::new(0, env.prog.make_root());
+            if root.is_empty() {
+                return;
+            }
+            // Strip-mine the root in parallel; each strip returns its
+            // leftover restart stack, merged (with overflow re-execution)
+            // up the join tree.
+            let mut rs = strips(env, ctx, root);
+            // Drain the leftovers: repeatedly grow the shallowest parked
+            // block breadth-first until it can re-enter the blocked
+            // recursion (the "execute the top block in BFE mode" rule).
+            while let Some(mut cur) = rs.pop_shallowest() {
+                while !cur.is_empty() && cur.len() < env.cfg.t_restart {
+                    if let Some(mut extra) = rs.take_level(cur.level) {
+                        cur.store.append(&mut extra);
+                        if cur.len() >= env.cfg.t_restart {
+                            break;
+                        }
+                    }
+                    cur = env.execute_bfe(ctx, cur);
+                }
+                if cur.is_empty() {
+                    continue;
+                }
+                let deeper = std::mem::take(&mut rs);
+                rs = blocked_restart(env, ctx, cur, deeper);
+            }
+        });
+        RunOutput { reducer, stats }
+    }
+}
+
+/// Parallel strip-mining that merges the strips' restart stacks.
+fn strips<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut block: TaskBlock<P::Store>) -> RestartStack<P::Store> {
+    let strip = env.cfg.t_dfe.max(1);
+    if block.len() <= strip {
+        return blocked_restart(env, ctx, block, RestartStack::nil());
+    }
+    let right = block.split_off(block.len() / 2);
+    let (a, b) = ctx.join(move |c| strips(env, c, block), move |c| strips(env, c, right));
+    merge_resolving(env, ctx, a, b)
+}
+
+/// Fig. 3(c): `blocked_foo_restart(tb, rb) -> rb'`.
+///
+/// Contract: every node of `rb` sits at a level `>= tb.level`; the same
+/// holds for the returned stack.
+fn blocked_restart<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut tb: TaskBlock<P::Store>,
+    mut rb: RestartStack<P::Store>,
+) -> RestartStack<P::Store> {
+    debug_assert!(rb.shallowest_level().is_none_or(|l| l >= tb.level));
+    if tb.is_empty() {
+        return rb;
+    }
+    // "If the total number of tasks in the TaskBlock and RestartBlock is
+    // less than the restart threshold, the tasks in the TaskBlock are moved
+    // into the RestartBlock, which is returned."
+    if tb.len() + rb.len_at(tb.level) < env.cfg.t_restart {
+        env.state.with(ctx, |st| st.stats.restart_actions += 1);
+        rb.push(tb.level, tb.store);
+        return rb;
+    }
+    // "Otherwise, we fill up the TaskBlock with tasks from the RestartBlock
+    // and spawn the TaskBlock for the next level."
+    if let Some(mut extra) = rb.take_level(tb.level) {
+        tb.store.append(&mut extra);
+    }
+    let children = env.execute_dfe(ctx, tb);
+    fork_children(env, ctx, children, rb)
+}
+
+/// Fork sibling child blocks left-to-right, threading the restart stack.
+///
+/// Generalises Fig. 3(c)'s binary `rleft = spawn f(left, rb.next);
+/// rright = spawn f(right, NIL); sync; merge` to any arity, including the
+/// no-intervening-steal pass-through: the remaining siblings are forked
+/// *tentatively*; if nobody steals them, they run inline with the left
+/// sibling's just-returned stack as input and no merge is needed.
+fn fork_children<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut children: Vec<TaskBlock<P::Store>>,
+    carry: RestartStack<P::Store>,
+) -> RestartStack<P::Store> {
+    match children.len() {
+        0 => carry,
+        1 => blocked_restart(env, ctx, children.pop().expect("one child"), carry),
+        _ => {
+            let first = children.remove(0);
+            let rest = children;
+            let (rleft, resolved) = ctx.tentative_scope(
+                rest,
+                move |rest, c| fork_children(env, c, rest, RestartStack::nil()),
+                move |c| blocked_restart(env, c, first, carry),
+            );
+            match resolved {
+                // No steal intervened: pass rleft straight through (§6's
+                // merge-elimination optimisation).
+                Resolved::Cancelled(rest) => fork_children(env, ctx, rest, rleft),
+                // A thief ran the siblings with a NIL stack: merge.
+                Resolved::Stolen(rright) => merge_resolving(env, ctx, rleft, rright),
+            }
+        }
+    }
+}
+
+/// Merge two restart stacks and re-execute any level that reached
+/// `t_restart` (the paper's blocked `merge` function).
+fn merge_resolving<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    a: RestartStack<P::Store>,
+    b: RestartStack<P::Store>,
+) -> RestartStack<P::Store> {
+    let mut merged = RestartStack::merge(a, b);
+    loop {
+        let over = merged.drain_overflow(env.cfg.t_restart);
+        if over.is_empty() {
+            return merged;
+        }
+        for blk in over {
+            let r = blocked_restart(env, ctx, blk, RestartStack::nil());
+            merged = RestartStack::merge(merged, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BucketSet;
+    use crate::seq::SeqScheduler;
+
+    #[test]
+    fn restart_stack_push_take_merge() {
+        let mut a: RestartStack<Vec<u32>> = RestartStack::nil();
+        a.push(3, vec![1, 2]);
+        a.push(1, vec![0]);
+        a.push(3, vec![3]);
+        assert_eq!(a.len_at(3), 3);
+        assert_eq!(a.shallowest_level(), Some(1));
+        assert_eq!(a.total_len(), 4);
+
+        let mut b: RestartStack<Vec<u32>> = RestartStack::nil();
+        b.push(3, vec![9]);
+        b.push(7, vec![8]);
+        let mut m = RestartStack::merge(a, b);
+        assert_eq!(m.len_at(3), 4);
+        assert_eq!(m.depth(), 3);
+
+        let over = m.drain_overflow(4);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].level, 3);
+        assert_eq!(over[0].len(), 4);
+        assert_eq!(m.depth(), 2);
+
+        let top = m.pop_shallowest().unwrap();
+        assert_eq!(top.level, 1);
+    }
+
+    struct Fib(u32);
+
+    impl BlockProgram for Fib {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![self.0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n < 2 {
+                    *red += u64::from(n);
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_restart() {
+        let prog = Fib(24);
+        let cfg = SchedConfig::restart(8, 256, 64);
+        let seq = SeqScheduler::new(&prog, cfg).run();
+        let pool = ThreadPool::new(4);
+        let par = ParRestartSimplified::new(&prog, cfg).run(&pool);
+        assert_eq!(par.reducer, seq.reducer);
+        assert_eq!(par.stats.tasks_executed, seq.stats.tasks_executed);
+    }
+
+    #[test]
+    fn works_on_one_worker() {
+        let prog = Fib(20);
+        let pool = ThreadPool::new(1);
+        let par = ParRestartSimplified::new(&prog, SchedConfig::restart(4, 64, 16)).run(&pool);
+        assert_eq!(par.reducer, 6765);
+    }
+
+    #[test]
+    fn tiny_thresholds_still_complete() {
+        let prog = Fib(16);
+        let pool = ThreadPool::new(3);
+        let par = ParRestartSimplified::new(&prog, SchedConfig::restart(2, 4, 2)).run(&pool);
+        assert_eq!(par.reducer, 987);
+    }
+}

@@ -1,0 +1,188 @@
+//! Scheduler policy configuration: which mechanisms to combine, and the
+//! thresholds (§3.5) that drive the mode decisions.
+
+/// The scheduler families of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// §3.1/§4.1 baseline: breadth-first expansion until the block reaches
+    /// `t_dfe`, then depth-first execution forever. Needs very large blocks
+    /// for speedup (Theorem 1's `2^ε` term).
+    Basic,
+    /// Ren et al. PLDI'15 (§3.2): like `Basic`, but switches back to BFE
+    /// whenever the current block falls below `t_bfe` — "re-expansion".
+    /// Linear dependence on tree unbalance ε (Theorem 2).
+    ReExpansion,
+    /// New in PPoPP'17 (§3.3): underfull blocks (below `t_restart`) are
+    /// parked and the deque is scanned bottom-up, merging same-level blocks,
+    /// to assemble a full block anywhere in the tree. Θ(n/Q + h), i.e.
+    /// asymptotically optimal (Theorem 3).
+    Restart,
+}
+
+impl PolicyKind {
+    /// Short lowercase name, matching the paper's figures (`reexp`, `restart`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Basic => "basic",
+            PolicyKind::ReExpansion => "reexp",
+            PolicyKind::Restart => "restart",
+        }
+    }
+}
+
+/// Scheduler configuration: policy plus the thresholds of §3.5 and the SIMD
+/// width `Q` used for step accounting.
+///
+/// Threshold semantics (all in tasks, not bytes):
+///
+/// * `t_dfe` — upper block-size trigger: a scheduler in its breadth-first
+///   phase switches to DFE when a block reaches `t_dfe` tasks. The paper
+///   writes `t_dfe = kQ`; a block can transiently hold up to
+///   `arity × t_dfe` tasks right after the triggering BFE.
+/// * `t_bfe` — re-expansion trigger (`ReExpansion` only): a block smaller
+///   than this is executed with BFE to regrow parallelism. The theory wants
+///   `t_bfe ≈ t_dfe` (§4.1), which is the default.
+/// * `t_restart` — restart trigger (`Restart` only): a block smaller than
+///   this is parked and the deque scanned. `Q ≤ t_restart ≤ t_dfe`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Which scheduler family.
+    pub policy: PolicyKind,
+    /// SIMD lanes per core for step accounting (the paper's `Q`).
+    pub q: usize,
+    /// Switch-to-DFE threshold (the paper's `t_dfe = kQ`).
+    pub t_dfe: usize,
+    /// Switch-back-to-BFE threshold (`ReExpansion`; `1 ≤ t_bfe ≤ t_dfe`).
+    pub t_bfe: usize,
+    /// Restart threshold (`Restart`; `Q ≤ t_restart ≤ t_dfe` recommended).
+    pub t_restart: usize,
+    /// Number of consecutive BFE actions a restart scheduler performs on a
+    /// too-small top block before rescanning ("a constant number of BFE
+    /// actions", §3.4). Sequentially this bounds a BFE burst; 0 means
+    /// "until `t_restart` is reached".
+    pub restart_bfe_burst: usize,
+}
+
+impl SchedConfig {
+    /// Basic scheduler: BFE until `t_dfe`, then DFE only.
+    pub fn basic(q: usize, t_dfe: usize) -> Self {
+        SchedConfig {
+            policy: PolicyKind::Basic,
+            q,
+            t_dfe,
+            t_bfe: t_dfe,
+            t_restart: 0,
+            restart_bfe_burst: 0,
+        }
+        .validated()
+    }
+
+    /// Re-expansion scheduler with `t_bfe = t_dfe` (the theory-recommended
+    /// setting, §4.1).
+    pub fn reexpansion(q: usize, t_dfe: usize) -> Self {
+        Self::reexpansion_with(q, t_dfe, t_dfe)
+    }
+
+    /// Re-expansion scheduler with an explicit `t_bfe ≤ t_dfe`.
+    pub fn reexpansion_with(q: usize, t_dfe: usize, t_bfe: usize) -> Self {
+        SchedConfig {
+            policy: PolicyKind::ReExpansion,
+            q,
+            t_dfe,
+            t_bfe,
+            t_restart: 0,
+            restart_bfe_burst: 0,
+        }
+        .validated()
+    }
+
+    /// Restart scheduler with restart threshold `t_restart` (the paper's
+    /// "RB size").
+    pub fn restart(q: usize, t_dfe: usize, t_restart: usize) -> Self {
+        SchedConfig {
+            policy: PolicyKind::Restart,
+            q,
+            t_dfe,
+            t_bfe: t_dfe,
+            t_restart,
+            restart_bfe_burst: 0,
+        }
+        .validated()
+    }
+
+    /// A config with the same thresholds but a different policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        if self.policy == PolicyKind::Restart && self.t_restart == 0 {
+            self.t_restart = self.q.max(1);
+        }
+        self.validated()
+    }
+
+    /// Check invariants; panics on nonsensical settings.
+    fn validated(self) -> Self {
+        assert!(self.q >= 1, "Q must be at least one lane");
+        assert!(self.t_dfe >= 1, "t_dfe must be at least one task");
+        assert!(
+            self.t_bfe >= 1 && self.t_bfe <= self.t_dfe,
+            "need 1 <= t_bfe ({}) <= t_dfe ({})",
+            self.t_bfe,
+            self.t_dfe
+        );
+        if self.policy == PolicyKind::Restart {
+            assert!(
+                self.t_restart >= 1 && self.t_restart <= self.t_dfe,
+                "need 1 <= t_restart ({}) <= t_dfe ({})",
+                self.t_restart,
+                self.t_dfe
+            );
+        }
+        self
+    }
+
+    /// The paper's `k = t_dfe / Q` (block size in units of SIMD width).
+    pub fn k(&self) -> f64 {
+        self.t_dfe as f64 / self.q as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_configs() {
+        let b = SchedConfig::basic(8, 1024);
+        assert_eq!(b.policy, PolicyKind::Basic);
+        let r = SchedConfig::reexpansion(8, 1024);
+        assert_eq!(r.t_bfe, 1024);
+        let s = SchedConfig::restart(8, 1024, 64);
+        assert_eq!(s.t_restart, 64);
+        assert_eq!(s.k(), 128.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn t_bfe_above_t_dfe_rejected() {
+        SchedConfig::reexpansion_with(8, 64, 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn t_restart_above_t_dfe_rejected() {
+        SchedConfig::restart(8, 64, 128);
+    }
+
+    #[test]
+    fn with_policy_fills_restart_threshold() {
+        let cfg = SchedConfig::reexpansion(4, 256).with_policy(PolicyKind::Restart);
+        assert_eq!(cfg.policy, PolicyKind::Restart);
+        assert_eq!(cfg.t_restart, 4);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PolicyKind::ReExpansion.name(), "reexp");
+        assert_eq!(PolicyKind::Restart.name(), "restart");
+    }
+}

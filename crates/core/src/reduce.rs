@@ -1,0 +1,135 @@
+//! Small reduction helpers shared by programs.
+//!
+//! The framework itself only needs `BlockProgram::{make_reducer,
+//! merge_reducers}`; these types cover the common cases (counting solutions,
+//! summing values, max/min over scores, dense per-item accumulation as in
+//! Barnes-Hut force arrays) so benchmarks don't re-implement them.
+
+/// A dense accumulator: one `f64` cell per item, merged by element-wise add.
+///
+/// Used for per-body force/potential accumulation where base-case tasks of
+/// many different tree paths contribute to the same output slot. Each
+/// parallel worker owns a private copy; copies are summed at the end, so no
+/// synchronization is needed during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseAccumulator {
+    values: Vec<f64>,
+}
+
+impl DenseAccumulator {
+    /// `n` zero-initialised cells.
+    pub fn zeros(n: usize) -> Self {
+        DenseAccumulator { values: vec![0.0; n] }
+    }
+
+    /// Add `v` into cell `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        self.values[i] += v;
+    }
+
+    /// Element-wise merge.
+    pub fn merge(&mut self, other: &DenseAccumulator) {
+        debug_assert_eq!(self.values.len(), other.values.len());
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += *b;
+        }
+    }
+
+    /// Read-only view of the cells.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Running (count, min, max, sum) summary of a stream of `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples folded in.
+    pub count: u64,
+    /// Smallest sample (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Sum of samples.
+    pub sum: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+}
+
+impl Summary {
+    /// Fold one sample.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+
+    /// Merge another summary.
+    pub fn merge(&mut self, o: Summary) {
+        self.count += o.count;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        self.sum += o.sum;
+    }
+
+    /// Mean of the samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_accumulator_merges_elementwise() {
+        let mut a = DenseAccumulator::zeros(3);
+        a.add(0, 1.0);
+        a.add(2, 2.0);
+        let mut b = DenseAccumulator::zeros(3);
+        b.add(0, 0.5);
+        b.add(1, 4.0);
+        a.merge(&b);
+        assert_eq!(a.values(), &[1.5, 4.0, 2.0]);
+        assert_eq!(a.total(), 7.5);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::default();
+        for v in [3.0, -1.0, 7.0] {
+            s.push(v);
+        }
+        let mut t = Summary::default();
+        t.push(10.0);
+        s.merge(t);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.sum, 19.0);
+        assert!((s.mean() - 4.75).abs() < 1e-12);
+    }
+}

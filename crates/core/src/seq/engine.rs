@@ -1,0 +1,644 @@
+//! The sequential scheduling engine (§3.1–§3.3 of the paper).
+//!
+//! One engine implements all three policy families; the policy only changes
+//! (a) which action is chosen for the current block ([`SeqScheduler::decide`])
+//! and (b) how the next block is acquired when the current one dies out
+//! ([`SeqScheduler::acquire`]).
+//!
+//! The engine is written as an observable state machine: [`SeqScheduler::step`]
+//! performs exactly one scheduling action and reports what happened, which is
+//! what the invariant property tests and the trace-driven unit tests hook
+//! into. [`SeqScheduler::run`] just loops `step` to completion.
+
+use std::time::Instant;
+
+use crate::block::{TaskBlock, TaskStore};
+use crate::deque::{LeveledDeque, RestartFind};
+use crate::policy::{PolicyKind, SchedConfig};
+use crate::program::{BlockProgram, BucketSet, RunOutput};
+use crate::stats::ExecStats;
+
+/// What a single [`SeqScheduler::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Executed a block with breadth-first expansion.
+    Bfe {
+        /// Level of the executed block.
+        level: usize,
+        /// Tasks executed.
+        tasks: usize,
+    },
+    /// Executed a block with depth-first execution.
+    Dfe {
+        /// Level of the executed block.
+        level: usize,
+        /// Tasks executed.
+        tasks: usize,
+    },
+    /// Parked the current (underfull) block and will rescan.
+    Restart {
+        /// Level of the parked block.
+        level: usize,
+        /// Tasks parked.
+        tasks: usize,
+    },
+    /// Acquired a block from the deque (basic/reexp bottom pop, or a
+    /// restart scan that found a full block).
+    Acquired,
+    /// A restart scan came up short; acquired the top block for forced BFE.
+    AcquiredTop,
+    /// Pulled the next strip of an oversized root block (§5.3 strip mining).
+    AcquiredStrip,
+    /// Nothing left to do.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bfe,
+    Dfe,
+}
+
+/// Single-core scheduler over a [`BlockProgram`], parameterised by
+/// [`SchedConfig`] (policy + thresholds + SIMD width for accounting).
+pub struct SeqScheduler<'p, P: BlockProgram> {
+    prog: &'p P,
+    cfg: SchedConfig,
+    deque: LeveledDeque<P::Store>,
+    current: Option<TaskBlock<P::Store>>,
+    /// Re-expansion hysteresis / basic latch state.
+    mode: Mode,
+    /// Basic & restart: has the initial BFE ramp-up reached `t_dfe` yet?
+    warmed: bool,
+    /// Restart: executing the top block in (forced) BFE mode after a scan
+    /// found no `t_restart`-sized work.
+    bfe_forced: bool,
+    /// Consecutive forced-BFE actions taken in the current burst.
+    bfe_burst: usize,
+    /// Remainder of an oversized root block, fed strip by strip.
+    root_rest: Option<P::Store>,
+    out: BucketSet<P::Store>,
+    red: P::Reducer,
+    stats: ExecStats,
+    done: bool,
+}
+
+impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
+    /// Set up a scheduler for `prog`; the root block is strip-mined to
+    /// `cfg.t_dfe` tasks per strip if the program's data-parallel outer
+    /// loop makes it larger (§5.3).
+    pub fn new(prog: &'p P, cfg: SchedConfig) -> Self {
+        let mut root = prog.make_root();
+        let strip = Self::take_strip(&mut root, cfg.t_dfe);
+        SeqScheduler {
+            prog,
+            cfg,
+            deque: LeveledDeque::new(),
+            current: Some(TaskBlock::new(0, strip)),
+            mode: Mode::Bfe,
+            warmed: false,
+            bfe_forced: false,
+            bfe_burst: 0,
+            root_rest: if root.is_empty() { None } else { Some(root) },
+            out: BucketSet::new(prog.arity()),
+            red: prog.make_reducer(),
+            stats: ExecStats::new(cfg.q),
+            done: false,
+        }
+    }
+
+    fn take_strip(root: &mut P::Store, strip: usize) -> P::Store {
+        if root.len() > strip {
+            // Keep the first `strip` tasks, leave the rest for later.
+            let rest = root.split_off(strip);
+            std::mem::replace(root, rest)
+        } else {
+            root.take()
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The deque, for invariant inspection in tests.
+    pub fn deque(&self) -> &LeveledDeque<P::Store> {
+        &self.deque
+    }
+
+    /// The block about to be scheduled, if any.
+    pub fn current(&self) -> Option<&TaskBlock<P::Store>> {
+        self.current.as_ref()
+    }
+
+    fn partial_below(&self) -> usize {
+        match self.cfg.policy {
+            PolicyKind::Restart => self.cfg.t_restart,
+            _ => self.cfg.t_bfe,
+        }
+    }
+
+    /// Choose the action for a block of `len` tasks (§3.2/§3.3 policy
+    /// tables). Mutates the mode state that implements hysteresis.
+    fn decide(&mut self, len: usize) -> Action {
+        match self.cfg.policy {
+            PolicyKind::Basic => {
+                if !self.warmed {
+                    if len >= self.cfg.t_dfe {
+                        self.warmed = true;
+                        Action::Dfe
+                    } else {
+                        Action::Bfe
+                    }
+                } else {
+                    Action::Dfe
+                }
+            }
+            PolicyKind::ReExpansion => match self.mode {
+                Mode::Bfe => {
+                    if len >= self.cfg.t_dfe {
+                        self.mode = Mode::Dfe;
+                        Action::Dfe
+                    } else {
+                        Action::Bfe
+                    }
+                }
+                Mode::Dfe => {
+                    if len < self.cfg.t_bfe {
+                        self.mode = Mode::Bfe;
+                        Action::Bfe
+                    } else {
+                        Action::Dfe
+                    }
+                }
+            },
+            PolicyKind::Restart => {
+                if !self.warmed {
+                    if len >= self.cfg.t_dfe {
+                        self.warmed = true;
+                        Action::Dfe
+                    } else {
+                        Action::Bfe
+                    }
+                } else if self.bfe_forced {
+                    if len >= self.cfg.t_restart
+                        || (self.cfg.restart_bfe_burst > 0 && self.bfe_burst >= self.cfg.restart_bfe_burst)
+                    {
+                        self.bfe_forced = false;
+                        self.bfe_burst = 0;
+                        if len >= self.cfg.t_restart {
+                            Action::Dfe
+                        } else {
+                            Action::Restart
+                        }
+                    } else {
+                        self.bfe_burst += 1;
+                        Action::Bfe
+                    }
+                } else if len >= self.cfg.t_restart {
+                    Action::Dfe
+                } else {
+                    Action::Restart
+                }
+            }
+        }
+    }
+
+    /// Run the program's `expand` over `block` and account the superstep.
+    fn execute(&mut self, block: &mut TaskBlock<P::Store>) {
+        debug_assert!(self.out.is_empty(), "spawn buckets must start empty");
+        let partial_below = self.partial_below();
+        self.stats.account_block(block.len(), partial_below);
+        self.stats.observe_level(block.level);
+        self.prog.expand(&mut block.store, &mut self.out, &mut self.red);
+        debug_assert!(block.store.is_empty(), "expand must drain its input block");
+    }
+
+    /// Perform one scheduling action. Returns what happened; `Done` means
+    /// the computation has finished and `step` will keep returning `Done`.
+    pub fn step(&mut self) -> StepEvent {
+        if self.done {
+            return StepEvent::Done;
+        }
+        let Some(mut cur) = self.current.take() else {
+            return self.acquire();
+        };
+        if cur.is_empty() {
+            return self.acquire();
+        }
+        let level = cur.level;
+        let tasks = cur.len();
+        let event = match self.decide(tasks) {
+            Action::Bfe => {
+                self.stats.bfe_actions += 1;
+                self.execute(&mut cur);
+                let mut next = TaskBlock::new(level + 1, self.out.drain_merged());
+                // A restart scheduler descending in BFE mode re-absorbs any
+                // same-level leftovers it passes: this is the merge the next
+                // scan would otherwise have to do.
+                if self.cfg.policy == PolicyKind::Restart {
+                    if let Some(mut parked) = self.deque.take_level(next.level) {
+                        next.merge(&mut parked);
+                        self.stats.merges += 1;
+                    }
+                }
+                if !next.is_empty() {
+                    self.current = Some(next);
+                }
+                StepEvent::Bfe { level, tasks }
+            }
+            Action::Dfe => {
+                self.stats.dfe_actions += 1;
+                self.execute(&mut cur);
+                let child_level = level + 1;
+                // Descend into the first non-empty spawn-site bucket; park
+                // the rest (merging same-level leftovers into one block).
+                let mut next: Option<TaskBlock<P::Store>> = None;
+                for i in 0..self.out.arity() {
+                    let s = self.out.take_bucket(i);
+                    if s.is_empty() {
+                        continue;
+                    }
+                    let b = TaskBlock::new(child_level, s);
+                    if next.is_none() {
+                        next = Some(b);
+                    } else if self.deque.push_dfe(b) {
+                        self.stats.merges += 1;
+                    }
+                }
+                self.current = next;
+                StepEvent::Dfe { level, tasks }
+            }
+            Action::Restart => {
+                self.stats.restart_actions += 1;
+                if self.deque.push_restart(cur) {
+                    self.stats.merges += 1;
+                }
+                let acquired = self.acquire();
+                debug_assert!(
+                    !matches!(acquired, StepEvent::Done) || self.done,
+                    "restart acquire must make progress or finish"
+                );
+                return StepEvent::Restart { level, tasks };
+            }
+        };
+        self.stats.observe_deque(self.deque.block_count(), self.deque.task_count());
+        event
+    }
+
+    /// Pull the next block to schedule when the current one has died out.
+    fn acquire(&mut self) -> StepEvent {
+        debug_assert!(self.current.is_none());
+        match self.cfg.policy {
+            PolicyKind::Basic | PolicyKind::ReExpansion => {
+                if let Some(b) = self.deque.pop_deepest_dfe() {
+                    self.current = Some(b);
+                    return StepEvent::Acquired;
+                }
+            }
+            PolicyKind::Restart => {
+                let mut merges = 0;
+                let found = self.deque.find_restart(self.cfg.t_restart, &mut merges);
+                self.stats.merges += merges;
+                match found {
+                    RestartFind::Dfe(b) => {
+                        self.current = Some(b);
+                        return StepEvent::Acquired;
+                    }
+                    RestartFind::Top(b) => {
+                        self.bfe_forced = true;
+                        self.bfe_burst = 0;
+                        self.current = Some(b);
+                        return StepEvent::AcquiredTop;
+                    }
+                    RestartFind::Empty => {}
+                }
+            }
+        }
+        if let Some(mut rest) = self.root_rest.take() {
+            let strip = Self::take_strip(&mut rest, self.cfg.t_dfe);
+            if !rest.is_empty() {
+                self.root_rest = Some(rest);
+            }
+            debug_assert!(!strip.is_empty());
+            self.current = Some(TaskBlock::new(0, strip));
+            // Each strip restarts the BFE ramp-up of a fresh computation.
+            self.warmed = false;
+            self.mode = Mode::Bfe;
+            self.bfe_forced = false;
+            return StepEvent::AcquiredStrip;
+        }
+        self.done = true;
+        StepEvent::Done
+    }
+
+    /// Run to completion and return the reduction plus statistics.
+    pub fn run(mut self) -> RunOutput<P::Reducer> {
+        let start = Instant::now();
+        while self.step() != StepEvent::Done {}
+        self.stats.wall = start.elapsed();
+        RunOutput { reducer: self.red, stats: self.stats }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Bfe,
+    Dfe,
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// fib as a blocked program; also used by many other test modules.
+    pub(crate) struct Fib(pub u32);
+
+    impl BlockProgram for Fib {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![self.0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n < 2 {
+                    *red += u64::from(n);
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 2);
+                }
+            }
+        }
+    }
+
+    fn fib_ref(n: u32) -> u64 {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..n {
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        a
+    }
+
+    #[test]
+    fn basic_computes_fib() {
+        for n in [0, 1, 2, 10, 20] {
+            let out = SeqScheduler::new(&Fib(n), SchedConfig::basic(4, 64)).run();
+            assert_eq!(out.reducer, fib_ref(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn reexpansion_computes_fib() {
+        for n in [0, 1, 5, 18, 22] {
+            let out = SeqScheduler::new(&Fib(n), SchedConfig::reexpansion(4, 64)).run();
+            assert_eq!(out.reducer, fib_ref(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn restart_computes_fib() {
+        for n in [0, 1, 5, 18, 22] {
+            let out = SeqScheduler::new(&Fib(n), SchedConfig::restart(4, 64, 16)).run();
+            assert_eq!(out.reducer, fib_ref(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn all_policies_execute_every_task_once() {
+        // fib(n) executes exactly T(n) tasks where T(n) = 1 + T(n-1) + T(n-2),
+        // T(0) = T(1) = 1  =>  T(n) = 2*fib(n+1) - 1.
+        let n = 18;
+        let expected_tasks = 2 * fib_ref(n + 1) - 1;
+        for cfg in [
+            SchedConfig::basic(8, 128),
+            SchedConfig::reexpansion(8, 128),
+            SchedConfig::restart(8, 128, 32),
+        ] {
+            let out = SeqScheduler::new(&Fib(n), cfg).run();
+            assert_eq!(out.stats.tasks_executed, expected_tasks, "{:?}", cfg.policy);
+        }
+    }
+
+    #[test]
+    fn step_counts_respect_model_bounds() {
+        // Ts < n, Ts >= n/Q, Ts >= h (§4 preliminaries).
+        let n = 20;
+        let q = 8;
+        for cfg in [
+            SchedConfig::basic(q, 256),
+            SchedConfig::reexpansion(q, 256),
+            SchedConfig::restart(q, 256, 64),
+        ] {
+            let out = SeqScheduler::new(&Fib(n), cfg).run();
+            let tasks = out.stats.tasks_executed;
+            let steps = out.stats.simd_steps;
+            assert!(steps < tasks, "steps {steps} >= tasks {tasks}");
+            assert!(steps >= tasks.div_ceil(q as u64));
+            assert!(steps >= u64::from(n) - 1, "steps {steps} below height");
+        }
+    }
+
+    #[test]
+    fn restart_beats_reexpansion_utilization_at_small_blocks() {
+        // The headline claim of §4.2/Figure 4 at a small block size.
+        let n = 22;
+        let q = 8;
+        let reexp = SeqScheduler::new(&Fib(n), SchedConfig::reexpansion(q, 32)).run();
+        let restart = SeqScheduler::new(&Fib(n), SchedConfig::restart(q, 32, 32)).run();
+        assert!(
+            restart.stats.simd_utilization() >= reexp.stats.simd_utilization() - 1e-9,
+            "restart {:.3} < reexp {:.3}",
+            restart.stats.simd_utilization(),
+            reexp.stats.simd_utilization()
+        );
+    }
+
+    #[test]
+    fn restart_takes_restart_actions_on_unbalanced_work() {
+        let out = SeqScheduler::new(&Fib(20), SchedConfig::restart(8, 64, 64)).run();
+        assert!(out.stats.restart_actions > 0, "expected restarts on fib's unbalanced tree");
+    }
+
+    #[test]
+    fn events_trace_is_coherent() {
+        let mut s = SeqScheduler::new(&Fib(12), SchedConfig::restart(4, 32, 8));
+        let mut executed = 0u64;
+        loop {
+            match s.step() {
+                StepEvent::Bfe { tasks, .. } | StepEvent::Dfe { tasks, .. } => executed += tasks as u64,
+                StepEvent::Restart { .. } | StepEvent::Acquired | StepEvent::AcquiredTop | StepEvent::AcquiredStrip => {}
+                StepEvent::Done => break,
+            }
+        }
+        assert_eq!(executed, 2 * fib_ref(13) - 1);
+    }
+
+    /// A data-parallel outer loop: many root tasks (strip-mining path).
+    struct ManyRoots(usize);
+
+    impl BlockProgram for ManyRoots {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![6; self.0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n < 2 {
+                    *red += u64::from(n);
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_roots_are_strip_mined() {
+        // 1000 roots of fib(6)=8 with t_dfe=64: needs 16 strips.
+        let prog = ManyRoots(1000);
+        for cfg in [
+            SchedConfig::basic(4, 64),
+            SchedConfig::reexpansion(4, 64),
+            SchedConfig::restart(4, 64, 16),
+        ] {
+            let out = SeqScheduler::new(&prog, cfg).run();
+            assert_eq!(out.reducer, 8 * 1000, "{:?}", cfg.policy);
+        }
+    }
+
+    #[test]
+    fn basic_never_returns_to_bfe() {
+        let mut s = SeqScheduler::new(&Fib(18), SchedConfig::basic(4, 32));
+        let mut seen_dfe = false;
+        loop {
+            match s.step() {
+                StepEvent::Dfe { .. } => seen_dfe = true,
+                StepEvent::Bfe { .. } => {
+                    assert!(!seen_dfe, "basic switched back to BFE after warming up");
+                }
+                StepEvent::Done => break,
+                _ => {}
+            }
+        }
+        assert!(seen_dfe, "basic must eventually warm up at t_dfe=32");
+    }
+
+    #[test]
+    fn reexpansion_hysteresis_respects_t_bfe() {
+        // With t_bfe << t_dfe the scheduler stays in DFE mode for blocks in
+        // [t_bfe, t_dfe), so BFE events never fire for blocks >= t_bfe
+        // once DFE mode is entered.
+        let cfg = SchedConfig::reexpansion_with(4, 256, 8);
+        let mut s = SeqScheduler::new(&Fib(18), cfg);
+        let mut in_dfe_mode = false;
+        loop {
+            match s.step() {
+                StepEvent::Dfe { .. } => in_dfe_mode = true,
+                StepEvent::Bfe { tasks, .. } if in_dfe_mode => {
+                    assert!(tasks < 8, "re-expanded a block of {tasks} >= t_bfe");
+                    in_dfe_mode = false;
+                }
+                StepEvent::Done => break,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn restart_invariants_hold_after_every_scan() {
+        let mut s = SeqScheduler::new(&Fib(16), SchedConfig::restart(4, 64, 16));
+        loop {
+            match s.step() {
+                StepEvent::AcquiredTop => {
+                    // A full failed scan just completed: every parked
+                    // restart block must be underfull (§3.3 invariant ii).
+                    s.deque().assert_restart_invariants(16);
+                }
+                StepEvent::Done => break,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn restart_bfe_burst_limits_forced_expansion() {
+        let mut cfg = SchedConfig::restart(4, 64, 64);
+        cfg.restart_bfe_burst = 2;
+        let out = SeqScheduler::new(&Fib(18), cfg).run();
+        assert_eq!(out.reducer, fib_ref(18), "bounded bursts still complete");
+    }
+
+    #[test]
+    fn single_task_tree_runs_under_all_policies() {
+        for cfg in [
+            SchedConfig::basic(4, 8),
+            SchedConfig::reexpansion(4, 8),
+            SchedConfig::restart(4, 8, 4),
+        ] {
+            let out = SeqScheduler::new(&Fib(0), cfg).run();
+            assert_eq!(out.reducer, 0);
+            assert_eq!(out.stats.tasks_executed, 1);
+        }
+    }
+
+    #[test]
+    fn q_larger_than_any_block_is_fine() {
+        let out = SeqScheduler::new(&Fib(12), SchedConfig::restart(1024, 2048, 512)).run();
+        assert_eq!(out.reducer, fib_ref(12));
+        assert_eq!(out.stats.complete_steps, 0, "no block can fill 1024 lanes");
+    }
+
+    #[test]
+    fn deque_space_is_bounded_by_levels_times_block() {
+        // Lemma 8: space <= h * k * Q (per worker); our deque counter must
+        // respect it within the transient arity factor.
+        let out = SeqScheduler::new(&Fib(20), SchedConfig::restart(4, 64, 16)).run();
+        let h = out.stats.max_level + 1;
+        let bound = h * 2 * 64; // h levels * 2 blocks * t_dfe tasks
+        assert!(
+            out.stats.max_deque_tasks <= bound,
+            "deque tasks {} exceed bound {bound}",
+            out.stats.max_deque_tasks
+        );
+    }
+}

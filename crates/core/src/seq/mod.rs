@@ -1,0 +1,7 @@
+//! Sequential (single-core, Q-lane) schedulers: one engine, three policies.
+
+mod engine;
+mod serial;
+
+pub use engine::{SeqScheduler, StepEvent};
+pub use serial::run_depth_first;

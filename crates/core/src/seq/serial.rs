@@ -1,0 +1,119 @@
+//! Plain depth-first execution of a blocked program.
+//!
+//! This is the correctness reference: no blocking policy, no SIMD
+//! accounting games — just a stack-driven traversal of the computation tree
+//! through the same [`BlockProgram`] interface every scheduler uses, so
+//! scheduler outputs can be compared against it in tests.
+
+use std::time::Instant;
+
+use crate::block::{TaskBlock, TaskStore};
+use crate::program::{BlockProgram, BucketSet, RunOutput};
+use crate::stats::ExecStats;
+
+/// Chunk size used to strip oversized root blocks so the traversal stack
+/// stays shallow in memory even for data-parallel programs with millions of
+/// root tasks.
+const SERIAL_STRIP: usize = 1024;
+
+/// Execute `prog` depth-first on one core, accounting steps with `Q = 1`
+/// (every step is scalar and complete). Returns the reduction and stats.
+pub fn run_depth_first<P: BlockProgram>(prog: &P) -> RunOutput<P::Reducer> {
+    let start = Instant::now();
+    let mut stats = ExecStats::new(1);
+    let mut red = prog.make_reducer();
+    let mut out = BucketSet::new(prog.arity());
+
+    let mut root = prog.make_root();
+    let mut stack: Vec<TaskBlock<P::Store>> = Vec::new();
+    // Push strips in reverse so the first strip is processed first.
+    let mut strips: Vec<P::Store> = Vec::new();
+    while root.len() > SERIAL_STRIP {
+        let rest = root.split_off(SERIAL_STRIP);
+        strips.push(std::mem::replace(&mut root, rest));
+    }
+    if !root.is_empty() {
+        strips.push(root);
+    }
+    for strip in strips.into_iter().rev() {
+        stack.push(TaskBlock::new(0, strip));
+    }
+
+    while let Some(mut block) = stack.pop() {
+        if block.is_empty() {
+            continue;
+        }
+        stats.account_block(block.len(), 1);
+        stats.observe_level(block.level);
+        prog.expand(&mut block.store, &mut out, &mut red);
+        debug_assert!(block.store.is_empty(), "expand must drain its block");
+        for i in (0..out.arity()).rev() {
+            let s = out.take_bucket(i);
+            if !s.is_empty() {
+                stack.push(TaskBlock::new(block.level + 1, s));
+            }
+        }
+        let parked: usize = stack.iter().map(TaskBlock::len).sum();
+        stats.observe_deque(stack.len(), parked);
+    }
+    stats.wall = start.elapsed();
+    RunOutput { reducer: red, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count {
+        depth: u32,
+    }
+
+    impl BlockProgram for Count {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for d in block.drain(..) {
+                if d == self.depth {
+                    *red += 1;
+                } else {
+                    out.bucket(0).push(d + 1);
+                    out.bucket(1).push(d + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_leaves_of_perfect_tree() {
+        let out = run_depth_first(&Count { depth: 10 });
+        assert_eq!(out.reducer, 1 << 10);
+        // Perfect binary tree of height 10: 2^11 - 1 nodes.
+        assert_eq!(out.stats.tasks_executed, (1 << 11) - 1);
+        assert_eq!(out.stats.max_level, 10);
+    }
+
+    #[test]
+    fn q1_accounting_is_all_complete() {
+        let out = run_depth_first(&Count { depth: 6 });
+        assert_eq!(out.stats.simd_steps, out.stats.tasks_executed);
+        assert_eq!(out.stats.incomplete_steps, 0);
+        assert!((out.stats.simd_utilization() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the simplified-restart stack structure: merging is
+//! task-conserving and order-insensitive, overflow draining respects the
+//! threshold, and level ordering is maintained.
+
+use proptest::prelude::*;
+use tb_core::par::RestartStack;
+
+fn arb_stack() -> impl Strategy<Value = Vec<(usize, Vec<u32>)>> {
+    proptest::collection::vec((0usize..12, proptest::collection::vec(any::<u32>(), 0..6)), 0..8)
+}
+
+fn build(entries: &[(usize, Vec<u32>)]) -> RestartStack<Vec<u32>> {
+    let mut s = RestartStack::nil();
+    for (level, tasks) in entries {
+        s.push(*level, tasks.clone());
+    }
+    s
+}
+
+fn total(entries: &[(usize, Vec<u32>)]) -> usize {
+    entries.iter().map(|(_, t)| t.len()).sum()
+}
+
+proptest! {
+    #[test]
+    fn push_conserves_tasks(entries in arb_stack()) {
+        let s = build(&entries);
+        prop_assert_eq!(s.total_len(), total(&entries));
+    }
+
+    #[test]
+    fn merge_conserves_and_commutes_in_totals(a in arb_stack(), b in arb_stack()) {
+        let ab = RestartStack::merge(build(&a), build(&b));
+        let ba = RestartStack::merge(build(&b), build(&a));
+        prop_assert_eq!(ab.total_len(), total(&a) + total(&b));
+        prop_assert_eq!(ab.total_len(), ba.total_len());
+        prop_assert_eq!(ab.depth(), ba.depth());
+        prop_assert_eq!(ab.shallowest_level(), ba.shallowest_level());
+    }
+
+    #[test]
+    fn drain_overflow_leaves_only_underfull_levels(entries in arb_stack(), t in 1usize..10) {
+        let mut s = build(&entries);
+        let over = s.drain_overflow(t);
+        for blk in &over {
+            prop_assert!(blk.len() >= t);
+        }
+        let drained: usize = over.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(s.total_len() + drained, total(&entries));
+        // Everything still parked is below the threshold.
+        let mut probe = s;
+        while let Some(b) = probe.pop_shallowest() {
+            prop_assert!(b.len() < t);
+        }
+    }
+
+    #[test]
+    fn pop_shallowest_is_monotone_in_level(entries in arb_stack()) {
+        let mut s = build(&entries);
+        let mut last = None;
+        while let Some(b) = s.pop_shallowest() {
+            if let Some(prev) = last {
+                prop_assert!(b.level > prev, "levels must strictly increase");
+            }
+            last = Some(b.level);
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    #[test]
+    fn take_level_removes_exactly_that_level(entries in arb_stack(), level in 0usize..12) {
+        let mut s = build(&entries);
+        let expected: usize = entries.iter().filter(|(l, _)| *l == level).map(|(_, t)| t.len()).sum();
+        let got = s.take_level(level).map_or(0, |t| t.len());
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(s.len_at(level), 0);
+        prop_assert_eq!(s.total_len() + got, total(&entries));
+    }
+}

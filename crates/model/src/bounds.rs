@@ -1,0 +1,72 @@
+//! Closed forms of the paper's Theorems 1–4 (asymptotic bounds, returned
+//! without their hidden constants — callers compare *ratios* across
+//! parameter sweeps, which is what "within a constant factor" means).
+
+/// Theorem 1 (basic BFE→DFE): for a tree of height `h = lg n + eps`,
+/// `Ts = Θ(min{2^eps·n/(kQ) + n/Q + lg n + eps, n})`.
+pub fn basic_bound(n: f64, h: f64, q: f64, k: f64) -> f64 {
+    let lg_n = n.log2();
+    let eps = (h - lg_n).max(0.0);
+    let grown = eps.exp2() * n / (k * q) + n / q + lg_n + eps;
+    grown.min(n)
+}
+
+/// Theorem 2 (re-expansion): `Ts = Θ(min{((eps − lg k)/k₁ + 1)·n/Q + lg n + eps, n})`.
+pub fn reexpansion_bound(n: f64, h: f64, q: f64, k: f64, k1: f64) -> f64 {
+    let lg_n = n.log2();
+    let eps = (h - lg_n).max(0.0);
+    let factor = ((eps - k.log2()).max(0.0) / k1 + 1.0) * n / q;
+    (factor + lg_n + eps).min(n)
+}
+
+/// Theorem 3 (sequential restart): `Ts = Θ(n/Q + h)` — optimal for any
+/// scheduler, independent of the block size `k`.
+pub fn optimal_bound(n: f64, h: f64, q: f64) -> f64 {
+    n / q + h
+}
+
+/// Theorem 4 (work-stealing restart): `E[T] = O(n/(QP) + k·h)`.
+pub fn parallel_restart_bound(n: f64, h: f64, q: f64, p: f64, k: f64) -> f64 {
+    n / (q * p) + k * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_bound_is_least_for_unbalanced_trees() {
+        // A tall tree (large eps) with a small block: basic blows up,
+        // re-expansion degrades linearly, restart stays optimal.
+        let (n, h, q, k) = (1.0e6, 60.0, 8.0, 4.0);
+        let b = basic_bound(n, h, q, k);
+        let r = reexpansion_bound(n, h, q, k, k);
+        let o = optimal_bound(n, h, q);
+        assert!(o <= r && r <= b, "expected optimal <= reexp <= basic, got {o} {r} {b}");
+    }
+
+    #[test]
+    fn all_bounds_cap_at_n() {
+        let (n, h, q, k) = (1024.0, 900.0, 16.0, 2.0);
+        assert!(basic_bound(n, h, q, k) <= n);
+        assert!(reexpansion_bound(n, h, q, k, k) <= n);
+    }
+
+    #[test]
+    fn balanced_trees_make_everything_optimal() {
+        // eps ≈ 0: every strategy approaches n/Q + lg n.
+        let (n, q, k): (f64, f64, f64) = (1.0e6, 8.0, 64.0);
+        let h = n.log2();
+        let b = basic_bound(n, h, q, k);
+        let o = optimal_bound(n, h, q);
+        assert!(b / o < 1.5, "basic {b} should be near optimal {o} on balanced trees");
+    }
+
+    #[test]
+    fn parallel_bound_scales_with_p() {
+        let t1 = parallel_restart_bound(1.0e6, 40.0, 8.0, 1.0, 4.0);
+        let t8 = parallel_restart_bound(1.0e6, 40.0, 8.0, 8.0, 4.0);
+        assert!(t8 < t1);
+        assert!(t1 / t8 > 4.0, "near-linear scaling expected in the work term");
+    }
+}

@@ -1,0 +1,21 @@
+//! # tb-model — the computation-tree machine model of §4
+//!
+//! The paper's theorems are stated over abstract computation trees with
+//! unit-time tasks executed on `P` cores of `Q` SIMD lanes. This crate
+//! makes those objects concrete so the theory can be validated empirically:
+//!
+//! * [`tree`] — explicit arena trees plus generators for every shape the
+//!   analysis distinguishes (perfect, chain/comb, random, k-ary,
+//!   UTS-binomial), with exact `(n, h)` statistics;
+//! * [`walk`] — [`TreeWalk`], a `BlockProgram` that walks an explicit tree,
+//!   so every scheduler in `tb-core` can be driven over any synthetic tree
+//!   and its measured step counts compared against the bounds;
+//! * [`bounds`] — closed forms of Theorems 1–4.
+
+pub mod bounds;
+pub mod tree;
+pub mod walk;
+
+pub use bounds::{basic_bound, optimal_bound, parallel_restart_bound, reexpansion_bound};
+pub use tree::CompTree;
+pub use walk::{TreeWalk, VisitSet};

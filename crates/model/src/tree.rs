@@ -1,0 +1,218 @@
+//! Explicit computation trees and shape generators.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An explicit computation tree in arena form. Node 0 is the root; each
+/// node stores its children's ids.
+#[derive(Debug, Clone)]
+pub struct CompTree {
+    children: Vec<Vec<u32>>,
+}
+
+impl CompTree {
+    /// An empty tree with just a root.
+    pub fn singleton() -> Self {
+        CompTree { children: vec![Vec::new()] }
+    }
+
+    /// Number of nodes `n`.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when only the root exists… never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: u32) -> &[u32] {
+        &self.children[node as usize]
+    }
+
+    /// Add a child to `parent`, returning the new node's id.
+    pub fn add_child(&mut self, parent: u32) -> u32 {
+        let id = self.children.len() as u32;
+        self.children.push(Vec::new());
+        self.children[parent as usize].push(id);
+        id
+    }
+
+    /// Maximum out-degree (the scheduler arity needed to walk this tree).
+    pub fn max_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0).max(1)
+    }
+
+    /// Height `h`: number of levels (a lone root has height 1).
+    pub fn height(&self) -> usize {
+        // Iterative BFS to avoid recursion on chain-shaped trees.
+        let mut depth = vec![0u32; self.len()];
+        let mut max = 0;
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        while let Some(v) = queue.pop_front() {
+            for &c in self.children(v) {
+                depth[c as usize] = depth[v as usize] + 1;
+                max = max.max(depth[c as usize]);
+                queue.push_back(c);
+            }
+        }
+        max as usize + 1
+    }
+
+    /// Perfect binary tree with `levels` levels (`2^levels - 1` nodes).
+    pub fn perfect_binary(levels: u32) -> Self {
+        assert!(levels >= 1 && levels <= 26);
+        let mut t = CompTree::singleton();
+        let mut frontier = vec![0u32];
+        for _ in 1..levels {
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for p in frontier {
+                next.push(t.add_child(p));
+                next.push(t.add_child(p));
+            }
+            frontier = next;
+        }
+        t
+    }
+
+    /// A chain of `n` nodes: zero available parallelism, `h = n`.
+    pub fn chain(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut t = CompTree::singleton();
+        let mut tip = 0;
+        for _ in 1..n {
+            tip = t.add_child(tip);
+        }
+        t
+    }
+
+    /// A comb: a spine of length `spine`, each spine node also holding one
+    /// leaf — maximal height for its size with a trickle of parallelism.
+    /// This is the worst case that separates restart from re-expansion.
+    pub fn comb(spine: usize) -> Self {
+        assert!(spine >= 1);
+        let mut t = CompTree::singleton();
+        let mut tip = 0;
+        for _ in 1..spine {
+            t.add_child(tip);
+            tip = t.add_child(tip);
+        }
+        t
+    }
+
+    /// Random binary tree grown node by node: each frontier node becomes a
+    /// leaf with probability `1 - p_branch`, otherwise gets two children,
+    /// until `max_nodes` is reached (then the frontier is sealed).
+    pub fn random_binary(max_nodes: usize, p_branch: f64, seed: u64) -> Self {
+        assert!(max_nodes >= 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = CompTree::singleton();
+        let mut frontier = std::collections::VecDeque::from([0u32]);
+        while let Some(v) = frontier.pop_front() {
+            if t.len() + 2 > max_nodes {
+                break;
+            }
+            if rng.random_bool(p_branch) {
+                frontier.push_back(t.add_child(v));
+                frontier.push_back(t.add_child(v));
+            }
+        }
+        t
+    }
+
+    /// Perfect `k`-ary tree with `levels` levels.
+    pub fn perfect_kary(k: usize, levels: u32) -> Self {
+        assert!(k >= 1 && levels >= 1);
+        let mut t = CompTree::singleton();
+        let mut frontier = vec![0u32];
+        for _ in 1..levels {
+            let mut next = Vec::with_capacity(frontier.len() * k);
+            for p in frontier {
+                for _ in 0..k {
+                    next.push(t.add_child(p));
+                }
+            }
+            frontier = next;
+        }
+        t
+    }
+
+    /// UTS-style binomial tree: the root has `b0` children; every other
+    /// node has `m` children with probability `q`. Generation stops adding
+    /// children once `max_nodes` is reached.
+    pub fn binomial(b0: usize, m: usize, q: f64, seed: u64, max_nodes: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = CompTree::singleton();
+        let mut frontier = std::collections::VecDeque::new();
+        for _ in 0..b0 {
+            if t.len() >= max_nodes {
+                break;
+            }
+            frontier.push_back(t.add_child(0));
+        }
+        while let Some(v) = frontier.pop_front() {
+            if t.len() + m > max_nodes {
+                continue;
+            }
+            if rng.random_bool(q) {
+                for _ in 0..m {
+                    frontier.push_back(t.add_child(v));
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_binary_counts() {
+        let t = CompTree::perfect_binary(5);
+        assert_eq!(t.len(), 31);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = CompTree::chain(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.height(), 10);
+        assert_eq!(t.max_degree(), 1);
+    }
+
+    #[test]
+    fn comb_shape() {
+        let t = CompTree::comb(10);
+        assert_eq!(t.len(), 19); // spine of 10 + 9 teeth
+        assert_eq!(t.height(), 10);
+    }
+
+    #[test]
+    fn kary_counts() {
+        let t = CompTree::perfect_kary(3, 4);
+        assert_eq!(t.len(), 1 + 3 + 9 + 27);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn random_binary_respects_cap_and_determinism() {
+        let a = CompTree::random_binary(1000, 0.7, 5);
+        let b = CompTree::random_binary(1000, 0.7, 5);
+        assert!(a.len() <= 1000);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.height(), b.height());
+    }
+
+    #[test]
+    fn binomial_has_root_fanout() {
+        let t = CompTree::binomial(10, 4, 0.2, 3, 10_000);
+        assert_eq!(t.children(0).len(), 10);
+        assert!(t.len() >= 11);
+    }
+}

@@ -1,0 +1,134 @@
+//! Driving the schedulers over explicit trees.
+
+use tb_core::prelude::*;
+
+use crate::tree::CompTree;
+
+/// A `BlockProgram` that walks an explicit [`CompTree`]: every tree node is
+/// one unit task, exactly the model of §4. The reducer counts visits; the
+/// [`VisitSet`] variant records *which* nodes ran, for the exactly-once
+/// property tests.
+pub struct TreeWalk<'t> {
+    tree: &'t CompTree,
+    collect: bool,
+}
+
+impl<'t> TreeWalk<'t> {
+    /// Count-only walk (cheap).
+    pub fn new(tree: &'t CompTree) -> Self {
+        TreeWalk { tree, collect: false }
+    }
+
+    /// Walk that records every visited node id.
+    pub fn recording(tree: &'t CompTree) -> Self {
+        TreeWalk { tree, collect: true }
+    }
+
+    /// The walked tree.
+    pub fn tree(&self) -> &CompTree {
+        self.tree
+    }
+}
+
+/// Visit record: a count plus (optionally) the visited ids.
+#[derive(Debug, Clone, Default)]
+pub struct VisitSet {
+    /// Total visits.
+    pub count: u64,
+    /// Visited node ids (only filled by [`TreeWalk::recording`]).
+    pub nodes: Vec<u32>,
+}
+
+impl VisitSet {
+    /// Verify every node of `tree` was visited exactly once.
+    ///
+    /// # Panics
+    /// Panics with a description of the violation.
+    pub fn assert_exactly_once(&self, tree: &CompTree) {
+        assert_eq!(self.count, tree.len() as u64, "visit count != node count");
+        let mut seen = vec![false; tree.len()];
+        for &v in &self.nodes {
+            assert!(!seen[v as usize], "node {v} visited twice");
+            seen[v as usize] = true;
+        }
+        if !self.nodes.is_empty() {
+            assert!(seen.iter().all(|&s| s), "some node never visited");
+        }
+    }
+}
+
+impl BlockProgram for TreeWalk<'_> {
+    type Store = Vec<u32>;
+    type Reducer = VisitSet;
+
+    fn arity(&self) -> usize {
+        self.tree.max_degree()
+    }
+
+    fn make_root(&self) -> Vec<u32> {
+        vec![0]
+    }
+
+    fn make_reducer(&self) -> VisitSet {
+        VisitSet::default()
+    }
+
+    fn merge_reducers(&self, a: &mut VisitSet, mut b: VisitSet) {
+        a.count += b.count;
+        a.nodes.append(&mut b.nodes);
+    }
+
+    fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut VisitSet) {
+        for v in block.drain(..) {
+            red.count += 1;
+            if self.collect {
+                red.nodes.push(v);
+            }
+            for (i, &c) in self.tree.children(v).iter().enumerate() {
+                out.bucket(i).push(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_visits_every_node_once_under_each_policy() {
+        let tree = CompTree::random_binary(500, 0.72, 9);
+        for cfg in [
+            SchedConfig::basic(4, 64),
+            SchedConfig::reexpansion(4, 64),
+            SchedConfig::restart(4, 64, 16),
+        ] {
+            let walk = TreeWalk::recording(&tree);
+            let out = SeqScheduler::new(&walk, cfg).run();
+            out.reducer.assert_exactly_once(&tree);
+        }
+    }
+
+    #[test]
+    fn steps_lower_bounds_hold_on_perfect_tree() {
+        let tree = CompTree::perfect_binary(12);
+        let q = 8u64;
+        let walk = TreeWalk::new(&tree);
+        let out = SeqScheduler::new(&walk, SchedConfig::restart(q as usize, 256, 64)).run();
+        let n = tree.len() as u64;
+        let h = tree.height() as u64;
+        assert!(out.stats.simd_steps >= n.div_ceil(q));
+        assert!(out.stats.simd_steps >= h);
+        assert!(out.stats.simd_steps < n);
+    }
+
+    #[test]
+    fn chain_forces_height_steps() {
+        let tree = CompTree::chain(200);
+        let walk = TreeWalk::new(&tree);
+        let out = SeqScheduler::new(&walk, SchedConfig::restart(8, 64, 8)).run();
+        // A chain has no parallelism: exactly one task per step.
+        assert_eq!(out.stats.simd_steps, 200);
+        assert_eq!(out.stats.tasks_executed, 200);
+    }
+}

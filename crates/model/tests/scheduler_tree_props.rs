@@ -1,0 +1,63 @@
+//! Theory-facing property tests: scheduler behaviour over the §4 model's
+//! tree shapes, including the comparisons the paper's §4.4 discussion
+//! makes between the strategies.
+
+use proptest::prelude::*;
+use tb_core::prelude::*;
+use tb_model::{optimal_bound, CompTree, TreeWalk};
+
+fn arb_shape() -> impl Strategy<Value = CompTree> {
+    prop_oneof![
+        (2u32..10).prop_map(CompTree::perfect_binary),
+        (2usize..200).prop_map(CompTree::chain),
+        (2usize..120).prop_map(CompTree::comb),
+        (16usize..600, 0.55f64..0.9, any::<u64>())
+            .prop_map(|(n, p, s)| CompTree::random_binary(n, p, s)),
+        (1usize..6, 2u32..6).prop_map(|(k, l)| CompTree::perfect_kary(k, l)),
+        (1usize..12, 2usize..5, 0.1f64..0.4, any::<u64>())
+            .prop_map(|(b0, m, q, s)| CompTree::binomial(b0, m, q, s, 800)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §4.4's ordering: measured steps satisfy restart <= reexp <= basic
+    /// (up to the tiny slack restart pays for its scan bookkeeping).
+    #[test]
+    fn policy_step_ordering(tree in arb_shape(), k in 1usize..10) {
+        let q = 4;
+        let steps = |cfg: SchedConfig| {
+            SeqScheduler::new(&TreeWalk::new(&tree), cfg).run().stats.simd_steps
+        };
+        let basic = steps(SchedConfig::basic(q, k * q));
+        let reexp = steps(SchedConfig::reexpansion(q, k * q));
+        let restart = steps(SchedConfig::restart(q, k * q, k * q));
+        prop_assert!(reexp <= basic, "reexp {reexp} > basic {basic}");
+        // Restart may pay at most a superstep per level over reexp; in
+        // practice it is <=, allow the height as slack.
+        prop_assert!(restart <= reexp + tree.height() as u64,
+            "restart {restart} >> reexp {reexp}");
+    }
+
+    /// All generators produce well-formed trees and TreeWalk's arity
+    /// covers the max out-degree.
+    #[test]
+    fn generators_are_walkable(tree in arb_shape()) {
+        let walk = TreeWalk::recording(&tree);
+        let out = SeqScheduler::new(&walk, SchedConfig::restart(4, 16, 8)).run();
+        out.reducer.assert_exactly_once(&tree);
+        prop_assert_eq!(out.stats.max_level as usize + 1, tree.height());
+    }
+
+    /// Theorem 3 as a property: restart within constant factor of optimal
+    /// on every generated shape.
+    #[test]
+    fn restart_constant_factor_of_optimal(tree in arb_shape(), k in 1usize..8) {
+        let q = 4;
+        let out = SeqScheduler::new(&TreeWalk::new(&tree), SchedConfig::restart(q, k * q, k * q)).run();
+        let opt = optimal_bound(tree.len() as f64, tree.height() as f64, q as f64);
+        prop_assert!((out.stats.simd_steps as f64) <= 3.0 * opt,
+            "{} steps vs optimal {}", out.stats.simd_steps, opt);
+    }
+}

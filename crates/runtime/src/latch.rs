@@ -1,0 +1,89 @@
+//! Completion latches: how a waiting owner learns its forked job finished.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot "done" flag.
+pub(crate) trait Latch {
+    /// Mark done. Called exactly once, by whoever executed the job.
+    fn set(&self);
+}
+
+/// Latch for owners that are themselves workers: they poll with
+/// [`SpinLatch::probe`] between steal attempts, so a plain atomic suffices.
+#[derive(Default)]
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Latch for external (non-worker) threads: blocks on a condvar.
+pub(crate) struct SyncLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SyncLatch {
+    pub(crate) fn new() -> Self {
+        SyncLatch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for SyncLatch {
+    fn set(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_sets_and_probes() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn sync_latch_wakes_waiter() {
+        let l = Arc::new(SyncLatch::new());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        t.join().unwrap();
+    }
+}

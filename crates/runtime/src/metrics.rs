@@ -1,0 +1,24 @@
+//! Pool-wide counters.
+
+/// Steal counters accumulated over a pool's lifetime.
+///
+/// `steal_attempts` is the `S` of the paper's Lemma 3/7 analysis
+/// (`O(n/QP + S/P)` completion time, `E[S] = O(kPh)` for restart).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Steal sweeps performed (each sweep visits the injector and every
+    /// victim once).
+    pub steal_attempts: u64,
+    /// Sweeps that found a job.
+    pub steals: u64,
+}
+
+impl PoolMetrics {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        PoolMetrics {
+            steal_attempts: self.steal_attempts - earlier.steal_attempts,
+            steals: self.steals - earlier.steals,
+        }
+    }
+}

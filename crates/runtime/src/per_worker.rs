@@ -1,0 +1,134 @@
+//! Per-worker mutable slots.
+//!
+//! Parallel schedulers keep one reducer (and scratch buffers) per worker so
+//! the hot path is synchronization-free; the slots are merged after the
+//! parallel phase. [`PerWorker`] provides exactly that: interior-mutable
+//! slots indexed by [`WorkerCtx::index`], with a runtime re-entrancy guard.
+//!
+//! [`WorkerCtx::index`]: crate::pool::WorkerCtx::index
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::pool::WorkerCtx;
+
+struct Slot<T> {
+    value: UnsafeCell<T>,
+    borrowed: AtomicBool,
+}
+
+/// One `T` per worker, accessed mutably by that worker only.
+pub struct PerWorker<T> {
+    slots: Vec<CachePadded<Slot<T>>>,
+}
+
+// SAFETY: each slot is only accessed mutably through `with`, which (a) is
+// keyed by the worker index — unique per concurrently-running worker thread —
+// and (b) enforces non-reentrancy with the `borrowed` flag. `&mut self`
+// methods have exclusive access by construction.
+unsafe impl<T: Send> Sync for PerWorker<T> {}
+
+impl<T> PerWorker<T> {
+    /// One slot per worker, initialised by `init(worker_index)`.
+    pub fn new(workers: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        PerWorker {
+            slots: (0..workers)
+                .map(|i| CachePadded::new(Slot { value: UnsafeCell::new(init(i)), borrowed: AtomicBool::new(false) }))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool had zero workers (never happens in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutably access the calling worker's slot.
+    ///
+    /// # Panics
+    /// Panics if re-entered for the same worker (e.g. calling `with` inside
+    /// `with`, or forking inside the closure in a way that runs another job
+    /// on this worker which also calls `with`). Keep fork points outside.
+    pub fn with<R>(&self, ctx: &WorkerCtx<'_>, f: impl FnOnce(&mut T) -> R) -> R {
+        let slot = &self.slots[ctx.index()];
+        assert!(
+            !slot.borrowed.swap(true, Ordering::Acquire),
+            "PerWorker slot {} re-entered; do not fork inside `with`",
+            ctx.index()
+        );
+        // SAFETY: index is unique among running workers and the borrowed
+        // flag excludes re-entrancy, so this is the only live reference.
+        let r = f(unsafe { &mut *slot.value.get() });
+        slot.borrowed.store(false, Ordering::Release);
+        r
+    }
+
+    /// Exclusive iteration (for merging after the parallel phase).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|s| s.value.get_mut())
+    }
+
+    /// Consume into the slot values.
+    pub fn into_values(self) -> Vec<T> {
+        self.slots.into_iter().map(|s| CachePadded::into_inner(s).value.into_inner()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn slots_accumulate_independently() {
+        let pool = ThreadPool::new(4);
+        let acc = PerWorker::new(4, |_| 0u64);
+        pool.install(|ctx| {
+            fn go(ctx: &crate::pool::WorkerCtx<'_>, acc: &PerWorker<u64>, n: u32) {
+                if n == 0 {
+                    acc.with(ctx, |v| *v += 1);
+                    return;
+                }
+                ctx.join(|c| go(c, acc, n - 1), |c| go(c, acc, n - 1));
+            }
+            go(ctx, &acc, 10);
+        });
+        let total: u64 = acc.into_values().into_iter().sum();
+        assert_eq!(total, 1 << 10);
+    }
+
+    #[test]
+    fn into_values_returns_all_slots() {
+        let pw = PerWorker::new(3, |i| i * 10);
+        assert_eq!(pw.into_values(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn iter_mut_allows_merging() {
+        let mut pw = PerWorker::new(3, |i| i as u64);
+        let sum: u64 = pw.iter_mut().map(|v| *v).sum();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn reentrant_with_is_rejected() {
+        let pool = ThreadPool::new(1);
+        let pw = PerWorker::new(1, |_| 0u32);
+        let caught = pool.install(|ctx| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pw.with(ctx, |_| {
+                    pw.with(ctx, |v| *v += 1); // must panic: nested borrow
+                })
+            }))
+            .is_err()
+        });
+        assert!(caught, "nested PerWorker::with must be detected");
+    }
+}

@@ -1,0 +1,339 @@
+//! The worker pool: threads, deques, stealing, sleeping, and `join`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use crossbeam_utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{JobRef, StackJob};
+use crate::latch::{SpinLatch, SyncLatch};
+use crate::metrics::PoolMetrics;
+
+/// How many fruitless steal sweeps a worker performs (yielding in between)
+/// before it parks on the condvar.
+const SPINS_BEFORE_SLEEP: u32 = 64;
+
+/// Parked workers re-check for work at least this often, which makes lost
+/// wakeups a latency bug rather than a deadlock.
+const SLEEP_RECHECK: Duration = Duration::from_micros(500);
+
+pub(crate) struct Shared {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    steal_attempts: CachePadded<AtomicU64>,
+    steals: CachePadded<AtomicU64>,
+}
+
+impl Shared {
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_mutex.lock();
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_mutex.lock();
+            self.sleep_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of work-stealing workers.
+///
+/// Dropping the pool shuts the workers down and joins their threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            steal_attempts: CachePadded::new(AtomicU64::new(0)),
+            steals: CachePadded::new(AtomicU64::new(0)),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tb-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index, local))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, handles, threads }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` inside the pool (on whichever worker picks it up) and block
+    /// the calling thread until it completes. Panics in `f` propagate.
+    ///
+    /// Must be called from outside the pool (not from a worker).
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&WorkerCtx<'_>) -> R + Send,
+    {
+        let job = StackJob::<SyncLatch, F, R>::new(SyncLatch::new(), f);
+        // SAFETY: we block on the latch below; the job outlives execution.
+        unsafe { self.shared.injector.push(job.as_job_ref()) };
+        self.shared.wake_all();
+        job.latch.wait();
+        // SAFETY: latch set => result written exactly once.
+        unsafe { job.take_result() }
+    }
+
+    /// Cumulative steal counters across the pool's lifetime.
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            steal_attempts: self.shared.steal_attempts.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A worker's view of the pool, passed to every job. Grants access to the
+/// fork/join primitives and identifies the worker for [`PerWorker`] slots.
+///
+/// [`PerWorker`]: crate::per_worker::PerWorker
+pub struct WorkerCtx<'a> {
+    shared: &'a Shared,
+    index: usize,
+    local: &'a Worker<JobRef>,
+    rng: Cell<u64>,
+}
+
+impl<'a> WorkerCtx<'a> {
+    /// This worker's id in `0..pool.threads()`.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the pool.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Steal attempts recorded so far (pool-wide).
+    pub fn steal_attempts(&self) -> u64 {
+        self.shared.steal_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Successful steals recorded so far (pool-wide). The simplified-restart
+    /// scheduler compares snapshots of this to detect intervening steals.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn next_rand(&self) -> u64 {
+        // xorshift64*: cheap, good-enough victim selection.
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn push_job(&self, job: JobRef) {
+        self.local.push(job);
+        self.shared.wake_one();
+    }
+
+    pub(crate) fn pop_job(&self) -> Option<JobRef> {
+        self.local.pop()
+    }
+
+    /// # Safety
+    /// `job` must be executed at most once.
+    pub(crate) unsafe fn execute(&self, job: JobRef) {
+        unsafe { job.execute(self) };
+    }
+
+    /// One sweep over the injector and every other worker's deque.
+    /// Records a steal attempt; returns a job if one was found.
+    pub(crate) fn try_steal(&self) -> Option<JobRef> {
+        self.shared.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        // The global injector first: install() roots land there.
+        loop {
+            match self.shared.injector.steal_batch_and_pop(self.local) {
+                Steal::Success(job) => {
+                    self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        let n = self.shared.stealers.len();
+        let start = (self.next_rand() as usize) % n;
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match self.shared.stealers[victim].steal() {
+                    Steal::Success(job) => {
+                        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Work (pop local, then steal) until `latch` is set.
+    pub(crate) fn wait_on(&self, latch: &SpinLatch) {
+        let mut spins = 0u32;
+        while !latch.probe() {
+            let job = self.pop_job().or_else(|| self.try_steal());
+            match job {
+                Some(job) => {
+                    // SAFETY: freshly popped/stolen refs are executed once.
+                    unsafe { self.execute(job) };
+                    spins = 0;
+                }
+                None => {
+                    spins += 1;
+                    if spins > 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fork `a` and `b`: run `a` inline while `b` is exposed for stealing;
+    /// if nobody stole `b`, run it inline too; otherwise steal other work
+    /// until the thief finishes. Returns both results; panics propagate.
+    pub fn join<RA, RB, FA, FB>(&self, a: FA, b: FB) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        FA: FnOnce(&WorkerCtx<'_>) -> RA + Send,
+        FB: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+    {
+        let bjob = StackJob::<SpinLatch, FB, RB>::new(SpinLatch::new(), b);
+        // SAFETY: we do not return before bjob's latch is set or the ref is
+        // popped back, and bjob never moves (it stays in this frame).
+        let bref = unsafe { bjob.as_job_ref() };
+        let bid = bref.id();
+        self.push_job(bref);
+
+        let ra = a(self);
+
+        loop {
+            if bjob.latch.probe() {
+                break;
+            }
+            match self.pop_job() {
+                Some(job) if job.id() == bid => {
+                    // Nobody stole it: run inline. `job` (the recovered ref)
+                    // is intentionally forgotten; run_inline consumes the
+                    // logical execution right.
+                    bjob.run_inline(self);
+                    break;
+                }
+                Some(job) => {
+                    // A job pushed after ours (by `a`'s descendants that
+                    // were themselves stolen-back scenarios) — execute it,
+                    // it is pending work we own.
+                    // SAFETY: popped refs are executed once.
+                    unsafe { self.execute(job) };
+                }
+                None => {
+                    // b was stolen: make ourselves useful until it's done.
+                    self.wait_on(&bjob.latch);
+                    break;
+                }
+            }
+        }
+        // SAFETY: at this point the job has run exactly once.
+        let rb = unsafe { bjob.take_result() };
+        (ra, rb)
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize, local: Worker<JobRef>) {
+    let ctx = WorkerCtx {
+        shared,
+        index,
+        local: &local,
+        rng: Cell::new(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1) | 1),
+    };
+    let mut idle_sweeps = 0u32;
+    loop {
+        let job = ctx.pop_job().or_else(|| ctx.try_steal());
+        if let Some(job) = job {
+            // SAFETY: popped/stolen refs are executed once.
+            unsafe { ctx.execute(job) };
+            idle_sweeps = 0;
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        idle_sweeps += 1;
+        if idle_sweeps < SPINS_BEFORE_SLEEP {
+            std::thread::yield_now();
+        } else {
+            // Register as sleeper, re-check for work (avoids a lost-wakeup
+            // race with wake_one's sleeper check), then park briefly.
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            let work_visible = !shared.injector.is_empty()
+                || shared.stealers.iter().enumerate().any(|(i, s)| i != index && !s.is_empty());
+            if !work_visible && !shared.shutdown.load(Ordering::SeqCst) {
+                let mut g = shared.sleep_mutex.lock();
+                shared.sleep_cv.wait_for(&mut g, SLEEP_RECHECK);
+            }
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}

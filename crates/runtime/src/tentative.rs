@@ -1,0 +1,195 @@
+//! Tentative spawns: fork work that can be *taken back* if nobody stole it.
+//!
+//! The paper's simplified restart strategy (§6) optimises the common case
+//! where no steal intervened between two spawns: the restart stack returned
+//! by the first child is threaded directly into the second child, skipping
+//! a merge. In Cilk this is a check on the worker's deque; here it is an
+//! explicit primitive: [`WorkerCtx::tentative_scope`] forks a job with an
+//! owned input, runs a body closure, then *resolves* the fork — if the job
+//! is still on our deque it is cancelled and its input handed back (the
+//! caller re-issues the work however it likes, e.g. with a different restart
+//! stack); if a thief claimed it, we wait for the thief's result.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::thread;
+
+use crate::job::JobRef;
+use crate::latch::{Latch, SpinLatch};
+use crate::pool::WorkerCtx;
+
+/// Outcome of resolving a tentative spawn.
+#[derive(Debug)]
+pub enum Resolved<T, R> {
+    /// No thief touched the job; here is the input back, nothing ran.
+    Cancelled(T),
+    /// A thief ran the job; here is its result.
+    Stolen(R),
+}
+
+struct TentativeJob<T, R, F> {
+    latch: SpinLatch,
+    input: UnsafeCell<Option<T>>,
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+}
+
+impl<T, R, F> TentativeJob<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: FnOnce(T, &WorkerCtx<'_>) -> R + Send,
+{
+    unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self as *const Self as *const (), Self::execute_erased) }
+    }
+
+    unsafe fn execute_erased(data: *const (), ctx: &WorkerCtx<'_>) {
+        let this = unsafe { &*(data as *const Self) };
+        let input = unsafe { (*this.input.get()).take().expect("tentative job executed twice") };
+        let f = unsafe { (*this.f.get()).take().expect("tentative job executed twice") };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(input, ctx)));
+        unsafe { *this.result.get() = Some(result) };
+        this.latch.set();
+    }
+}
+
+impl<'a> WorkerCtx<'a> {
+    /// Fork `f(input)` tentatively, run `body`, then resolve the fork.
+    ///
+    /// Returns `body`'s result plus either [`Resolved::Cancelled`] with the
+    /// untouched `input` (no steal intervened — the caller now owns the work
+    /// again and can run it with fresher context) or [`Resolved::Stolen`]
+    /// with the thief's result.
+    pub fn tentative_scope<T, R, RB, F, B>(&self, input: T, f: F, body: B) -> (RB, Resolved<T, R>)
+    where
+        T: Send,
+        R: Send,
+        F: FnOnce(T, &WorkerCtx<'_>) -> R + Send,
+        B: FnOnce(&WorkerCtx<'_>) -> RB,
+    {
+        let job = TentativeJob::<T, R, F> {
+            latch: SpinLatch::new(),
+            input: UnsafeCell::new(Some(input)),
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+        };
+        // SAFETY: `job` stays in this frame and we do not return before the
+        // ref is recovered from our own deque or the latch is set.
+        let jref = unsafe { job.as_job_ref() };
+        let jid = jref.id();
+        self.push_job(jref);
+
+        let rb = body(self);
+
+        let resolved = loop {
+            if job.latch.probe() {
+                // SAFETY: latch set => result written.
+                break Resolved::Stolen(match unsafe { (*job.result.get()).take().expect("result ready") } {
+                    Ok(r) => r,
+                    Err(p) => panic::resume_unwind(p),
+                });
+            }
+            match self.pop_job() {
+                Some(j) if j.id() == jid => {
+                    // Recovered before any thief saw it: cancel. Dropping
+                    // the recovered ref is fine — execution rights die here.
+                    // SAFETY: sole owner; job never ran.
+                    let input = unsafe { (*job.input.get()).take().expect("input intact") };
+                    break Resolved::Cancelled(input);
+                }
+                Some(j) => {
+                    // Pending work pushed above ours; run it.
+                    // SAFETY: popped refs run once.
+                    unsafe { self.execute(j) };
+                }
+                None => {
+                    // Deque empty but latch unset: a thief holds the job.
+                    self.wait_on(&job.latch);
+                }
+            }
+        };
+        (rb, resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn uncontended_tentative_is_cancelled() {
+        let pool = ThreadPool::new(1); // nobody to steal
+        let (body, resolved) = pool.install(|ctx| {
+            ctx.tentative_scope(41u32, |v, _| v + 1, |_| "body-ran")
+        });
+        assert_eq!(body, "body-ran");
+        match resolved {
+            Resolved::Cancelled(input) => assert_eq!(input, 41),
+            Resolved::Stolen(_) => panic!("single worker cannot steal from itself"),
+        }
+    }
+
+    #[test]
+    fn contended_tentatives_are_sometimes_stolen() {
+        // With several workers and a slow body, thieves should claim at
+        // least one tentative job across many trials.
+        let pool = ThreadPool::new(4);
+        let mut stolen = 0;
+        let mut cancelled = 0;
+        const TRIALS: usize = 50;
+        for _ in 0..TRIALS {
+            let (_, resolved) = pool.install(|ctx| {
+                ctx.tentative_scope(
+                    7u64,
+                    |v, _| v * 2,
+                    |c| {
+                        // Busy body, long enough for a parked worker to wake
+                        // (parking re-checks every 500us) and steal.
+                        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(2);
+                        let mut acc = 0u64;
+                        while std::time::Instant::now() < deadline {
+                            acc = acc.wrapping_add(1);
+                        }
+                        let _ = c.index();
+                        acc
+                    },
+                )
+            });
+            match resolved {
+                Resolved::Cancelled(v) => {
+                    assert_eq!(v, 7);
+                    cancelled += 1;
+                }
+                Resolved::Stolen(r) => {
+                    assert_eq!(r, 14);
+                    stolen += 1;
+                }
+            }
+        }
+        assert_eq!(stolen + cancelled, TRIALS);
+        assert!(stolen > 0, "no tentative was ever stolen in {TRIALS} trials");
+    }
+
+    #[test]
+    fn nested_joins_inside_body_leave_tentative_resolvable() {
+        let pool = ThreadPool::new(2);
+        let (sum, resolved) = pool.install(|ctx| {
+            ctx.tentative_scope(
+                100u64,
+                |v, _| v,
+                |c| {
+                    let (a, b) = c.join(|_| 1u64, |_| 2u64);
+                    a + b
+                },
+            )
+        });
+        assert_eq!(sum, 3);
+        let v = match resolved {
+            Resolved::Cancelled(v) => v,
+            Resolved::Stolen(r) => r,
+        };
+        assert_eq!(v, 100);
+    }
+}

@@ -1,0 +1,105 @@
+//! Runtime CPU feature detection and the paper's default SIMD widths.
+
+/// Which x86 vector extensions the running CPU offers (all `false` on other
+/// architectures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// SSE2 (128-bit, baseline on x86-64).
+    pub sse2: bool,
+    /// SSE4.2 — the paper's evaluation ISA.
+    pub sse42: bool,
+    /// AVX2 (256-bit integer + FMA-era).
+    pub avx2: bool,
+    /// AVX-512F (512-bit).
+    pub avx512f: bool,
+}
+
+impl CpuFeatures {
+    /// Probe the current CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            CpuFeatures {
+                sse2: std::arch::is_x86_feature_detected!("sse2"),
+                sse42: std::arch::is_x86_feature_detected!("sse4.2"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuFeatures::default()
+        }
+    }
+
+    /// Widest available vector register, in bits.
+    pub fn vector_bits(&self) -> usize {
+        if self.avx512f {
+            512
+        } else if self.avx2 {
+            256
+        } else if self.sse2 {
+            128
+        } else {
+            64
+        }
+    }
+}
+
+/// The paper's default `Q` for an element type: lanes per 128-bit SSE
+/// register (`char` → 16, `short` → 8, `int`/`float` → 4; Table 1 caption).
+///
+/// ```
+/// assert_eq!(tb_simd::default_q::<u8>(), 16);
+/// assert_eq!(tb_simd::default_q::<i16>(), 8);
+/// assert_eq!(tb_simd::default_q::<f32>(), 4);
+/// ```
+pub const fn default_q<T>() -> usize {
+    let lanes = 16 / std::mem::size_of::<T>();
+    if lanes == 0 {
+        1
+    } else {
+        lanes
+    }
+}
+
+/// Lanes of `T` in a vector register of `bits` bits (at least 1).
+pub const fn q_for_width<T>(bits: usize) -> usize {
+    let lanes = (bits / 8) / std::mem::size_of::<T>();
+    if lanes == 0 {
+        1
+    } else {
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_q_matches_table1_caption() {
+        assert_eq!(default_q::<u8>(), 16); // char benchmarks: 16-wide
+        assert_eq!(default_q::<i16>(), 8); // knapsack (short): 8-wide
+        assert_eq!(default_q::<i32>(), 4); // uts (int): 4-wide
+        assert_eq!(default_q::<f32>(), 4); // BH / point-corr / knn: 4-wide
+        assert_eq!(default_q::<f64>(), 2);
+        assert_eq!(default_q::<[u8; 64]>(), 1);
+    }
+
+    #[test]
+    fn q_for_width_scales() {
+        assert_eq!(q_for_width::<f32>(256), 8);
+        assert_eq!(q_for_width::<u8>(512), 64);
+        assert_eq!(q_for_width::<u64>(64), 1);
+    }
+
+    #[test]
+    fn detect_does_not_panic_and_is_consistent() {
+        let f = CpuFeatures::detect();
+        if f.avx2 {
+            assert!(f.sse2, "AVX2 implies SSE2");
+        }
+        assert!(f.vector_bits() >= 64);
+    }
+}

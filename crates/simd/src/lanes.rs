@@ -1,0 +1,381 @@
+//! Fixed-width value vectors and lane masks.
+//!
+//! [`Lanes<T, N>`] is a thin wrapper over `[T; N]` whose operations are all
+//! written as straight-line loops over the array. With a fixed `N` known at
+//! monomorphization time, LLVM turns these loops into packed vector
+//! instructions on every mainstream target — the same effect as the paper's
+//! reliance on `icc`'s auto-vectorizer over blocked loops, without unstable
+//! `std::simd`. Where the auto-vectorizer genuinely cannot help (streaming
+//! compaction), `crate::compact` drops to explicit intrinsics.
+
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Neg, Shl, Shr, Sub};
+
+/// `N` lanes of `T` with lanewise semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Lanes<T, const N: usize>(pub [T; N]);
+
+/// `N` boolean lanes: the result of lanewise comparisons, consumed by
+/// blends and compaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Mask<const N: usize>(pub [bool; N]);
+
+impl<T: Copy + Default, const N: usize> Default for Lanes<T, N> {
+    fn default() -> Self {
+        Lanes([T::default(); N])
+    }
+}
+
+impl<T: Copy, const N: usize> Lanes<T, N> {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: T) -> Self {
+        Lanes([v; N])
+    }
+
+    /// Load from the first `N` elements of `s`.
+    ///
+    /// # Panics
+    /// Panics if `s.len() < N`.
+    #[inline]
+    pub fn from_slice(s: &[T]) -> Self {
+        let mut out = [s[0]; N];
+        out.copy_from_slice(&s[..N]);
+        Lanes(out)
+    }
+
+    /// Store into the first `N` elements of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() < N`.
+    #[inline]
+    pub fn write_to(self, out: &mut [T]) {
+        out[..N].copy_from_slice(&self.0);
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn lane(&self, i: usize) -> T {
+        self.0[i]
+    }
+
+    /// Apply `f` lanewise.
+    #[inline]
+    pub fn map(self, mut f: impl FnMut(T) -> T) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = f(*o);
+        }
+        Lanes(out)
+    }
+
+    /// Combine two vectors lanewise with `f`.
+    #[inline]
+    pub fn zip_map(self, rhs: Self, mut f: impl FnMut(T, T) -> T) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0) {
+            *o = f(*o, r);
+        }
+        Lanes(out)
+    }
+
+    /// Lanewise comparison with `f`.
+    #[inline]
+    pub fn zip_cmp(self, rhs: Self, mut f: impl FnMut(T, T) -> bool) -> Mask<N> {
+        let mut out = [false; N];
+        for ((o, a), b) in out.iter_mut().zip(self.0).zip(rhs.0) {
+            *o = f(a, b);
+        }
+        Mask(out)
+    }
+
+    /// `mask.select(self, other)`: lane `i` is `self[i]` where the mask is
+    /// true, `other[i]` where false (a blend).
+    #[inline]
+    pub fn select(self, mask: Mask<N>, other: Self) -> Self {
+        let mut out = self.0;
+        for ((o, m), e) in out.iter_mut().zip(mask.0).zip(other.0) {
+            if !m {
+                *o = e;
+            }
+        }
+        Lanes(out)
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident) => {
+        impl<T: Copy + $trait<Output = T>, const N: usize> $trait for Lanes<T, N> {
+            type Output = Self;
+            #[inline]
+            fn $method(self, rhs: Self) -> Self {
+                self.zip_map(rhs, T::$method)
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add);
+lanewise_binop!(Sub, sub);
+lanewise_binop!(Mul, mul);
+lanewise_binop!(Div, div);
+lanewise_binop!(BitAnd, bitand);
+lanewise_binop!(BitOr, bitor);
+lanewise_binop!(BitXor, bitxor);
+lanewise_binop!(Shl, shl);
+lanewise_binop!(Shr, shr);
+
+impl<T: Copy + Neg<Output = T>, const N: usize> Neg for Lanes<T, N> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        self.map(T::neg)
+    }
+}
+
+impl<T: Copy + PartialOrd, const N: usize> Lanes<T, N> {
+    /// Lanewise minimum.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        self.zip_map(rhs, |a, b| if b < a { b } else { a })
+    }
+
+    /// Lanewise maximum.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        self.zip_map(rhs, |a, b| if b > a { b } else { a })
+    }
+
+    /// Lanewise `<`.
+    #[inline]
+    pub fn lt(self, rhs: Self) -> Mask<N> {
+        self.zip_cmp(rhs, |a, b| a < b)
+    }
+
+    /// Lanewise `<=`.
+    #[inline]
+    pub fn le(self, rhs: Self) -> Mask<N> {
+        self.zip_cmp(rhs, |a, b| a <= b)
+    }
+
+    /// Lanewise `>=`.
+    #[inline]
+    pub fn ge(self, rhs: Self) -> Mask<N> {
+        self.zip_cmp(rhs, |a, b| a >= b)
+    }
+
+    /// Lanewise `>`.
+    #[inline]
+    pub fn gt(self, rhs: Self) -> Mask<N> {
+        self.zip_cmp(rhs, |a, b| a > b)
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> Lanes<T, N> {
+    /// Lanewise `==`.
+    #[inline]
+    pub fn eq_lanes(self, rhs: Self) -> Mask<N> {
+        self.zip_cmp(rhs, |a, b| a == b)
+    }
+}
+
+impl<T: Copy + Add<Output = T>, const N: usize> Lanes<T, N> {
+    /// Horizontal sum of all lanes (`reduce_add`).
+    #[inline]
+    pub fn reduce_add(self) -> T {
+        let mut acc = self.0[0];
+        for &v in &self.0[1..] {
+            acc = acc + v;
+        }
+        acc
+    }
+}
+
+macro_rules! float_lanes {
+    ($t:ty) => {
+        impl<const N: usize> Lanes<$t, N> {
+            /// Lanewise square root.
+            #[inline]
+            pub fn sqrt(self) -> Self {
+                self.map(<$t>::sqrt)
+            }
+
+            /// Lanewise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                self.map(<$t>::abs)
+            }
+
+            /// Fused-in-spirit multiply-add: `self * a + b` lanewise.
+            #[inline]
+            pub fn mul_add(self, a: Self, b: Self) -> Self {
+                let mut out = self.0;
+                for ((o, x), y) in out.iter_mut().zip(a.0).zip(b.0) {
+                    *o = *o * x + y;
+                }
+                Lanes(out)
+            }
+        }
+    };
+}
+
+float_lanes!(f32);
+float_lanes!(f64);
+
+impl<const N: usize> Mask<N> {
+    /// All lanes false.
+    #[inline]
+    pub fn none() -> Self {
+        Mask([false; N])
+    }
+
+    /// All lanes true.
+    #[inline]
+    pub fn all_set() -> Self {
+        Mask([true; N])
+    }
+
+    /// Is any lane true?
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// Are all lanes true?
+    #[inline]
+    pub fn all(&self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// Number of true lanes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.0.iter().map(|&b| usize::from(b)).count_ones_hack()
+    }
+
+    /// Lane-order bitmask (lane 0 = bit 0).
+    #[inline]
+    pub fn to_bitmask(&self) -> u64 {
+        debug_assert!(N <= 64);
+        let mut m = 0u64;
+        for (i, &b) in self.0.iter().enumerate() {
+            m |= (b as u64) << i;
+        }
+        m
+    }
+
+    /// Lanewise negation.
+    #[inline]
+    pub fn not(self) -> Self {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = !*o;
+        }
+        Mask(out)
+    }
+
+    /// Lanewise AND.
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0) {
+            *o &= r;
+        }
+        Mask(out)
+    }
+
+    /// Lanewise OR.
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0) {
+            *o |= r;
+        }
+        Mask(out)
+    }
+}
+
+/// Tiny helper so `count` compiles to a popcount-style reduction.
+trait CountOnesHack {
+    fn count_ones_hack(self) -> usize;
+}
+
+impl<I: Iterator<Item = usize>> CountOnesHack for I {
+    #[inline]
+    fn count_ones_hack(self) -> usize {
+        self.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = Lanes::<f32, 4>([1.0, 2.0, 3.0, 4.0]);
+        let b = Lanes::splat(2.0f32);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a / b).0, [0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let a = Lanes::<i32, 4>([1, 5, 3, 7]);
+        let b = Lanes::splat(4);
+        let m = a.lt(b);
+        assert_eq!(m.0, [true, false, true, false]);
+        let blended = a.select(m, b);
+        assert_eq!(blended.0, [1, 4, 3, 4]);
+        assert_eq!(m.to_bitmask(), 0b0101);
+        assert_eq!(m.count(), 2);
+        assert!(m.any());
+        assert!(!m.all());
+    }
+
+    #[test]
+    fn integer_bit_ops() {
+        let a = Lanes::<u32, 8>([1, 2, 4, 8, 16, 32, 64, 128]);
+        let s = a << Lanes::splat(1);
+        assert_eq!(s.0, [2, 4, 8, 16, 32, 64, 128, 256]);
+        let o = a | Lanes::splat(1);
+        assert_eq!(o.lane(1), 3);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Lanes::<u64, 8>([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.reduce_add(), 36);
+        let f = Lanes::<f32, 4>([4.0, 9.0, 16.0, 25.0]);
+        assert_eq!(f.sqrt().0, [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Lanes::<i16, 8>([1, -2, 3, -4, 5, -6, 7, -8]);
+        let z = Lanes::splat(0i16);
+        assert_eq!(a.max(z).0, [1, 0, 3, 0, 5, 0, 7, 0]);
+        assert_eq!(a.min(z).0, [0, -2, 0, -4, 0, -6, 0, -8]);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [1u8, 2, 3, 4, 5, 6];
+        let l = Lanes::<u8, 4>::from_slice(&data);
+        let mut out = [0u8; 4];
+        l.write_to(&mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mask_logic() {
+        let a = Mask::<4>([true, false, true, false]);
+        let b = Mask::<4>([true, true, false, false]);
+        assert_eq!(a.and(b).0, [true, false, false, false]);
+        assert_eq!(a.or(b).0, [true, true, true, false]);
+        assert_eq!(a.not().0, [false, true, false, true]);
+    }
+}

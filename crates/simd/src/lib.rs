@@ -1,0 +1,32 @@
+//! # tb-simd — the vector-hardware substrate
+//!
+//! The paper vectorizes blocked task-parallel programs with "AoS to SoA
+//! transformation, auto-vectorization and SIMD intrinsics when the
+//! auto-vectorizer fails, and … Streaming Compaction" (§6). Stable Rust has
+//! no `std::simd`, so this crate provides the same toolkit from scratch:
+//!
+//! * [`Lanes<T, N>`](lanes::Lanes) — a fixed-width value vector with
+//!   lanewise arithmetic, comparisons and blends, written as `N`-length
+//!   array loops that LLVM reliably turns into packed instructions at
+//!   `opt-level >= 2`.
+//! * [`Mask<N>`](lanes::Mask) — per-lane predicates for divergent base/
+//!   inductive decisions inside a block.
+//! * [`soa`] — struct-of-arrays task stores ([`SoaVec2`], [`SoaVec3`],
+//!   [`SoaVec4`]) that implement `tb_core::TaskStore` column-wise, so a
+//!   whole task block is a handful of dense primitive columns.
+//! * [`compact`] — streaming compaction: densely appending the selected
+//!   lanes of a vector to a column, which is how spawned children are
+//!   written into spawn buckets without per-lane branches. Includes an
+//!   AVX2 `vpermd` specialisation behind runtime feature detection.
+//! * [`feature`] — runtime CPU feature report and the paper's default `Q`
+//!   per element width (128-bit SSE lanes: 16×`i8`, 8×`i16`, 4×`i32`/`f32`).
+
+pub mod compact;
+pub mod feature;
+pub mod lanes;
+pub mod soa;
+
+pub use compact::compact_append;
+pub use feature::{default_q, CpuFeatures};
+pub use lanes::{Lanes, Mask};
+pub use soa::{SoaVec2, SoaVec3, SoaVec4};

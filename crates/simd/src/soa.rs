@@ -1,0 +1,212 @@
+//! Struct-of-arrays task stores.
+//!
+//! A task block in AoS form (`Vec<Task>`) interleaves the fields of
+//! consecutive tasks in memory, so a vectorized `expand` would need
+//! gathers. The paper's AoS→SoA transformation stores each task field in
+//! its own dense column; `SoaVecN` is that layout for tasks that are
+//! tuples of `N` primitive fields, and it implements
+//! [`tb_core::TaskStore`] column-wise so the scheduler can merge/split
+//! blocks without ever materialising an AoS view.
+
+use tb_core::TaskStore;
+
+macro_rules! soa_vec {
+    ($(#[$doc:meta])* $name:ident, $($field:ident : $ty:ident),+) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name<$($ty),+> {
+            $(
+                /// One column of task fields.
+                pub $field: Vec<$ty>,
+            )+
+        }
+
+        impl<$($ty),+> Default for $name<$($ty),+> {
+            fn default() -> Self {
+                $name { $($field: Vec::new()),+ }
+            }
+        }
+
+        impl<$($ty),+> $name<$($ty),+> {
+            /// An empty store.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// An empty store with per-column capacity `cap`.
+            pub fn with_capacity(cap: usize) -> Self {
+                $name { $($field: Vec::with_capacity(cap)),+ }
+            }
+
+            /// Append one task (one value per column).
+            #[inline]
+            pub fn push(&mut self, $($field: $ty),+) {
+                $(self.$field.push($field);)+
+            }
+
+            /// Read task `i` as a tuple.
+            #[inline]
+            pub fn get(&self, i: usize) -> ($($ty,)+)
+            where
+                $($ty: Copy),+
+            {
+                ($(self.$field[i],)+)
+            }
+
+            /// Number of tasks held (columns share a length).
+            #[inline]
+            pub fn num_tasks(&self) -> usize {
+                debug_assert!(self.debug_columns_aligned(), "SoA columns out of sync");
+                soa_vec!(@first_len self, $($field),+)
+            }
+
+            /// Iterate tasks as tuples (AoS view for scalar fallbacks and
+            /// tests).
+            pub fn iter_tuples(&self) -> impl Iterator<Item = ($($ty,)+)> + '_
+            where
+                $($ty: Copy),+
+            {
+                (0..self.num_tasks()).map(move |i| self.get(i))
+            }
+
+            fn debug_columns_aligned(&self) -> bool {
+                let mut lens = [0usize; 0].to_vec();
+                $(lens.push(self.$field.len());)+
+                lens.windows(2).all(|w| w[0] == w[1])
+            }
+        }
+
+        impl<$($ty: Send),+> TaskStore for $name<$($ty),+> {
+            #[inline]
+            fn len(&self) -> usize {
+                self.num_tasks()
+            }
+
+            #[inline]
+            fn append(&mut self, other: &mut Self) {
+                $(self.$field.append(&mut other.$field);)+
+            }
+
+            #[inline]
+            fn clear(&mut self) {
+                $(self.$field.clear();)+
+            }
+
+            #[inline]
+            fn split_off(&mut self, at: usize) -> Self {
+                $name { $($field: self.$field.split_off(at)),+ }
+            }
+
+            #[inline]
+            fn reserve(&mut self, additional: usize) {
+                $(self.$field.reserve(additional);)+
+            }
+        }
+    };
+    (@first_len $self:ident, $first:ident $(, $rest:ident)*) => {
+        $self.$first.len()
+    };
+}
+
+soa_vec!(
+    /// Two-column SoA store for tasks of shape `(A, B)`.
+    SoaVec2,
+    c0: A,
+    c1: B
+);
+
+soa_vec!(
+    /// Three-column SoA store for tasks of shape `(A, B, C)`.
+    SoaVec3,
+    c0: A,
+    c1: B,
+    c2: C
+);
+
+soa_vec!(
+    /// Four-column SoA store for tasks of shape `(A, B, C, D)`.
+    SoaVec4,
+    c0: A,
+    c1: B,
+    c2: C,
+    c3: D
+);
+
+/// Transpose an AoS slice of 2-tuples into a [`SoaVec2`] (the paper's
+/// AoS→SoA transformation, for tests and adapters).
+pub fn aos_to_soa2<A: Copy + Send, B: Copy + Send>(aos: &[(A, B)]) -> SoaVec2<A, B> {
+    let mut soa = SoaVec2::with_capacity(aos.len());
+    for &(a, b) in aos {
+        soa.push(a, b);
+    }
+    soa
+}
+
+/// Transpose a [`SoaVec2`] back to AoS tuples.
+pub fn soa2_to_aos<A: Copy + Send, B: Copy + Send>(soa: &SoaVec2<A, B>) -> Vec<(A, B)> {
+    soa.iter_tuples().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_len() {
+        let mut s: SoaVec3<u32, f32, u8> = SoaVec3::new();
+        s.push(1, 2.0, 3);
+        s.push(4, 5.0, 6);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), (4, 5.0, 6));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn task_store_append_split() {
+        let mut a: SoaVec2<u32, u32> = SoaVec2::new();
+        a.push(1, 10);
+        a.push(2, 20);
+        a.push(3, 30);
+        let tail = a.split_off(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.get(0), (2, 20));
+
+        let mut b = tail;
+        let mut c: SoaVec2<u32, u32> = SoaVec2::new();
+        c.push(9, 90);
+        b.append(&mut c);
+        assert_eq!(b.len(), 3);
+        assert!(c.is_empty());
+        assert_eq!(b.get(2), (9, 90));
+    }
+
+    #[test]
+    fn aos_soa_roundtrip() {
+        let aos: Vec<(u16, i64)> = (0..100).map(|i| (i as u16, -(i as i64))).collect();
+        let soa = aos_to_soa2(&aos);
+        assert_eq!(soa.c0.len(), 100);
+        assert_eq!(soa2_to_aos(&soa), aos);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut s: SoaVec2<u64, u64> = SoaVec2::with_capacity(64);
+        for i in 0..50 {
+            s.push(i, i);
+        }
+        let cap = s.c0.capacity();
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(s.c0.capacity() >= cap);
+    }
+
+    #[test]
+    fn take_via_task_store() {
+        let mut s: SoaVec2<u8, u8> = SoaVec2::new();
+        s.push(1, 2);
+        let t = TaskStore::take(&mut s);
+        assert_eq!(t.len(), 1);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The abstract syntax of the specification language.
+//!
+//! Deliberately restricted, exactly as the paper requires: integer-valued
+//! expressions over the method parameters, a boolean base-case predicate,
+//! reductions (commutative integer sums) in the base case, and spawns of
+//! the method itself — possibly guarded — in the inductive case.
+
+/// Integer expressions over the method's parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// The `i`-th method parameter.
+    Param(usize),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Comparison `<`.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison `<=`.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison `==`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Logical and (operands are 0/1).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate under a parameter environment. Booleans are 0/1.
+    pub fn eval(&self, params: &[i64]) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Param(i) => params[*i],
+            Expr::Add(a, b) => a.eval(params).wrapping_add(b.eval(params)),
+            Expr::Sub(a, b) => a.eval(params).wrapping_sub(b.eval(params)),
+            Expr::Mul(a, b) => a.eval(params).wrapping_mul(b.eval(params)),
+            Expr::Lt(a, b) => i64::from(a.eval(params) < b.eval(params)),
+            Expr::Le(a, b) => i64::from(a.eval(params) <= b.eval(params)),
+            Expr::Eq(a, b) => i64::from(a.eval(params) == b.eval(params)),
+            Expr::And(a, b) => i64::from(a.eval(params) != 0 && b.eval(params) != 0),
+            Expr::Or(a, b) => i64::from(a.eval(params) != 0 || b.eval(params) != 0),
+            Expr::Not(a) => i64::from(a.eval(params) == 0),
+        }
+    }
+
+    /// Largest parameter index used, if any.
+    fn max_param(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Param(i) => Some(*i),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Eq(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => a.max_param().max(b.max_param()),
+            Expr::Not(a) => a.max_param(),
+        }
+    }
+}
+
+/// Statements of the base and inductive bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Fold the expression's value into the (summing) reduction.
+    Reduce(Expr),
+    /// Spawn a recursive call with the given argument expressions.
+    Spawn(Vec<Expr>),
+    /// Conditionally execute statements (used for guarded spawns, e.g.
+    /// `parentheses`'s `if close < open then spawn …`).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+/// A validated specification-language program: one recursive method.
+#[derive(Debug, Clone)]
+pub struct RecursiveSpec {
+    /// Method name (for diagnostics).
+    pub name: String,
+    /// Number of parameters `k`.
+    pub params: usize,
+    /// The base-case predicate `e_b`.
+    pub base_cond: Expr,
+    /// Base body `s_b` (reductions only).
+    pub base: Vec<Stmt>,
+    /// Inductive body `s_i` (spawns, possibly guarded; reductions allowed
+    /// too, as in the paper's `inductiveWork`).
+    pub inductive: Vec<Stmt>,
+}
+
+/// Validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A spawn in base position.
+    SpawnInBaseCase,
+    /// A spawn whose argument count differs from the method arity.
+    SpawnArityMismatch {
+        /// expected parameter count
+        expected: usize,
+        /// what the spawn supplied
+        got: usize,
+    },
+    /// An expression references a parameter the method does not have.
+    UnknownParam {
+        /// the out-of-range index
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::SpawnInBaseCase => write!(f, "spawn not allowed in the base case"),
+            SpecError::SpawnArityMismatch { expected, got } => {
+                write!(f, "spawn supplies {got} args, method has {expected} params")
+            }
+            SpecError::UnknownParam { index } => write!(f, "parameter index {index} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl RecursiveSpec {
+    /// Validate the paper's language restrictions. Returns the number of
+    /// static spawn sites (the scheduler arity).
+    pub fn validate(&self) -> Result<usize, SpecError> {
+        fn check_expr(e: &Expr, params: usize) -> Result<(), SpecError> {
+            match e.max_param() {
+                Some(i) if i >= params => Err(SpecError::UnknownParam { index: i }),
+                _ => Ok(()),
+            }
+        }
+        fn walk(stmts: &[Stmt], params: usize, allow_spawn: bool, sites: &mut usize) -> Result<(), SpecError> {
+            for s in stmts {
+                match s {
+                    Stmt::Reduce(e) => check_expr(e, params)?,
+                    Stmt::Spawn(args) => {
+                        if !allow_spawn {
+                            return Err(SpecError::SpawnInBaseCase);
+                        }
+                        if args.len() != params {
+                            return Err(SpecError::SpawnArityMismatch { expected: params, got: args.len() });
+                        }
+                        for a in args {
+                            check_expr(a, params)?;
+                        }
+                        *sites += 1;
+                    }
+                    Stmt::If(c, t, e) => {
+                        check_expr(c, params)?;
+                        walk(t, params, allow_spawn, sites)?;
+                        walk(e, params, allow_spawn, sites)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        check_expr(&self.base_cond, self.params)?;
+        let mut base_sites = 0;
+        walk(&self.base, self.params, false, &mut base_sites)?;
+        let mut sites = 0;
+        walk(&self.inductive, self.params, true, &mut sites)?;
+        Ok(sites.max(1))
+    }
+}
+
+// Small builder helpers to keep hand-written specs readable.
+
+/// `Expr::Param(i)`.
+pub fn p(i: usize) -> Expr {
+    Expr::Param(i)
+}
+
+/// `Expr::Const(v)`.
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+/// `a + b`.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// `a - b`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+/// `a < b`.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::Lt(Box::new(a), Box::new(b))
+}
+
+/// `a == b`.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::Eq(Box::new(a), Box::new(b))
+}
+
+/// `a && b`.
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let e = add(p(0), c(2));
+        assert_eq!(e.eval(&[40]), 42);
+        assert_eq!(lt(p(0), c(2)).eval(&[1]), 1);
+        assert_eq!(lt(p(0), c(2)).eval(&[5]), 0);
+        assert_eq!(and(c(1), c(0)).eval(&[]), 0);
+    }
+
+    #[test]
+    fn validation_counts_spawn_sites() {
+        let spec = RecursiveSpec {
+            name: "fib".into(),
+            params: 1,
+            base_cond: lt(p(0), c(2)),
+            base: vec![Stmt::Reduce(p(0))],
+            inductive: vec![Stmt::Spawn(vec![sub(p(0), c(1))]), Stmt::Spawn(vec![sub(p(0), c(2))])],
+        };
+        assert_eq!(spec.validate(), Ok(2));
+    }
+
+    #[test]
+    fn validation_rejects_spawn_in_base() {
+        let spec = RecursiveSpec {
+            name: "bad".into(),
+            params: 1,
+            base_cond: c(1),
+            base: vec![Stmt::Spawn(vec![p(0)])],
+            inductive: vec![],
+        };
+        assert_eq!(spec.validate(), Err(SpecError::SpawnInBaseCase));
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity_and_params() {
+        let spec = RecursiveSpec {
+            name: "bad".into(),
+            params: 2,
+            base_cond: c(0),
+            base: vec![],
+            inductive: vec![Stmt::Spawn(vec![p(0)])],
+        };
+        assert!(matches!(spec.validate(), Err(SpecError::SpawnArityMismatch { .. })));
+
+        let spec2 = RecursiveSpec {
+            name: "bad2".into(),
+            params: 1,
+            base_cond: eq(p(3), c(0)),
+            base: vec![],
+            inductive: vec![],
+        };
+        assert_eq!(spec2.validate(), Err(SpecError::UnknownParam { index: 3 }));
+    }
+}

@@ -1,0 +1,72 @@
+//! Benchmark programs written in the specification language, used for
+//! cross-validation against the native `tb-suite` implementations.
+
+use crate::ast::{add, and, c, eq, lt, p, sub, Expr, RecursiveSpec, Stmt};
+
+/// `fib(n)` — Fig. 1(a) of the paper.
+pub fn fib_spec() -> RecursiveSpec {
+    RecursiveSpec {
+        name: "fib".into(),
+        params: 1,
+        base_cond: lt(p(0), c(2)),
+        base: vec![Stmt::Reduce(p(0))],
+        inductive: vec![Stmt::Spawn(vec![sub(p(0), c(1))]), Stmt::Spawn(vec![sub(p(0), c(2))])],
+    }
+}
+
+/// `binomial(n, k)` — Pascal recursion.
+pub fn binomial_spec() -> RecursiveSpec {
+    RecursiveSpec {
+        name: "binomial".into(),
+        params: 2,
+        base_cond: Expr::Or(Box::new(eq(p(1), c(0))), Box::new(eq(p(1), p(0)))),
+        base: vec![Stmt::Reduce(c(1))],
+        inductive: vec![
+            Stmt::Spawn(vec![sub(p(0), c(1)), sub(p(1), c(1))]),
+            Stmt::Spawn(vec![sub(p(0), c(1)), p(1)]),
+        ],
+    }
+}
+
+/// `parentheses(open, close)` for `n` pairs — guarded spawns.
+pub fn parentheses_spec(n: i64) -> RecursiveSpec {
+    RecursiveSpec {
+        name: "paren".into(),
+        params: 2,
+        base_cond: and(eq(p(0), c(n)), eq(p(1), c(n))),
+        base: vec![Stmt::Reduce(c(1))],
+        inductive: vec![
+            Stmt::If(lt(p(0), c(n)), vec![Stmt::Spawn(vec![add(p(0), c(1)), p(1)])], vec![]),
+            Stmt::If(lt(p(1), p(0)), vec![Stmt::Spawn(vec![p(0), add(p(1), c(1))])], vec![]),
+        ],
+    }
+}
+
+/// The same fib program as [`fib_spec`], in surface syntax.
+pub const FIB_SOURCE: &str = "spec fib(n) {
+  base (n < 2) { reduce n; }
+  else { spawn fib(n - 1); spawn fib(n - 2); }
+}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+    use crate::parse::parse_spec;
+
+    #[test]
+    fn parsed_and_built_fib_agree() {
+        let parsed = parse_spec(FIB_SOURCE).unwrap();
+        let built = fib_spec();
+        for n in 0..15 {
+            assert_eq!(interpret(&parsed, &[n]), interpret(&built, &[n]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn specs_validate() {
+        assert_eq!(fib_spec().validate().unwrap(), 2);
+        assert_eq!(binomial_spec().validate().unwrap(), 2);
+        assert_eq!(parentheses_spec(5).validate().unwrap(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # tb-spec — the extended specification language of §5
+//!
+//! The paper evaluates its schedulers on programs written in a restricted
+//! specification language: a single k-ary recursive method
+//!
+//! ```text
+//! f(p1, …, pk) = if e_b then s_b else s_i
+//! ```
+//!
+//! whose base case `s_b` performs reductions and whose inductive case
+//! `s_i` spawns recursive calls — optionally wrapped in a data-parallel
+//! `foreach` loop (§5.2), which is the extension that admits programs like
+//! Barnes-Hut. This crate implements that language end to end:
+//!
+//! * [`ast`] — the expression/statement forms, with validation of the
+//!   language's restrictions (spawn only the method itself, reductions
+//!   only in base position);
+//! * [`parse`] — a small text front-end, so specs can be written as
+//!   source strings;
+//! * [`interp`] — the direct recursive interpreter (reference semantics);
+//! * [`transform`] — the §5.3 transformation: a spec becomes a
+//!   [`tb_core::BlockProgram`] whose `expand` advances a whole task block,
+//!   with the data-parallel outer loop strip-mined into the root block —
+//!   after which *every* scheduler in `tb-core` (BFE/DFE blocking,
+//!   re-expansion, restart, work stealing) applies unchanged;
+//! * [`examples`] — fib, binomial and parentheses written in the
+//!   language, used by the cross-validation tests.
+
+pub mod ast;
+pub mod examples;
+pub mod interp;
+pub mod parse;
+pub mod transform;
+
+pub use ast::{Expr, RecursiveSpec, SpecError, Stmt};
+pub use interp::interpret;
+pub use parse::parse_spec;
+pub use transform::BlockedSpec;

@@ -1,0 +1,377 @@
+//! A small text front-end for the specification language.
+//!
+//! Grammar (recursive descent, one method per source):
+//!
+//! ```text
+//! spec     := "spec" IDENT "(" params ")" "{" "base" "(" expr ")" block "else" block "}"
+//! params   := IDENT ("," IDENT)*
+//! block    := "{" stmt* "}"
+//! stmt     := "reduce" expr ";"
+//!           | "spawn" IDENT "(" expr ("," expr)* ")" ";"
+//!           | "if" "(" expr ")" block ("else" block)?
+//! expr     := or; or := and ("||" and)*; and := cmp ("&&" cmp)*
+//! cmp      := sum (("<" | "<=" | "==") sum)?
+//! sum      := prod (("+" | "-") prod)*; prod := unary ("*" unary)*
+//! unary    := "!" unary | "-" unary | atom
+//! atom     := INT | IDENT | "(" expr ")"
+//! ```
+
+use crate::ast::{Expr, RecursiveSpec, Stmt};
+
+/// Parse errors with a character offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the source.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push((Tok::Ident(src[start..i].to_string()), start));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let v: i64 = src[start..i].parse().map_err(|_| ParseError { message: "bad int".into(), at: start })?;
+            toks.push((Tok::Int(v), start));
+            continue;
+        }
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        let sym2 = ["<=", "==", "&&", "||"].iter().find(|&&s| s == two);
+        if let Some(&s) = sym2 {
+            toks.push((Tok::Sym(s), i));
+            i += 2;
+            continue;
+        }
+        let sym1 = ["(", ")", "{", "}", ";", ",", "<", "+", "-", "*", "!"].iter().find(|&&s| s == &src[i..i + 1]);
+        match sym1 {
+            Some(&s) => {
+                toks.push((Tok::Sym(s), i));
+                i += 1;
+            }
+            None => return Err(ParseError { message: format!("unexpected character {c:?}"), at: i }),
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(_, a)| *a)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(got)) if got == s => Ok(()),
+            other => Err(ParseError { message: format!("expected {s:?}, got {other:?}"), at: self.at() }),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(got)) if got == kw => Ok(()),
+            other => Err(ParseError { message: format!("expected keyword {kw}, got {other:?}"), at: self.at() }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError { message: format!("expected identifier, got {other:?}"), at: self.at() }),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(got)) if *got == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct Parser {
+    lx: Lexer,
+    params: Vec<String>,
+    name: String,
+}
+
+impl Parser {
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.lx.eat_sym("||") {
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while self.lx.eat_sym("&&") {
+            e = Expr::And(Box::new(e), Box::new(self.cmp_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.sum_expr()?;
+        if self.lx.eat_sym("<") {
+            return Ok(Expr::Lt(Box::new(e), Box::new(self.sum_expr()?)));
+        }
+        if self.lx.eat_sym("<=") {
+            return Ok(Expr::Le(Box::new(e), Box::new(self.sum_expr()?)));
+        }
+        if self.lx.eat_sym("==") {
+            return Ok(Expr::Eq(Box::new(e), Box::new(self.sum_expr()?)));
+        }
+        Ok(e)
+    }
+
+    fn sum_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.prod_expr()?;
+        loop {
+            if self.lx.eat_sym("+") {
+                e = Expr::Add(Box::new(e), Box::new(self.prod_expr()?));
+            } else if self.lx.eat_sym("-") {
+                e = Expr::Sub(Box::new(e), Box::new(self.prod_expr()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn prod_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        while self.lx.eat_sym("*") {
+            e = Expr::Mul(Box::new(e), Box::new(self.unary_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.lx.eat_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.lx.eat_sym("-") {
+            return Ok(Expr::Sub(Box::new(Expr::Const(0)), Box::new(self.unary_expr()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let at = self.lx.at();
+        match self.lx.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Const(v)),
+            Some(Tok::Ident(name)) => match self.params.iter().position(|p| *p == name) {
+                Some(i) => Ok(Expr::Param(i)),
+                None => Err(ParseError { message: format!("unknown parameter {name}"), at }),
+            },
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.lx.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(ParseError { message: format!("expected expression, got {other:?}"), at }),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.lx.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.lx.peek() {
+                Some(Tok::Sym("}")) => {
+                    self.lx.next();
+                    return Ok(stmts);
+                }
+                Some(Tok::Ident(kw)) if kw == "reduce" => {
+                    self.lx.next();
+                    let e = self.expr()?;
+                    self.lx.expect_sym(";")?;
+                    stmts.push(Stmt::Reduce(e));
+                }
+                Some(Tok::Ident(kw)) if kw == "spawn" => {
+                    self.lx.next();
+                    let callee = self.lx.expect_ident()?;
+                    if callee != self.name {
+                        return Err(ParseError {
+                            message: format!("only self-recursive spawns allowed, got {callee}"),
+                            at: self.lx.at(),
+                        });
+                    }
+                    self.lx.expect_sym("(")?;
+                    let mut args = vec![self.expr()?];
+                    while self.lx.eat_sym(",") {
+                        args.push(self.expr()?);
+                    }
+                    self.lx.expect_sym(")")?;
+                    self.lx.expect_sym(";")?;
+                    stmts.push(Stmt::Spawn(args));
+                }
+                Some(Tok::Ident(kw)) if kw == "if" => {
+                    self.lx.next();
+                    self.lx.expect_sym("(")?;
+                    let cond = self.expr()?;
+                    self.lx.expect_sym(")")?;
+                    let then_b = self.block()?;
+                    let else_b = if matches!(self.lx.peek(), Some(Tok::Ident(k)) if k == "else") {
+                        self.lx.next();
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    stmts.push(Stmt::If(cond, then_b, else_b));
+                }
+                other => {
+                    return Err(ParseError { message: format!("expected statement, got {other:?}"), at: self.lx.at() })
+                }
+            }
+        }
+    }
+}
+
+/// Parse a single `spec` definition.
+pub fn parse_spec(src: &str) -> Result<RecursiveSpec, ParseError> {
+    let toks = lex(src)?;
+    let mut lx = Lexer { toks, pos: 0 };
+    lx.expect_kw("spec")?;
+    let name = lx.expect_ident()?;
+    lx.expect_sym("(")?;
+    let mut params = vec![lx.expect_ident()?];
+    while lx.eat_sym(",") {
+        params.push(lx.expect_ident()?);
+    }
+    lx.expect_sym(")")?;
+    lx.expect_sym("{")?;
+    let mut p = Parser { lx, params, name: name.clone() };
+    p.lx.expect_kw("base")?;
+    p.lx.expect_sym("(")?;
+    let base_cond = p.expr()?;
+    p.lx.expect_sym(")")?;
+    let base = p.block()?;
+    p.lx.expect_kw("else")?;
+    let inductive = p.block()?;
+    p.lx.expect_sym("}")?;
+    let spec =
+        RecursiveSpec { name, params: p.params.len(), base_cond, base, inductive };
+    spec.validate().map_err(|e| ParseError { message: e.to_string(), at: 0 })?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+
+    #[test]
+    fn parses_fib() {
+        let spec = parse_spec(
+            "spec fib(n) {
+               base (n < 2) { reduce n; }
+               else { spawn fib(n - 1); spawn fib(n - 2); }
+             }",
+        )
+        .unwrap();
+        assert_eq!(spec.params, 1);
+        assert_eq!(interpret(&spec, &[12]), 144);
+    }
+
+    #[test]
+    fn parses_guarded_spawns() {
+        let spec = parse_spec(
+            "spec paren(open, close) {
+               base (open == 4 && close == 4) { reduce 1; }
+               else {
+                 if (open < 4) { spawn paren(open + 1, close); }
+                 if (close < open) { spawn paren(open, close + 1); }
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(interpret(&spec, &[0, 0]), 14); // Catalan(4)
+    }
+
+    #[test]
+    fn rejects_foreign_calls() {
+        let err = parse_spec(
+            "spec f(n) { base (n < 1) { reduce 1; } else { spawn g(n - 1); } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("self-recursive"));
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers() {
+        let err =
+            parse_spec("spec f(n) { base (m < 1) { reduce 1; } else { spawn f(n - 1); } }").unwrap_err();
+        assert!(err.message.contains("unknown parameter"));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let spec = parse_spec(
+            "// doubly recursive\nspec fib(n) {\n  base (n < 2) { reduce n; } // base\n  else { spawn fib(n - 1); spawn fib(n - 2); }\n}",
+        )
+        .unwrap();
+        assert_eq!(interpret(&spec, &[6]), 8);
+    }
+}

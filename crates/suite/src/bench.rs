@@ -1,0 +1,218 @@
+//! The uniform benchmark interface the experiment harness drives.
+
+use std::time::Instant;
+
+use tb_core::prelude::*;
+use tb_runtime::ThreadPool;
+
+use crate::outcome::Outcome;
+
+/// Input-size presets. `Small` (the default) keeps every benchmark's tree
+/// shape while shrinking it to laptop scale; `Paper` is the exact input of
+/// Table 1; `Tiny` is for unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test sized.
+    Tiny,
+    /// Default harness scale (seconds per run).
+    Small,
+    /// The paper's exact inputs (minutes per run).
+    Paper,
+}
+
+/// Table 2's implementation tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Blocked execution over array-of-structs task storage.
+    Block,
+    /// Blocked execution over struct-of-arrays columns.
+    Soa,
+    /// SoA plus explicit vector kernels / streaming compaction.
+    Simd,
+}
+
+impl Tier {
+    /// Short name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Block => "block",
+            Tier::Soa => "soa",
+            Tier::Simd => "simd",
+        }
+    }
+}
+
+/// Which multicore scheduler to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParKind {
+    /// Fig. 3(a) re-expansion on the work-stealing pool.
+    ReExp,
+    /// Fig. 3(c) simplified restart (the paper's `restart`).
+    RestartSimplified,
+    /// §3.4 ideal restart on dedicated workers (our extension).
+    RestartIdeal,
+}
+
+/// One run's result: the computed answer plus scheduler statistics
+/// (`stats.wall` is the run's wall-clock time).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The benchmark's answer.
+    pub outcome: Outcome,
+    /// Machine-model counters and wall time.
+    pub stats: ExecStats,
+}
+
+/// A benchmark that can be executed under every variant of the framework.
+pub trait Benchmark: Sync + Send {
+    /// Table 1 name.
+    fn name(&self) -> &'static str;
+
+    /// The paper's vector width for this benchmark (Table 1 caption).
+    fn q(&self) -> usize;
+
+    /// Parallelism nesting, for documentation ("task", "data-in-task", …).
+    fn nesting(&self) -> &'static str;
+
+    /// Relative tolerance when comparing outcomes across variants
+    /// (0 for integer reductions).
+    fn tolerance(&self) -> f64 {
+        0.0
+    }
+
+    /// Does the `Simd` tier use explicit lane kernels (vs falling back to
+    /// the auto-vectorized SoA kernel)?
+    fn simd_is_explicit(&self) -> bool {
+        false
+    }
+
+    /// The plain sequential recursion (`Ts`).
+    fn serial(&self) -> RunSummary;
+
+    /// Per-task forks on the work-stealing pool (the input Cilk program).
+    fn cilk(&self, pool: &ThreadPool) -> RunSummary;
+
+    /// Single-core blocked execution under `cfg`'s policy and thresholds.
+    fn blocked_seq(&self, cfg: SchedConfig, tier: Tier) -> RunSummary;
+
+    /// Multicore blocked execution on `pool`.
+    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary;
+}
+
+/// All eleven benchmarks at `scale`, in Table 1 order.
+pub fn all_benchmarks(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crate::knapsack::Knapsack::new(scale)),
+        Box::new(crate::fib::Fib::new(scale)),
+        Box::new(crate::parentheses::Parentheses::new(scale)),
+        Box::new(crate::nqueens::NQueens::new(scale)),
+        Box::new(crate::graphcol::GraphCol::new(scale)),
+        Box::new(crate::uts::Uts::new(scale)),
+        Box::new(crate::binomial::Binomial::new(scale)),
+        Box::new(crate::minmax::MinMax::new(scale)),
+        Box::new(crate::barneshut::BarnesHut::new(scale)),
+        Box::new(crate::pointcorr::PointCorr::new(scale)),
+        Box::new(crate::knn::Knn::new(scale)),
+    ]
+}
+
+/// Look up one benchmark by its Table 1 name.
+pub fn benchmark_by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks(scale).into_iter().find(|b| b.name() == name)
+}
+
+// ---- helpers for the per-benchmark impls -------------------------------
+
+/// Run `prog` under the sequential scheduler and summarise.
+pub(crate) fn seq_summary<P: BlockProgram>(
+    prog: &P,
+    cfg: SchedConfig,
+    to_outcome: impl FnOnce(P::Reducer) -> Outcome,
+) -> RunSummary {
+    let out = SeqScheduler::new(prog, cfg).run();
+    RunSummary { outcome: to_outcome(out.reducer), stats: out.stats }
+}
+
+/// Run `prog` under the selected parallel scheduler and summarise.
+pub(crate) fn par_summary<P: BlockProgram>(
+    prog: &P,
+    pool: &ThreadPool,
+    cfg: SchedConfig,
+    kind: ParKind,
+    to_outcome: impl FnOnce(P::Reducer) -> Outcome,
+) -> RunSummary {
+    let out = match kind {
+        ParKind::ReExp => ParReExpansion::new(prog, cfg).run(pool),
+        ParKind::RestartSimplified => ParRestartSimplified::new(prog, cfg).run(pool),
+        ParKind::RestartIdeal => ParRestartIdeal::new(prog, cfg, pool.threads()).run(),
+    };
+    RunSummary { outcome: to_outcome(out.reducer), stats: out.stats }
+}
+
+/// Time a plain serial run that reports `(outcome, tasks_executed)`.
+pub(crate) fn serial_summary(q: usize, f: impl FnOnce() -> (Outcome, u64)) -> RunSummary {
+    let start = Instant::now();
+    let (outcome, tasks) = f();
+    let mut stats = ExecStats::new(q);
+    stats.tasks_executed = tasks;
+    stats.wall = start.elapsed();
+    RunSummary { outcome, stats }
+}
+
+/// Time a per-task Cilk-style run on `pool`.
+pub(crate) fn cilk_summary(q: usize, pool: &ThreadPool, f: impl FnOnce(&ThreadPool) -> Outcome) -> RunSummary {
+    let before = pool.metrics();
+    let start = Instant::now();
+    let outcome = f(pool);
+    let mut stats = ExecStats::new(q);
+    stats.wall = start.elapsed();
+    let d = pool.metrics().since(&before);
+    stats.steal_attempts = d.steal_attempts;
+    stats.steals = d.steals;
+    RunSummary { outcome, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eleven_benchmarks_in_table1_order() {
+        let benches = all_benchmarks(Scale::Tiny);
+        let names: Vec<_> = benches.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "knapsack",
+                "fib",
+                "parentheses",
+                "nqueens",
+                "graphcol",
+                "uts",
+                "binomial",
+                "minmax",
+                "barneshut",
+                "pointcorr",
+                "knn"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("fib", Scale::Tiny).is_some());
+        assert!(benchmark_by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn qs_match_table1_caption() {
+        for b in all_benchmarks(Scale::Tiny) {
+            let expected = match b.name() {
+                "knapsack" => 8,
+                "uts" | "barneshut" | "pointcorr" | "knn" => 4,
+                _ => 16,
+            };
+            assert_eq!(b.q(), expected, "{}", b.name());
+        }
+    }
+}

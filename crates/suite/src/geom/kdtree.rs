@@ -1,0 +1,195 @@
+//! A median-split kd-tree with SoA leaf storage.
+//!
+//! Point correlation and kNN traverse this tree once per query point. The
+//! points are permuted so every leaf owns a contiguous range of the three
+//! coordinate columns — exactly what the vectorized leaf scans (the
+//! "data-parallel base case" of the paper's three-level nesting) need.
+
+/// One kd-tree node.
+#[derive(Debug, Clone)]
+pub struct KdNode {
+    /// Axis-aligned bounding box, min corner.
+    pub bb_min: [f32; 3],
+    /// Axis-aligned bounding box, max corner.
+    pub bb_max: [f32; 3],
+    /// Children ids, -1 for leaves.
+    pub left: i32,
+    /// See `left`.
+    pub right: i32,
+    /// Start of this node's point range (leaves only own it exclusively).
+    pub start: u32,
+    /// End (exclusive) of the point range.
+    pub end: u32,
+}
+
+impl KdNode {
+    /// Is this node a leaf?
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left < 0
+    }
+
+    /// Squared distance from `p` to this node's bounding box (0 inside).
+    #[inline]
+    pub fn dist2_to(&self, p: &[f32; 3]) -> f32 {
+        let mut d2 = 0.0;
+        for d in 0..3 {
+            let c = p[d].clamp(self.bb_min[d], self.bb_max[d]);
+            let diff = p[d] - c;
+            d2 += diff * diff;
+        }
+        d2
+    }
+}
+
+/// kd-tree over 3-D points, coordinates stored column-wise.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<KdNode>,
+    /// X coordinates, permuted to leaf order.
+    pub xs: Vec<f32>,
+    /// Y coordinates.
+    pub ys: Vec<f32>,
+    /// Z coordinates.
+    pub zs: Vec<f32>,
+    /// Original index of each stored point.
+    pub ids: Vec<u32>,
+}
+
+impl KdTree {
+    /// Build over `points` with leaves of at most `leaf_size` points.
+    pub fn build(points: &[[f32; 3]], leaf_size: usize) -> Self {
+        assert!(!points.is_empty());
+        let leaf_size = leaf_size.max(1);
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            xs: Vec::with_capacity(points.len()),
+            ys: Vec::with_capacity(points.len()),
+            zs: Vec::with_capacity(points.len()),
+            ids: Vec::with_capacity(points.len()),
+        };
+        tree.split(points, &mut idx, leaf_size);
+        tree
+    }
+
+    fn split(&mut self, points: &[[f32; 3]], idx: &mut [u32], leaf_size: usize) -> i32 {
+        let mut bb_min = [f32::INFINITY; 3];
+        let mut bb_max = [f32::NEG_INFINITY; 3];
+        for &i in idx.iter() {
+            let p = &points[i as usize];
+            for d in 0..3 {
+                bb_min[d] = bb_min[d].min(p[d]);
+                bb_max[d] = bb_max[d].max(p[d]);
+            }
+        }
+        let id = self.nodes.len() as i32;
+        self.nodes.push(KdNode { bb_min, bb_max, left: -1, right: -1, start: 0, end: 0 });
+
+        if idx.len() <= leaf_size {
+            let start = self.xs.len() as u32;
+            for &i in idx.iter() {
+                let p = points[i as usize];
+                self.xs.push(p[0]);
+                self.ys.push(p[1]);
+                self.zs.push(p[2]);
+                self.ids.push(i);
+            }
+            let end = self.xs.len() as u32;
+            self.nodes[id as usize].start = start;
+            self.nodes[id as usize].end = end;
+            return id;
+        }
+        // Split on the widest dimension at the median.
+        let dim = (0..3).max_by(|&a, &b| (bb_max[a] - bb_min[a]).total_cmp(&(bb_max[b] - bb_min[b]))).unwrap();
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| points[a as usize][dim].total_cmp(&points[b as usize][dim]));
+        let (lo, hi) = idx.split_at_mut(mid);
+        let left = self.split(points, lo, leaf_size);
+        let right = self.split(points, hi, leaf_size);
+        self.nodes[id as usize].left = left;
+        self.nodes[id as usize].right = right;
+        self.nodes[id as usize].start = self.nodes[left as usize].start;
+        self.nodes[id as usize].end = self.nodes[right as usize].end;
+        id
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when empty (never: `build` requires points).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Tree depth (root = 1).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &KdTree, id: i32) -> usize {
+            if id < 0 {
+                return 0;
+            }
+            let n = &t.nodes[id as usize];
+            if n.is_leaf() {
+                1
+            } else {
+                1 + rec(t, n.left).max(rec(t, n.right))
+            }
+        }
+        rec(self, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::points::{dist2, uniform_cube};
+
+    #[test]
+    fn stores_every_point_once() {
+        let pts = uniform_cube(333, 7);
+        let t = KdTree::build(&pts, 8);
+        assert_eq!(t.len(), 333);
+        let mut ids = t.ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 333);
+    }
+
+    #[test]
+    fn bboxes_contain_their_points() {
+        let pts = uniform_cube(200, 9);
+        let t = KdTree::build(&pts, 4);
+        for n in &t.nodes {
+            for i in n.start..n.end {
+                let p = [t.xs[i as usize], t.ys[i as usize], t.zs[i as usize]];
+                for d in 0..3 {
+                    assert!(p[d] >= n.bb_min[d] - 1e-6 && p[d] <= n.bb_max[d] + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_distance_is_lower_bound() {
+        let pts = uniform_cube(100, 11);
+        let t = KdTree::build(&pts, 4);
+        let q = [2.0f32, 2.0, 2.0];
+        for n in &t.nodes {
+            let lb = n.dist2_to(&q);
+            for i in n.start..n.end {
+                let p = [t.xs[i as usize], t.ys[i as usize], t.zs[i as usize]];
+                assert!(dist2(&q, &p) >= lb - 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_balanced() {
+        let t = KdTree::build(&uniform_cube(1024, 13), 8);
+        let d = t.depth();
+        assert!((7..=10).contains(&d), "median split should balance: depth {d}");
+    }
+}

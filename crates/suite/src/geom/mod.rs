@@ -1,0 +1,10 @@
+//! Geometric substrates: point clouds, the Barnes-Hut octree and the
+//! kd-tree used by point correlation and k-nearest-neighbours.
+
+pub mod kdtree;
+pub mod octree;
+pub mod points;
+
+pub use kdtree::KdTree;
+pub use octree::Octree;
+pub use points::{plummer_cloud, uniform_cube};

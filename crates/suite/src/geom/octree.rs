@@ -1,0 +1,184 @@
+//! A Barnes-Hut octree with centre-of-mass summaries.
+
+/// One octree node.
+#[derive(Debug, Clone)]
+pub struct OtNode {
+    /// Geometric centre of the cell.
+    pub center: [f32; 3],
+    /// Half the cell's edge length.
+    pub half: f32,
+    /// Centre of mass of the bodies inside.
+    pub com: [f32; 3],
+    /// Total mass inside.
+    pub mass: f32,
+    /// Child node ids per octant (-1 = empty).
+    pub children: [i32; 8],
+    /// Body id if this is a leaf holding one body, else -1.
+    pub body: i32,
+    /// Number of bodies in the subtree.
+    pub count: u32,
+}
+
+impl OtNode {
+    /// Is this a single-body leaf?
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.body >= 0
+    }
+}
+
+/// An octree over a set of unit-mass bodies.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<OtNode>,
+    /// The body positions the tree was built over.
+    pub bodies: Vec<[f32; 3]>,
+}
+
+impl Octree {
+    /// Build over `bodies` (unit masses). The root cell is the bounding
+    /// cube; cells subdivide until they hold a single body.
+    pub fn build(bodies: Vec<[f32; 3]>) -> Self {
+        assert!(!bodies.is_empty(), "octree needs at least one body");
+        let mut lo = [f32::INFINITY; 3];
+        let mut hi = [f32::NEG_INFINITY; 3];
+        for b in &bodies {
+            for d in 0..3 {
+                lo[d] = lo[d].min(b[d]);
+                hi[d] = hi[d].max(b[d]);
+            }
+        }
+        let center = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0, (lo[2] + hi[2]) / 2.0];
+        let half = (0..3).map(|d| (hi[d] - lo[d]) / 2.0).fold(0.0f32, f32::max).max(1e-6) * 1.0001;
+        let mut tree = Octree { nodes: Vec::new(), bodies };
+        let all: Vec<u32> = (0..tree.bodies.len() as u32).collect();
+        tree.subdivide(center, half, all);
+        tree
+    }
+
+    fn subdivide(&mut self, center: [f32; 3], half: f32, members: Vec<u32>) -> i32 {
+        let id = self.nodes.len() as i32;
+        self.nodes.push(OtNode {
+            center,
+            half,
+            com: [0.0; 3],
+            mass: 0.0,
+            children: [-1; 8],
+            body: -1,
+            count: members.len() as u32,
+        });
+        let mut com = [0f64; 3];
+        for &m in &members {
+            for d in 0..3 {
+                com[d] += f64::from(self.bodies[m as usize][d]);
+            }
+        }
+        let mass = members.len() as f32;
+        let n = members.len() as f64;
+        self.nodes[id as usize].com = [(com[0] / n) as f32, (com[1] / n) as f32, (com[2] / n) as f32];
+        self.nodes[id as usize].mass = mass;
+
+        if members.len() == 1 {
+            self.nodes[id as usize].body = members[0] as i32;
+            return id;
+        }
+        // Partition by octant. Coincident points would recurse forever, so
+        // below a size floor the cell keeps its members as direct leaves.
+        if half < 1e-7 {
+            // Degenerate cluster: represent as a leaf of the first body
+            // with the aggregate mass (physically a point mass).
+            self.nodes[id as usize].body = members[0] as i32;
+            return id;
+        }
+        let mut buckets: [Vec<u32>; 8] = Default::default();
+        for m in members {
+            let b = &self.bodies[m as usize];
+            let mut oct = 0usize;
+            for d in 0..3 {
+                if b[d] >= center[d] {
+                    oct |= 1 << d;
+                }
+            }
+            buckets[oct].push(m);
+        }
+        for (oct, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let off = half / 2.0;
+            let ccenter = [
+                center[0] + if oct & 1 != 0 { off } else { -off },
+                center[1] + if oct & 2 != 0 { off } else { -off },
+                center[2] + if oct & 4 != 0 { off } else { -off },
+            ];
+            let child = self.subdivide(ccenter, off, bucket);
+            self.nodes[id as usize].children[oct] = child;
+        }
+        id
+    }
+
+    /// Number of tree levels (root = level 1).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Octree, id: i32) -> usize {
+            if id < 0 {
+                return 0;
+            }
+            let n = &t.nodes[id as usize];
+            if n.is_leaf() {
+                return 1;
+            }
+            1 + n.children.iter().map(|&c| rec(t, c)).max().unwrap_or(0)
+        }
+        rec(self, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::points::uniform_cube;
+
+    #[test]
+    fn builds_and_preserves_mass() {
+        let pts = uniform_cube(500, 11);
+        let t = Octree::build(pts);
+        assert_eq!(t.nodes[0].mass, 500.0);
+        assert_eq!(t.nodes[0].count, 500);
+    }
+
+    #[test]
+    fn root_com_is_centroid() {
+        let pts = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [1.0, 1.0, 0.0]];
+        let t = Octree::build(pts);
+        let com = t.nodes[0].com;
+        assert!((com[0] - 0.5).abs() < 1e-6);
+        assert!((com[1] - 0.5).abs() < 1e-6);
+        assert!(com[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaves_hold_single_bodies() {
+        let pts = uniform_cube(64, 3);
+        let t = Octree::build(pts);
+        let leaf_bodies: Vec<i32> = t.nodes.iter().filter(|n| n.is_leaf()).map(|n| n.body).collect();
+        let mut sorted = leaf_bodies.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "every body in exactly one leaf");
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_uniform_points() {
+        let t = Octree::build(uniform_cube(4096, 9));
+        let d = t.depth();
+        assert!((4..=16).contains(&d), "depth {d}");
+    }
+
+    #[test]
+    fn single_body_tree() {
+        let t = Octree::build(vec![[0.5, 0.5, 0.5]]);
+        assert!(t.nodes[0].is_leaf());
+        assert_eq!(t.depth(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic point-cloud generators.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// `n` points uniform in the unit cube, deterministic in `seed`.
+pub fn uniform_cube(n: usize, seed: u64) -> Vec<[f32; 3]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| [rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()]).collect()
+}
+
+/// `n` points in a centrally condensed (Plummer-like) distribution — the
+/// classic Barnes-Hut input shape, which produces a deep, unbalanced
+/// octree. Deterministic in `seed`; coordinates clamped to a finite box.
+pub fn plummer_cloud(n: usize, seed: u64) -> Vec<[f32; 3]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Plummer radius: r = (u^{-2/3} - 1)^{-1/2}, direction uniform.
+            let u: f64 = rng.random_range(1e-6..1.0);
+            let r = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5).min(8.0) as f32;
+            let z: f32 = rng.random_range(-1.0..1.0);
+            let phi: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+            let s = (1.0 - z * z).max(0.0).sqrt();
+            [r * s * phi.cos(), r * s * phi.sin(), r * z]
+        })
+        .collect()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn dist2(a: &[f32; 3], b: &[f32; 3]) -> f32 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_cube(100, 1), uniform_cube(100, 1));
+        assert_eq!(plummer_cloud(100, 1), plummer_cloud(100, 1));
+        assert_ne!(uniform_cube(100, 1), uniform_cube(100, 2));
+    }
+
+    #[test]
+    fn uniform_points_are_in_cube() {
+        for p in uniform_cube(1000, 3) {
+            for c in p {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn plummer_is_centrally_condensed() {
+        let pts = plummer_cloud(2000, 5);
+        let near = pts.iter().filter(|p| dist2(p, &[0.0; 3]) < 1.0).count();
+        assert!(near > 500, "central condensation expected, got {near}/2000 inside r=1");
+    }
+
+    #[test]
+    fn dist2_is_correct() {
+        assert_eq!(dist2(&[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]), 25.0);
+    }
+}

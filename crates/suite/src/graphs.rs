@@ -1,0 +1,72 @@
+//! Random-graph substrate for the graph-colouring benchmark.
+
+/// An undirected graph on at most 64 vertices, adjacency stored as one
+/// bitmask per vertex (vertex `u` ∈ `adj[v]` ⇔ edge `{u,v}`).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Adjacency bitmask per vertex.
+    pub adj: Vec<u64>,
+}
+
+impl Graph {
+    /// Erdős–Rényi-style random graph: each edge present with probability
+    /// `p_num / p_den`, from a fixed deterministic stream.
+    pub fn random(n: usize, p_num: u64, p_den: u64, seed: u64) -> Self {
+        assert!(n <= 64, "bitmask adjacency supports at most 64 vertices");
+        let mut adj = vec![0u64; n];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for v in 0..n {
+            for u in 0..v {
+                if next() % p_den < p_num {
+                    adj[v] |= 1 << u;
+                    adj[u] |= 1 << v;
+                }
+            }
+        }
+        Graph { n, adj }
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Is `{u, v}` an edge?
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[v] & (1 << u) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_symmetric() {
+        let a = Graph::random(20, 1, 4, 42);
+        let b = Graph::random(20, 1, 4, 42);
+        assert_eq!(a.adj, b.adj);
+        for v in 0..20 {
+            assert_eq!(a.adj[v] & (1 << v), 0, "no self loops");
+            for u in 0..20 {
+                assert_eq!(a.has_edge(u, v), a.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn density_tracks_probability() {
+        let g = Graph::random(40, 1, 2, 7);
+        let max_edges = 40 * 39 / 2;
+        let frac = g.edges() as f64 / max_edges as f64;
+        assert!((0.35..0.65).contains(&frac), "edge fraction {frac}");
+    }
+}

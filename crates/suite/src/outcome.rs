@@ -1,0 +1,70 @@
+//! Benchmark results in a form the harness can compare across variants.
+
+/// The answer a benchmark computes, comparable across execution variants.
+///
+/// Integer reductions (solution counts, node counts, best values) must match
+/// exactly under every scheduler; floating-point reductions (forces,
+/// distances) are compared with a relative tolerance because blocked and
+/// parallel execution reassociate the sums — exactly as in the paper's C
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// An exact integer result.
+    Exact(u64),
+    /// A floating-point result, compared with relative tolerance.
+    Approx(f64),
+}
+
+impl Outcome {
+    /// Do two outcomes agree (`rel_tol` for the `Approx` case)?
+    pub fn matches(&self, other: &Outcome, rel_tol: f64) -> bool {
+        match (self, other) {
+            (Outcome::Exact(a), Outcome::Exact(b)) => a == b,
+            (Outcome::Approx(a), Outcome::Approx(b)) => {
+                if a == b {
+                    return true;
+                }
+                let scale = a.abs().max(b.abs()).max(1e-30);
+                (a - b).abs() / scale <= rel_tol
+            }
+            _ => false,
+        }
+    }
+
+    /// Render for tables.
+    pub fn display(&self) -> String {
+        match self {
+            Outcome::Exact(v) => v.to_string(),
+            Outcome::Approx(v) => format!("{v:.6e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_exact() {
+        assert!(Outcome::Exact(5).matches(&Outcome::Exact(5), 0.0));
+        assert!(!Outcome::Exact(5).matches(&Outcome::Exact(6), 0.0));
+    }
+
+    #[test]
+    fn approx_uses_relative_tolerance() {
+        let a = Outcome::Approx(1000.0);
+        let b = Outcome::Approx(1000.0005);
+        assert!(a.matches(&b, 1e-6));
+        assert!(!a.matches(&Outcome::Approx(1001.0), 1e-6));
+    }
+
+    #[test]
+    fn kinds_never_match() {
+        assert!(!Outcome::Exact(1).matches(&Outcome::Approx(1.0), 1.0));
+    }
+
+    #[test]
+    fn zero_approx_is_handled() {
+        assert!(Outcome::Approx(0.0).matches(&Outcome::Approx(0.0), 1e-9));
+    }
+}

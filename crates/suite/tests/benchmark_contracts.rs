@@ -1,0 +1,73 @@
+//! Contract tests over the whole benchmark registry: properties every
+//! benchmark must satisfy regardless of its domain.
+
+use tb_core::prelude::*;
+use tb_suite::{all_benchmarks, Scale, Tier};
+
+#[test]
+fn names_are_unique_and_stable() {
+    let names: Vec<_> = all_benchmarks(Scale::Tiny).iter().map(|b| b.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate benchmark names");
+}
+
+#[test]
+fn scales_are_strictly_increasing_in_work() {
+    for (tiny, small) in all_benchmarks(Scale::Tiny).iter().zip(all_benchmarks(Scale::Small).iter()) {
+        let cfg = SchedConfig::reexpansion(tiny.q(), 1 << 10);
+        let t_tasks = tiny.blocked_seq(cfg, Tier::Block).stats.tasks_executed;
+        let s_tasks = small.blocked_seq(cfg, Tier::Block).stats.tasks_executed;
+        assert!(
+            s_tasks > t_tasks,
+            "{}: small ({s_tasks}) not larger than tiny ({t_tasks})",
+            tiny.name()
+        );
+    }
+}
+
+#[test]
+fn serial_task_counts_match_blocked_task_counts() {
+    for b in all_benchmarks(Scale::Tiny) {
+        let serial = b.serial().stats.tasks_executed;
+        let blocked = b.blocked_seq(SchedConfig::restart(b.q(), 64, 16), Tier::Block).stats.tasks_executed;
+        assert_eq!(serial, blocked, "{}: blocking changed the computation tree", b.name());
+    }
+}
+
+#[test]
+fn utilization_improves_with_block_size() {
+    // Monotone within measurement slack: bigger blocks can only fill more
+    // lanes (§7.2 "SIMD utilization grows with increasing block size").
+    for b in all_benchmarks(Scale::Tiny) {
+        let at = |block: usize| {
+            b.blocked_seq(SchedConfig::restart(b.q(), block, block), Tier::Block).stats.simd_utilization()
+        };
+        let (lo, hi) = (at(4), at(1 << 12));
+        assert!(
+            hi + 1e-9 >= lo,
+            "{}: utilization fell from {lo:.3} (block 4) to {hi:.3} (block 4096)",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn levels_match_paper_structure() {
+    // Table 1's #Levels column encodes each benchmark's tree depth
+    // structure; verify the structural relationships that scale-invariantly
+    // transfer (knapsack perfectly balanced: levels = items + 1; nqueens:
+    // levels = n + 1; graphcol: vertices + 1).
+    for b in all_benchmarks(Scale::Tiny) {
+        let run = b.blocked_seq(SchedConfig::reexpansion(b.q(), 256), Tier::Block);
+        let levels = run.stats.max_level + 1;
+        match b.name() {
+            "knapsack" => assert_eq!(levels, 13), // 12 items + leaf level
+            "nqueens" => assert_eq!(levels, 9),   // 8 rows + root
+            "graphcol" => assert_eq!(levels, 13), // 12 vertices + root
+            "fib" => assert_eq!(levels, 16),      // fib(16): depth n-1 + base
+            _ => assert!(levels >= 2),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # taskblocks
+//!
+//! A from-scratch Rust implementation of the PPoPP'17 paper
+//! *Exploiting Vector and Multicore Parallelism for Recursive, Data- and
+//! Task-Parallel Programs* (Ren, Krishnamoorthy, Agrawal, Kulkarni):
+//! a unified scheduling framework in which **task blocks** — dense batches
+//! of same-depth tasks — serve simultaneously as the unit of SIMD
+//! execution and the unit of multicore work stealing.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] (`tb-core`) — task blocks, the BFE/DFE/Restart scheduling
+//!   framework, sequential and work-stealing schedulers, machine-model
+//!   statistics;
+//! * [`runtime`] (`tb-runtime`) — the Cilk-style child-stealing runtime
+//!   (`join`, tentative spawns, per-worker state);
+//! * [`simd`] (`tb-simd`) — portable lanes, struct-of-arrays stores,
+//!   streaming compaction;
+//! * [`model`] (`tb-model`) — explicit computation trees and the Theorem
+//!   1–4 bounds;
+//! * [`spec`] (`tb-spec`) — the §5 specification language, its interpreter
+//!   and the blocking transformation;
+//! * [`suite`] (`tb-suite`) — the eleven benchmarks of the paper's
+//!   evaluation with serial / Cilk / blocked / SoA / SIMD variants.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use taskblocks::prelude::*;
+//!
+//! struct Fib;
+//! impl BlockProgram for Fib {
+//!     type Store = Vec<u32>;
+//!     type Reducer = u64;
+//!     fn arity(&self) -> usize { 2 }
+//!     fn make_root(&self) -> Vec<u32> { vec![25] }
+//!     fn make_reducer(&self) -> u64 { 0 }
+//!     fn merge_reducers(&self, a: &mut u64, b: u64) { *a += b; }
+//!     fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+//!         for n in block.drain(..) {
+//!             if n < 2 { *red += u64::from(n) } else {
+//!                 out.bucket(0).push(n - 1);
+//!                 out.bucket(1).push(n - 2);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! // Single core, 8 SIMD lanes, restart scheduling:
+//! let out = SeqScheduler::new(&Fib, SchedConfig::restart(8, 1 << 10, 64)).run();
+//! assert_eq!(out.reducer, 75_025);
+//!
+//! // All cores, work-stealing simplified restart:
+//! let pool = tb_runtime::ThreadPool::new(4);
+//! let par = ParRestartSimplified::new(&Fib, SchedConfig::restart(8, 1 << 10, 64)).run(&pool);
+//! assert_eq!(par.reducer, 75_025);
+//! ```
+
+pub use tb_core as core;
+pub use tb_model as model;
+pub use tb_runtime as runtime;
+pub use tb_simd as simd;
+pub use tb_spec as spec;
+pub use tb_suite as suite;
+
+/// One-stop imports for building and scheduling blocked programs.
+pub mod prelude {
+    pub use tb_core::prelude::*;
+    pub use tb_runtime::{PerWorker, ThreadPool, WorkerCtx};
+    pub use tb_simd::{compact_append, default_q, Lanes, Mask};
+}

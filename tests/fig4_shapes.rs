@@ -1,0 +1,55 @@
+//! Machine-independent reproduction assertions for Figure 4's headline
+//! claims, run as part of the test suite so regressions in the schedulers
+//! show up as test failures, not just changed plots.
+
+use tb_core::prelude::*;
+use taskblocks::suite::{benchmark_by_name, Scale, Tier};
+
+fn utilization(name: &str, policy: PolicyKind, block: usize) -> f64 {
+    let b = benchmark_by_name(name, Scale::Tiny).expect("known benchmark");
+    let cfg = match policy {
+        PolicyKind::ReExpansion => SchedConfig::reexpansion(b.q(), block),
+        PolicyKind::Restart => SchedConfig::restart(b.q(), block, block),
+        PolicyKind::Basic => SchedConfig::basic(b.q(), block),
+    };
+    b.blocked_seq(cfg, Tier::Block).stats.simd_utilization()
+}
+
+#[test]
+fn restart_dominates_reexp_on_the_fig4_benchmarks() {
+    for name in ["nqueens", "graphcol", "uts", "minmax", "barneshut", "pointcorr", "knn"] {
+        for log2 in [2u32, 4, 6, 8, 10] {
+            let block = 1usize << log2;
+            let x = utilization(name, PolicyKind::ReExpansion, block);
+            let r = utilization(name, PolicyKind::Restart, block);
+            assert!(
+                r >= x - 1e-9,
+                "{name} at 2^{log2}: restart {r:.3} < reexp {x:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn graphcol_gap_is_widest_at_small_blocks() {
+    // The §7.2 observation: restart reaches high utilization several
+    // octaves of block size before re-expansion on graphcol.
+    let r_small = utilization("graphcol", PolicyKind::Restart, 1 << 4);
+    let x_small = utilization("graphcol", PolicyKind::ReExpansion, 1 << 4);
+    assert!(
+        r_small > x_small + 0.2,
+        "expected a wide gap at 2^4: restart {r_small:.3} vs reexp {x_small:.3}"
+    );
+    // …and the gap closes at large blocks.
+    let r_big = utilization("graphcol", PolicyKind::Restart, 1 << 12);
+    let x_big = utilization("graphcol", PolicyKind::ReExpansion, 1 << 12);
+    assert!((r_big - x_big).abs() < 0.05, "gap should close: {r_big:.3} vs {x_big:.3}");
+}
+
+#[test]
+fn basic_is_strictly_worse_than_reexpansion_on_unbalanced_work() {
+    // Theorem 1 vs 2, observable in utilization at modest block sizes.
+    let basic = utilization("uts", PolicyKind::Basic, 1 << 4);
+    let reexp = utilization("uts", PolicyKind::ReExpansion, 1 << 4);
+    assert!(reexp >= basic - 1e-9, "reexp {reexp:.3} < basic {basic:.3}");
+}

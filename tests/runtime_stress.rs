@@ -1,0 +1,105 @@
+//! Stress tests for the work-stealing runtime substrate: deep nesting,
+//! wide fan-out, repeated pool churn, and tentative-spawn storms. These
+//! are the conditions Cilk's THE protocol is hardened against; ours must
+//! survive them too.
+
+use taskblocks::prelude::*;
+use taskblocks::runtime::Resolved;
+
+#[test]
+fn deeply_nested_joins_do_not_deadlock() {
+    // A right-leaning chain of joins 2000 deep: every level forks a stub
+    // left branch and recurses on the stealable right branch.
+    fn chain(ctx: &WorkerCtx<'_>, depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = ctx.join(|_| 0u64, move |c| chain(c, depth - 1));
+        a + b
+    }
+    let pool = ThreadPool::new(3);
+    assert_eq!(pool.install(|ctx| chain(ctx, 2000)), 1);
+}
+
+#[test]
+fn wide_fanout_via_binary_splitting() {
+    fn sum_range(ctx: &WorkerCtx<'_>, lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = ctx.join(move |c| sum_range(c, lo, mid), move |c| sum_range(c, mid, hi));
+        a + b
+    }
+    let pool = ThreadPool::new(4);
+    let n = 1_000_000u64;
+    assert_eq!(pool.install(|ctx| sum_range(ctx, 0, n)), n * (n - 1) / 2);
+}
+
+#[test]
+fn pool_churn_does_not_leak_or_wedge() {
+    for round in 0..25 {
+        let pool = ThreadPool::new(1 + round % 4);
+        let v = pool.install(|ctx| {
+            let (a, b) = ctx.join(|_| 21u64, |_| 21u64);
+            a + b
+        });
+        assert_eq!(v, 42);
+    }
+}
+
+#[test]
+fn tentative_storms_resolve_every_spawn_exactly_once() {
+    let pool = ThreadPool::new(4);
+    let total: u64 = pool.install(|ctx| {
+        fn storm(ctx: &WorkerCtx<'_>, depth: u32) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let (body, resolved) =
+                ctx.tentative_scope(depth, |d, c| storm(c, d - 1), |c| storm(c, depth - 1));
+            body + match resolved {
+                Resolved::Cancelled(d) => storm(ctx, d - 1),
+                Resolved::Stolen(r) => r,
+            }
+        }
+        storm(ctx, 12)
+    });
+    // Perfect binary recursion of depth 12 over both branches.
+    assert_eq!(total, 1 << 12);
+}
+
+#[test]
+fn per_worker_slots_survive_stealing_storms() {
+    let pool = ThreadPool::new(4);
+    let counts = PerWorker::new(4, |_| 0u64);
+    let n = 50_000u64;
+    pool.install(|ctx| {
+        fn go(ctx: &WorkerCtx<'_>, counts: &PerWorker<u64>, lo: u64, hi: u64) {
+            if hi - lo <= 16 {
+                for _ in lo..hi {
+                    counts.with(ctx, |c| *c += 1);
+                }
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            ctx.join(|c| go(c, counts, lo, mid), |c| go(c, counts, mid, hi));
+        }
+        go(ctx, &counts, 0, n)
+    });
+    let total: u64 = counts.into_values().into_iter().sum();
+    assert_eq!(total, n);
+}
+
+#[test]
+fn results_with_heap_payloads_move_correctly() {
+    let pool = ThreadPool::new(3);
+    let (left, right) = pool.install(|ctx| {
+        ctx.join(
+            |_| (0..100u32).collect::<Vec<_>>(),
+            |_| "the stolen branch returns an owned string".to_string(),
+        )
+    });
+    assert_eq!(left.len(), 100);
+    assert!(right.contains("stolen"));
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: every benchmark × every scheduler × several
+//! threshold settings computes the same answer, and the machine-model
+//! counters are mutually consistent.
+
+use taskblocks::prelude::*;
+use taskblocks::suite::{all_benchmarks, ParKind, Scale, Tier};
+
+#[test]
+fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
+    let pool = ThreadPool::new(3);
+    for b in all_benchmarks(Scale::Tiny) {
+        let want = b.serial().outcome;
+        let tol = b.tolerance().max(1e-9);
+        assert!(
+            b.cilk(&pool).outcome.matches(&want, tol),
+            "{}: cilk variant disagrees",
+            b.name()
+        );
+        for (t_dfe, t_r) in [(64usize, 16usize), (1 << 12, 1 << 8)] {
+            for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
+                let reexp = SchedConfig::reexpansion(b.q(), t_dfe);
+                let restart = SchedConfig::restart(b.q(), t_dfe, t_r);
+                for (cfg, label) in [(reexp, "reexp"), (restart, "restart")] {
+                    let got = b.blocked_seq(cfg, tier);
+                    assert!(
+                        got.outcome.matches(&want, tol),
+                        "{}: seq {label} {tier:?} t_dfe={t_dfe} disagrees: {:?} vs {:?}",
+                        b.name(),
+                        got.outcome,
+                        want
+                    );
+                }
+                for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+                    let cfg = if kind == ParKind::ReExp { reexp } else { restart };
+                    let got = b.blocked_par(&pool, cfg, kind, tier);
+                    assert!(
+                        got.outcome.matches(&want, tol),
+                        "{}: par {kind:?} {tier:?} t_dfe={t_dfe} disagrees: {:?} vs {:?}",
+                        b.name(),
+                        got.outcome,
+                        want
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn task_counts_are_identical_across_schedulers() {
+    // Blocking changes the schedule, never the computation tree: every
+    // deterministic benchmark must execute the same number of tasks under
+    // every policy and tier.
+    for b in all_benchmarks(Scale::Tiny) {
+        let reference = b.blocked_seq(SchedConfig::reexpansion(b.q(), 256), Tier::Block).stats.tasks_executed;
+        for cfg in [
+            SchedConfig::basic(b.q(), 256),
+            SchedConfig::restart(b.q(), 256, 64),
+            SchedConfig::restart(b.q(), 32, 32),
+        ] {
+            for tier in [Tier::Block, Tier::Soa] {
+                let got = b.blocked_seq(cfg, tier).stats.tasks_executed;
+                assert_eq!(got, reference, "{} {:?} {tier:?}", b.name(), cfg.policy);
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_counters_are_internally_consistent() {
+    for b in all_benchmarks(Scale::Tiny) {
+        let run = b.blocked_seq(SchedConfig::restart(b.q(), 128, 32), Tier::Block);
+        let s = &run.stats;
+        assert_eq!(s.simd_steps, s.complete_steps + s.incomplete_steps, "{}", b.name());
+        assert!(s.incomplete_steps <= s.supersteps, "{}: Claim 1 violated", b.name());
+        assert!(s.tasks_in_complete_steps <= s.tasks_executed, "{}", b.name());
+        assert_eq!(s.supersteps, s.bfe_actions + s.dfe_actions, "{}", b.name());
+        assert!(s.simd_utilization() >= 0.0 && s.simd_utilization() <= 1.0);
+        // Model lower bounds (§4 preliminaries).
+        assert!(s.simd_steps >= s.tasks_executed.div_ceil(s.q));
+        assert!(s.simd_steps >= s.max_level + 1);
+    }
+}
+
+#[test]
+fn restart_utilization_dominates_reexpansion_at_small_blocks() {
+    // Figure 4's headline, asserted across the whole suite at block 2^4.
+    for b in all_benchmarks(Scale::Tiny) {
+        let x = b.blocked_seq(SchedConfig::reexpansion(b.q(), 16), Tier::Block);
+        let r = b.blocked_seq(SchedConfig::restart(b.q(), 16, 16), Tier::Block);
+        assert!(
+            r.stats.simd_utilization() >= x.stats.simd_utilization() - 0.02,
+            "{}: restart {:.3} < reexp {:.3} at block 2^4",
+            b.name(),
+            r.stats.simd_utilization(),
+            x.stats.simd_utilization()
+        );
+    }
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    // Work stealing changes the schedule nondeterministically; outcomes
+    // must not change.
+    let pool = ThreadPool::new(4);
+    for b in all_benchmarks(Scale::Tiny) {
+        let cfg = SchedConfig::restart(b.q(), 128, 32);
+        let a = b.blocked_par(&pool, cfg, ParKind::RestartSimplified, Tier::Block);
+        for _ in 0..3 {
+            let c = b.blocked_par(&pool, cfg, ParKind::RestartSimplified, Tier::Block);
+            assert!(a.outcome.matches(&c.outcome, b.tolerance().max(1e-9)), "{}", b.name());
+            assert_eq!(a.stats.tasks_executed, c.stats.tasks_executed, "{}", b.name());
+        }
+    }
+}
