@@ -1,7 +1,8 @@
 //! Criterion benches for the scheduler engines themselves: the same
 //! program under basic / re-expansion / restart at small and large block
 //! sizes (the ablation behind Figure 4's utilization story), plus the
-//! parallel schedulers.
+//! parallel schedulers, all driven through the uniform `run_policy` /
+//! `run_scheduler` dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tb_core::prelude::*;
@@ -22,7 +23,7 @@ fn seq_policies(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let walk = TreeWalk::new(&tree);
-                SeqScheduler::new(&walk, cfg).run().stats.tasks_executed
+                run_policy(&walk, cfg, None).stats.tasks_executed
             })
         });
     }
@@ -31,28 +32,23 @@ fn seq_policies(c: &mut Criterion) {
 
 fn par_schedulers(c: &mut Criterion) {
     let tree = CompTree::random_binary(60_000, 0.75, 7);
-    let cfg = SchedConfig::restart(8, 1 << 9, 1 << 7);
+    let restart = SchedConfig::restart(8, 1 << 9, 1 << 7);
+    let reexp = SchedConfig::reexpansion(8, 1 << 9);
     let mut g = c.benchmark_group("par_scheduler");
     for workers in [1usize, 2, 4] {
         let pool = ThreadPool::new(workers);
-        g.bench_with_input(BenchmarkId::new("reexp", workers), &workers, |b, _| {
-            b.iter(|| {
-                let walk = TreeWalk::new(&tree);
-                ParReExpansion::new(&walk, SchedConfig::reexpansion(8, 1 << 9)).run(&pool).stats.tasks_executed
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("restart_simplified", workers), &workers, |b, _| {
-            b.iter(|| {
-                let walk = TreeWalk::new(&tree);
-                ParRestartSimplified::new(&walk, cfg).run(&pool).stats.tasks_executed
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("restart_ideal", workers), &workers, |b, _| {
-            b.iter(|| {
-                let walk = TreeWalk::new(&tree);
-                ParRestartIdeal::new(&walk, cfg, workers).run().stats.tasks_executed
-            })
-        });
+        for (kind, cfg) in [
+            (SchedulerKind::ReExpansion, reexp),
+            (SchedulerKind::RestartSimplified, restart),
+            (SchedulerKind::RestartIdeal, restart),
+        ] {
+            g.bench_with_input(BenchmarkId::new(kind.name(), workers), &workers, |b, _| {
+                b.iter(|| {
+                    let walk = TreeWalk::new(&tree);
+                    run_scheduler(kind, &walk, cfg, Some(&pool)).stats.tasks_executed
+                })
+            });
+        }
     }
     g.finish();
 }

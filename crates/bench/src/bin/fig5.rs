@@ -7,7 +7,7 @@
 use tb_bench::{HarnessArgs, TableSink};
 use tb_core::prelude::SchedConfig;
 use tb_runtime::ThreadPool;
-use tb_suite::{benchmark_by_name, ParKind, Tier};
+use tb_suite::{benchmark_by_name, SchedulerKind, Tier};
 
 const FIG5_BENCHES: &[&str] = &["graphcol", "uts", "minmax", "barneshut", "pointcorr", "knn"];
 const BLOCK: usize = 1 << 5;
@@ -42,16 +42,27 @@ fn main() {
         for &w in &worker_grid {
             let pool = ThreadPool::new(w);
             let scalar = base / b.cilk(&pool).stats.wall.as_secs_f64();
-            let x = base / b.blocked_par(&pool, reexp, ParKind::ReExp, Tier::Simd).stats.wall.as_secs_f64();
+            let x = base
+                / b.blocked_par(&pool, reexp, SchedulerKind::ReExpansion, Tier::Simd)
+                    .stats
+                    .wall
+                    .as_secs_f64();
             // The §3.4 restart scheduler the theory analyzes…
             let r = base
-                / b.blocked_par(&pool, restart, ParKind::RestartIdeal, Tier::Simd).stats.wall.as_secs_f64();
+                / b.blocked_par(&pool, restart, SchedulerKind::RestartIdeal, Tier::Simd)
+                    .stats
+                    .wall
+                    .as_secs_f64();
             // …and the §6 Cilk-embeddable simplification, whose restart-
             // stack merges can pathologize on very deep trees (the h^2
             // space/time limitation the paper documents).
             let rs = base
-                / b.blocked_par(&pool, restart, ParKind::RestartSimplified, Tier::Simd).stats.wall.as_secs_f64();
-            for (variant, s) in [("scalar", scalar), ("reexp", x), ("restart", r), ("restart-simplified", rs)] {
+                / b.blocked_par(&pool, restart, SchedulerKind::RestartSimplified, Tier::Simd)
+                    .stats
+                    .wall
+                    .as_secs_f64();
+            for (variant, s) in [("scalar", scalar), ("reexp", x), ("restart", r), ("restart-simplified", rs)]
+            {
                 sink.row(vec![name.to_string(), variant.into(), w.to_string(), format!("{s:.2}")]);
             }
             println!("{name:>11} w={w:<2} scalar={scalar:6.2} reexp={x:6.2} restart={r:6.2} restart-simpl={rs:6.2}");

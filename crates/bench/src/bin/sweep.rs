@@ -10,7 +10,7 @@
 use tb_bench::{secs, HarnessArgs, TableSink};
 use tb_core::prelude::SchedConfig;
 use tb_runtime::ThreadPool;
-use tb_suite::{all_benchmarks, ParKind, Tier};
+use tb_suite::{all_benchmarks, SchedulerKind, Tier};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -32,11 +32,16 @@ fn main() {
         let mut best: Option<(u32, f64)> = None;
         for log2 in 4..=15u32 {
             let block = 1usize << log2;
-            let reexp = b.blocked_par(&pool, SchedConfig::reexpansion(b.q(), block), ParKind::ReExp, Tier::Simd);
+            let reexp = b.blocked_par(
+                &pool,
+                SchedConfig::reexpansion(b.q(), block),
+                SchedulerKind::ReExpansion,
+                Tier::Simd,
+            );
             let restart = b.blocked_par(
                 &pool,
                 SchedConfig::restart(b.q(), block, block),
-                ParKind::RestartSimplified,
+                SchedulerKind::RestartSimplified,
                 Tier::Simd,
             );
             let best_wall = reexp.stats.wall.min(restart.stats.wall).as_secs_f64();

@@ -11,7 +11,7 @@
 use tb_bench::{geomean, paper_block_sizes, ratio, secs, HarnessArgs, TableSink};
 use tb_core::prelude::SchedConfig;
 use tb_runtime::ThreadPool;
-use tb_suite::{all_benchmarks, ParKind, Tier};
+use tb_suite::{all_benchmarks, SchedulerKind, Tier};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -25,8 +25,24 @@ fn main() {
         &args.out_dir,
         &format!("table1_{}", args.scale_name()),
         &[
-            "benchmark", "levels", "tasks", "block", "rb", "Ts", "T1", "TP", "T1x", "T1r", "TPx", "TPr",
-            "Ts/T1", "Ts/T1x", "Ts/T1r", "Ts/TP", "Ts/TPx", "Ts/TPr",
+            "benchmark",
+            "levels",
+            "tasks",
+            "block",
+            "rb",
+            "Ts",
+            "T1",
+            "TP",
+            "T1x",
+            "T1r",
+            "TPx",
+            "TPr",
+            "Ts/T1",
+            "Ts/T1x",
+            "Ts/T1r",
+            "Ts/TP",
+            "Ts/TPx",
+            "Ts/TPr",
         ],
     );
     let pool1 = ThreadPool::new(1);
@@ -47,10 +63,11 @@ fn main() {
         let tp = b.cilk(&poolp);
         let t1x = b.blocked_seq(reexp, Tier::Simd);
         let t1r = b.blocked_seq(restart, Tier::Simd);
-        let tpx = b.blocked_par(&poolp, reexp, ParKind::ReExp, Tier::Simd);
-        let tpr = b.blocked_par(&poolp, restart, ParKind::RestartSimplified, Tier::Simd);
+        let tpx = b.blocked_par(&poolp, reexp, SchedulerKind::ReExpansion, Tier::Simd);
+        let tpr = b.blocked_par(&poolp, restart, SchedulerKind::RestartSimplified, Tier::Simd);
 
-        for (name, run) in [("T1", &t1), ("TP", &tp), ("T1x", &t1x), ("T1r", &t1r), ("TPx", &tpx), ("TPr", &tpr)]
+        for (name, run) in
+            [("T1", &t1), ("TP", &tp), ("T1x", &t1x), ("T1r", &t1r), ("TPx", &tpx), ("TPr", &tpr)]
         {
             assert!(
                 run.outcome.matches(&ts.outcome, b.tolerance().max(1e-9)),

@@ -7,7 +7,7 @@
 use tb_bench::{geomean, paper_block_sizes, HarnessArgs, TableSink};
 use tb_core::prelude::SchedConfig;
 use tb_runtime::ThreadPool;
-use tb_suite::{all_benchmarks, ParKind, Tier};
+use tb_suite::{all_benchmarks, SchedulerKind, Tier};
 
 struct Columns {
     scalar: Vec<f64>,
@@ -40,7 +40,7 @@ fn main() {
         }
         let (block, rb) = paper_block_sizes(b.name());
         let cfgs = [SchedConfig::reexpansion(b.q(), block), SchedConfig::restart(b.q(), block, rb)];
-        let kinds = [ParKind::ReExp, ParKind::RestartSimplified];
+        let kinds = [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified];
         let ts = b.serial().stats.wall.as_secs_f64();
 
         one.scalar.push(ts / b.cilk(&pool1).stats.wall.as_secs_f64());
@@ -60,7 +60,13 @@ fn main() {
         &args.out_dir,
         &format!("table2_{}", args.scale_name()),
         &[
-            "row", "scalar", "reexp:Block", "reexp:SOA", "reexp:SIMD", "restart:Block", "restart:SOA",
+            "row",
+            "scalar",
+            "reexp:Block",
+            "reexp:SOA",
+            "reexp:SIMD",
+            "restart:Block",
+            "restart:SOA",
             "restart:SIMD",
         ],
     );

@@ -11,7 +11,7 @@ const Q: usize = 8;
 
 fn measured_steps(tree: &CompTree, cfg: SchedConfig) -> u64 {
     let walk = TreeWalk::new(tree);
-    SeqScheduler::new(&walk, cfg).run().stats.simd_steps
+    run_policy(&walk, cfg, None).stats.simd_steps
 }
 
 fn main() {
@@ -71,7 +71,7 @@ fn main() {
         for k in [2usize, 16] {
             let walk = TreeWalk::new(&tree);
             let cfg = SchedConfig::restart(Q, k * Q, k * Q);
-            let out = ParRestartIdeal::new(&walk, cfg, p).run();
+            let out = run_scheduler_on(SchedulerKind::RestartIdeal, &walk, cfg, p);
             let bound = k as f64 * p as f64 * h;
             println!(
                 "  P={p} k={k:<3} steal_attempts={:<8} kPh={:<10.0} ratio={:.3}",

@@ -154,14 +154,12 @@ impl<S: TaskStore> LeveledDeque<S> {
     pub fn take_level(&mut self, level: usize) -> Option<TaskBlock<S>> {
         let slot = self.levels.get_mut(level)?;
         let mut merged: Option<S> = None;
-        for part in [slot.dfe.take(), slot.restart.take()] {
-            if let Some(mut s) = part {
-                self.blocks -= 1;
-                self.tasks -= s.len();
-                match &mut merged {
-                    Some(m) => m.append(&mut s),
-                    none => *none = Some(s),
-                }
+        for mut s in [slot.dfe.take(), slot.restart.take()].into_iter().flatten() {
+            self.blocks -= 1;
+            self.tasks -= s.len();
+            match &mut merged {
+                Some(m) => m.append(&mut s),
+                none => *none = Some(s),
             }
         }
         merged.map(|s| TaskBlock::new(level, s))
@@ -471,7 +469,10 @@ mod tests {
                 let _ = d.steal_top(6);
             }
         }
-        let blocks: usize = d.iter_levels().map(|(_, s)| usize::from(s.dfe.is_some()) + usize::from(s.restart.is_some())).sum();
+        let blocks: usize = d
+            .iter_levels()
+            .map(|(_, s)| usize::from(s.dfe.is_some()) + usize::from(s.restart.is_some()))
+            .sum();
         let tasks: usize = d
             .iter_levels()
             .map(|(_, s)| s.dfe.as_ref().map_or(0, Vec::len) + s.restart.as_ref().map_or(0, Vec::len))

@@ -59,10 +59,15 @@
 //! }
 //!
 //! let cfg = SchedConfig::restart(8, 1 << 10, 64);
-//! let out = SeqScheduler::new(&Fib, cfg).run();
+//! let out = run_policy(&Fib, cfg, None);
 //! assert_eq!(out.reducer, 6765);
 //! assert!(out.stats.simd_utilization() > 0.5);
 //! ```
+//!
+//! Passing a [`tb_runtime::ThreadPool`] to the same [`run_policy`] call
+//! dispatches to the policy's multicore scheduler; [`run_scheduler`] picks
+//! one of the four implementations explicitly. See the [`scheduler`]
+//! module for the trait behind both.
 
 pub mod block;
 pub mod deque;
@@ -70,13 +75,15 @@ pub mod par;
 pub mod policy;
 pub mod program;
 pub mod reduce;
+pub mod scheduler;
 pub mod seq;
 pub mod stats;
 
 pub use block::{TaskBlock, TaskStore};
 pub use deque::{LeveledDeque, RestartFind};
 pub use policy::{PolicyKind, SchedConfig};
-pub use program::{BucketSet, BlockProgram, RunOutput};
+pub use program::{BlockProgram, BucketSet, RunOutput};
+pub use scheduler::{run_policy, run_scheduler, run_scheduler_on, Scheduler, SchedulerKind};
 pub use seq::{run_depth_first, SeqScheduler};
 pub use stats::ExecStats;
 
@@ -86,6 +93,7 @@ pub mod prelude {
     pub use crate::par::{ParReExpansion, ParRestartIdeal, ParRestartSimplified};
     pub use crate::policy::{PolicyKind, SchedConfig};
     pub use crate::program::{BlockProgram, BucketSet, RunOutput};
+    pub use crate::scheduler::{run_policy, run_scheduler, run_scheduler_on, Scheduler, SchedulerKind};
     pub use crate::seq::{run_depth_first, SeqScheduler};
     pub use crate::stats::ExecStats;
 }

@@ -53,7 +53,11 @@ impl<'e, P: BlockProgram> Env<'e, P> {
 
     /// Execute `block` and return its non-empty spawn-site buckets as
     /// separate next-level blocks (the DFE split), in spawn order.
-    pub fn execute_dfe(&self, ctx: &WorkerCtx<'_>, mut block: TaskBlock<P::Store>) -> Vec<TaskBlock<P::Store>> {
+    pub fn execute_dfe(
+        &self,
+        ctx: &WorkerCtx<'_>,
+        mut block: TaskBlock<P::Store>,
+    ) -> Vec<TaskBlock<P::Store>> {
         let partial_below = self.partial_below();
         self.state.with(ctx, |st| {
             st.stats.dfe_actions += 1;
@@ -101,8 +105,12 @@ pub(crate) fn collect<P: BlockProgram>(
 /// Recursively split an oversized block in half and run `leaf` on each
 /// `<= strip`-sized piece, forking the halves (parallel strip-mining of a
 /// data-parallel root, §5.3).
-pub(crate) fn split_strips<P, F>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut block: TaskBlock<P::Store>, leaf: F)
-where
+pub(crate) fn split_strips<P, F>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut block: TaskBlock<P::Store>,
+    leaf: F,
+) where
     P: BlockProgram,
     F: Fn(Env<'_, P>, &WorkerCtx<'_>, TaskBlock<P::Store>) + Copy + Send + Sync,
 {
@@ -114,10 +122,7 @@ where
         return;
     }
     let right = block.split_off(block.len() / 2);
-    ctx.join(
-        move |c| split_strips(env, c, block, leaf),
-        move |c| split_strips(env, c, right, leaf),
-    );
+    ctx.join(move |c| split_strips(env, c, block, leaf), move |c| split_strips(env, c, right, leaf));
 }
 
 /// Run `body` inside `pool`, timing it and collecting per-worker state.

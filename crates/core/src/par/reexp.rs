@@ -42,6 +42,20 @@ impl<'p, P: BlockProgram> ParReExpansion<'p, P> {
     }
 }
 
+impl<P: BlockProgram> crate::scheduler::Scheduler<P> for ParReExpansion<'_, P> {
+    fn name(&self) -> &'static str {
+        crate::scheduler::SchedulerKind::ReExpansion.name()
+    }
+
+    fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    fn run_with(&self, pool: Option<&ThreadPool>) -> RunOutput<P::Reducer> {
+        crate::scheduler::with_pool(pool, |pool| self.run(pool))
+    }
+}
+
 /// The blocked re-expansion recursion over one block.
 fn blocked_reexp<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut cur: TaskBlock<P::Store>) {
     loop {
@@ -68,16 +82,17 @@ fn blocked_reexp<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut cur:
 
 /// Fork a set of sibling blocks as a balanced join tree. The left half runs
 /// first on this worker (depth-first order); right halves are stealable.
-fn fork_children<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut blocks: Vec<TaskBlock<P::Store>>) {
+fn fork_children<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut blocks: Vec<TaskBlock<P::Store>>,
+) {
     match blocks.len() {
         0 => {}
         1 => blocked_reexp(env, ctx, blocks.pop().expect("one block")),
         _ => {
             let right = blocks.split_off(blocks.len() / 2);
-            ctx.join(
-                move |c| fork_children(env, c, blocks),
-                move |c| fork_children(env, c, right),
-            );
+            ctx.join(move |c| fork_children(env, c, blocks), move |c| fork_children(env, c, right));
         }
     }
 }

@@ -45,8 +45,12 @@ impl<'p, P: BlockProgram> ParRestartIdeal<'p, P> {
 
     /// Run to completion; returns the merged reduction and pooled stats.
     pub fn run(&self) -> RunOutput<P::Reducer> {
+        self.run_on(self.workers)
+    }
+
+    fn run_on(&self, workers: usize) -> RunOutput<P::Reducer> {
         let start = std::time::Instant::now();
-        let n = self.workers;
+        let n = workers.max(1);
         let mut root = self.prog.make_root();
         let total = root.len() as i64;
         if total == 0 {
@@ -56,7 +60,8 @@ impl<'p, P: BlockProgram> ParRestartIdeal<'p, P> {
         }
 
         // Seed the deques: strips of the root, round-robin.
-        let deques: Vec<Mutex<LeveledDeque<P::Store>>> = (0..n).map(|_| Mutex::new(LeveledDeque::new())).collect();
+        let deques: Vec<Mutex<LeveledDeque<P::Store>>> =
+            (0..n).map(|_| Mutex::new(LeveledDeque::new())).collect();
         let strip = self.cfg.t_dfe.max(1);
         let mut w = 0usize;
         loop {
@@ -90,6 +95,23 @@ impl<'p, P: BlockProgram> ParRestartIdeal<'p, P> {
         }
         stats.wall = start.elapsed();
         RunOutput { reducer: red, stats }
+    }
+}
+
+impl<P: BlockProgram> crate::scheduler::Scheduler<P> for ParRestartIdeal<'_, P> {
+    fn name(&self) -> &'static str {
+        crate::scheduler::SchedulerKind::RestartIdeal.name()
+    }
+
+    fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Runs on its own dedicated threads. A supplied pool only sizes the
+    /// worker count (its threads are not used — the ideal scheduler needs
+    /// per-worker leveled deques the pool does not have).
+    fn run_with(&self, pool: Option<&tb_runtime::ThreadPool>) -> RunOutput<P::Reducer> {
+        self.run_on(pool.map_or(self.workers, tb_runtime::ThreadPool::threads))
     }
 }
 

@@ -179,8 +179,26 @@ impl<'p, P: BlockProgram> ParRestartSimplified<'p, P> {
     }
 }
 
+impl<P: BlockProgram> crate::scheduler::Scheduler<P> for ParRestartSimplified<'_, P> {
+    fn name(&self) -> &'static str {
+        crate::scheduler::SchedulerKind::RestartSimplified.name()
+    }
+
+    fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    fn run_with(&self, pool: Option<&ThreadPool>) -> RunOutput<P::Reducer> {
+        crate::scheduler::with_pool(pool, |pool| self.run(pool))
+    }
+}
+
 /// Parallel strip-mining that merges the strips' restart stacks.
-fn strips<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut block: TaskBlock<P::Store>) -> RestartStack<P::Store> {
+fn strips<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut block: TaskBlock<P::Store>,
+) -> RestartStack<P::Store> {
     let strip = env.cfg.t_dfe.max(1);
     if block.len() <= strip {
         return blocked_restart(env, ctx, block, RestartStack::nil());

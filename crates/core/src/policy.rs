@@ -66,15 +66,8 @@ pub struct SchedConfig {
 impl SchedConfig {
     /// Basic scheduler: BFE until `t_dfe`, then DFE only.
     pub fn basic(q: usize, t_dfe: usize) -> Self {
-        SchedConfig {
-            policy: PolicyKind::Basic,
-            q,
-            t_dfe,
-            t_bfe: t_dfe,
-            t_restart: 0,
-            restart_bfe_burst: 0,
-        }
-        .validated()
+        SchedConfig { policy: PolicyKind::Basic, q, t_dfe, t_bfe: t_dfe, t_restart: 0, restart_bfe_burst: 0 }
+            .validated()
     }
 
     /// Re-expansion scheduler with `t_bfe = t_dfe` (the theory-recommended
@@ -85,29 +78,15 @@ impl SchedConfig {
 
     /// Re-expansion scheduler with an explicit `t_bfe ≤ t_dfe`.
     pub fn reexpansion_with(q: usize, t_dfe: usize, t_bfe: usize) -> Self {
-        SchedConfig {
-            policy: PolicyKind::ReExpansion,
-            q,
-            t_dfe,
-            t_bfe,
-            t_restart: 0,
-            restart_bfe_burst: 0,
-        }
-        .validated()
+        SchedConfig { policy: PolicyKind::ReExpansion, q, t_dfe, t_bfe, t_restart: 0, restart_bfe_burst: 0 }
+            .validated()
     }
 
     /// Restart scheduler with restart threshold `t_restart` (the paper's
     /// "RB size").
     pub fn restart(q: usize, t_dfe: usize, t_restart: usize) -> Self {
-        SchedConfig {
-            policy: PolicyKind::Restart,
-            q,
-            t_dfe,
-            t_bfe: t_dfe,
-            t_restart,
-            restart_bfe_burst: 0,
-        }
-        .validated()
+        SchedConfig { policy: PolicyKind::Restart, q, t_dfe, t_bfe: t_dfe, t_restart, restart_bfe_burst: 0 }
+            .validated()
     }
 
     /// A config with the same thresholds but a different policy.

@@ -347,6 +347,23 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
     }
 }
 
+impl<P: BlockProgram> crate::scheduler::Scheduler<P> for SeqScheduler<'_, P> {
+    fn name(&self) -> &'static str {
+        crate::scheduler::SchedulerKind::Seq.name()
+    }
+
+    fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Always single-core; `pool` is ignored. Runs a fresh engine so the
+    /// borrowed state machine (which `step` may have partially advanced)
+    /// is left untouched.
+    fn run_with(&self, _pool: Option<&tb_runtime::ThreadPool>) -> RunOutput<P::Reducer> {
+        SeqScheduler::new(self.prog, self.cfg).run()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
     Bfe,
@@ -433,11 +450,9 @@ mod tests {
         // T(0) = T(1) = 1  =>  T(n) = 2*fib(n+1) - 1.
         let n = 18;
         let expected_tasks = 2 * fib_ref(n + 1) - 1;
-        for cfg in [
-            SchedConfig::basic(8, 128),
-            SchedConfig::reexpansion(8, 128),
-            SchedConfig::restart(8, 128, 32),
-        ] {
+        for cfg in
+            [SchedConfig::basic(8, 128), SchedConfig::reexpansion(8, 128), SchedConfig::restart(8, 128, 32)]
+        {
             let out = SeqScheduler::new(&Fib(n), cfg).run();
             assert_eq!(out.stats.tasks_executed, expected_tasks, "{:?}", cfg.policy);
         }
@@ -448,11 +463,9 @@ mod tests {
         // Ts < n, Ts >= n/Q, Ts >= h (§4 preliminaries).
         let n = 20;
         let q = 8;
-        for cfg in [
-            SchedConfig::basic(q, 256),
-            SchedConfig::reexpansion(q, 256),
-            SchedConfig::restart(q, 256, 64),
-        ] {
+        for cfg in
+            [SchedConfig::basic(q, 256), SchedConfig::reexpansion(q, 256), SchedConfig::restart(q, 256, 64)]
+        {
             let out = SeqScheduler::new(&Fib(n), cfg).run();
             let tasks = out.stats.tasks_executed;
             let steps = out.stats.simd_steps;
@@ -490,7 +503,10 @@ mod tests {
         loop {
             match s.step() {
                 StepEvent::Bfe { tasks, .. } | StepEvent::Dfe { tasks, .. } => executed += tasks as u64,
-                StepEvent::Restart { .. } | StepEvent::Acquired | StepEvent::AcquiredTop | StepEvent::AcquiredStrip => {}
+                StepEvent::Restart { .. }
+                | StepEvent::Acquired
+                | StepEvent::AcquiredTop
+                | StepEvent::AcquiredStrip => {}
                 StepEvent::Done => break,
             }
         }
@@ -536,11 +552,9 @@ mod tests {
     fn oversized_roots_are_strip_mined() {
         // 1000 roots of fib(6)=8 with t_dfe=64: needs 16 strips.
         let prog = ManyRoots(1000);
-        for cfg in [
-            SchedConfig::basic(4, 64),
-            SchedConfig::reexpansion(4, 64),
-            SchedConfig::restart(4, 64, 16),
-        ] {
+        for cfg in
+            [SchedConfig::basic(4, 64), SchedConfig::reexpansion(4, 64), SchedConfig::restart(4, 64, 16)]
+        {
             let out = SeqScheduler::new(&prog, cfg).run();
             assert_eq!(out.reducer, 8 * 1000, "{:?}", cfg.policy);
         }
@@ -610,11 +624,7 @@ mod tests {
 
     #[test]
     fn single_task_tree_runs_under_all_policies() {
-        for cfg in [
-            SchedConfig::basic(4, 8),
-            SchedConfig::reexpansion(4, 8),
-            SchedConfig::restart(4, 8, 4),
-        ] {
+        for cfg in [SchedConfig::basic(4, 8), SchedConfig::reexpansion(4, 8), SchedConfig::restart(4, 8, 4)] {
             let out = SeqScheduler::new(&Fib(0), cfg).run();
             assert_eq!(out.reducer, 0);
             assert_eq!(out.stats.tasks_executed, 1);

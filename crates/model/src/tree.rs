@@ -62,7 +62,7 @@ impl CompTree {
 
     /// Perfect binary tree with `levels` levels (`2^levels - 1` nodes).
     pub fn perfect_binary(levels: u32) -> Self {
-        assert!(levels >= 1 && levels <= 26);
+        assert!((1..=26).contains(&levels));
         let mut t = CompTree::singleton();
         let mut frontier = vec![0u32];
         for _ in 1..levels {

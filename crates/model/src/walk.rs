@@ -98,11 +98,9 @@ mod tests {
     #[test]
     fn walk_visits_every_node_once_under_each_policy() {
         let tree = CompTree::random_binary(500, 0.72, 9);
-        for cfg in [
-            SchedConfig::basic(4, 64),
-            SchedConfig::reexpansion(4, 64),
-            SchedConfig::restart(4, 64, 16),
-        ] {
+        for cfg in
+            [SchedConfig::basic(4, 64), SchedConfig::reexpansion(4, 64), SchedConfig::restart(4, 64, 16)]
+        {
             let walk = TreeWalk::recording(&tree);
             let out = SeqScheduler::new(&walk, cfg).run();
             out.reducer.assert_exactly_once(&tree);

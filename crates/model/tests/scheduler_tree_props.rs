@@ -11,8 +11,7 @@ fn arb_shape() -> impl Strategy<Value = CompTree> {
         (2u32..10).prop_map(CompTree::perfect_binary),
         (2usize..200).prop_map(CompTree::chain),
         (2usize..120).prop_map(CompTree::comb),
-        (16usize..600, 0.55f64..0.9, any::<u64>())
-            .prop_map(|(n, p, s)| CompTree::random_binary(n, p, s)),
+        (16usize..600, 0.55f64..0.9, any::<u64>()).prop_map(|(n, p, s)| CompTree::random_binary(n, p, s)),
         (1usize..6, 2u32..6).prop_map(|(k, l)| CompTree::perfect_kary(k, l)),
         (1usize..12, 2usize..5, 0.1f64..0.4, any::<u64>())
             .prop_map(|(b0, m, q, s)| CompTree::binomial(b0, m, q, s, 800)),
@@ -28,7 +27,7 @@ proptest! {
     fn policy_step_ordering(tree in arb_shape(), k in 1usize..10) {
         let q = 4;
         let steps = |cfg: SchedConfig| {
-            SeqScheduler::new(&TreeWalk::new(&tree), cfg).run().stats.simd_steps
+            run_policy(&TreeWalk::new(&tree), cfg, None).stats.simd_steps
         };
         let basic = steps(SchedConfig::basic(q, k * q));
         let reexp = steps(SchedConfig::reexpansion(q, k * q));
@@ -45,7 +44,7 @@ proptest! {
     #[test]
     fn generators_are_walkable(tree in arb_shape()) {
         let walk = TreeWalk::recording(&tree);
-        let out = SeqScheduler::new(&walk, SchedConfig::restart(4, 16, 8)).run();
+        let out = run_policy(&walk, SchedConfig::restart(4, 16, 8), None);
         out.reducer.assert_exactly_once(&tree);
         prop_assert_eq!(out.stats.max_level as usize + 1, tree.height());
     }
@@ -55,7 +54,7 @@ proptest! {
     #[test]
     fn restart_constant_factor_of_optimal(tree in arb_shape(), k in 1usize..8) {
         let q = 4;
-        let out = SeqScheduler::new(&TreeWalk::new(&tree), SchedConfig::restart(q, k * q, k * q)).run();
+        let out = run_policy(&TreeWalk::new(&tree), SchedConfig::restart(q, k * q, k * q), None);
         let opt = optimal_bound(tree.len() as f64, tree.height() as f64, q as f64);
         prop_assert!((out.stats.simd_steps as f64) <= 3.0 * opt,
             "{} steps vs optimal {}", out.stats.simd_steps, opt);

@@ -35,7 +35,12 @@ impl<T> PerWorker<T> {
     pub fn new(workers: usize, mut init: impl FnMut(usize) -> T) -> Self {
         PerWorker {
             slots: (0..workers)
-                .map(|i| CachePadded::new(Slot { value: UnsafeCell::new(init(i)), borrowed: AtomicBool::new(false) }))
+                .map(|i| {
+                    CachePadded::new(Slot {
+                        value: UnsafeCell::new(init(i)),
+                        borrowed: AtomicBool::new(false),
+                    })
+                })
                 .collect(),
         }
     }

@@ -121,9 +121,7 @@ mod tests {
     #[test]
     fn uncontended_tentative_is_cancelled() {
         let pool = ThreadPool::new(1); // nobody to steal
-        let (body, resolved) = pool.install(|ctx| {
-            ctx.tentative_scope(41u32, |v, _| v + 1, |_| "body-ran")
-        });
+        let (body, resolved) = pool.install(|ctx| ctx.tentative_scope(41u32, |v, _| v + 1, |_| "body-ran"));
         assert_eq!(body, "body-ran");
         match resolved {
             Resolved::Cancelled(input) => assert_eq!(input, 41),

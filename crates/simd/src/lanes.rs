@@ -265,7 +265,9 @@ impl<const N: usize> Mask<N> {
         m
     }
 
-    /// Lanewise negation.
+    /// Lanewise negation. Named alongside [`Mask::and`]/[`Mask::or`] so the
+    /// combinator set reads uniformly at call sites.
+    #[expect(clippy::should_implement_trait)]
     #[inline]
     pub fn not(self) -> Self {
         let mut out = self.0;

@@ -139,7 +139,12 @@ impl RecursiveSpec {
                 _ => Ok(()),
             }
         }
-        fn walk(stmts: &[Stmt], params: usize, allow_spawn: bool, sites: &mut usize) -> Result<(), SpecError> {
+        fn walk(
+            stmts: &[Stmt],
+            params: usize,
+            allow_spawn: bool,
+            sites: &mut usize,
+        ) -> Result<(), SpecError> {
             for s in stmts {
                 match s {
                     Stmt::Reduce(e) => check_expr(e, params)?,

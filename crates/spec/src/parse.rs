@@ -76,7 +76,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             while i < b.len() && (b[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let v: i64 = src[start..i].parse().map_err(|_| ParseError { message: "bad int".into(), at: start })?;
+            let v: i64 =
+                src[start..i].parse().map_err(|_| ParseError { message: "bad int".into(), at: start })?;
             toks.push((Tok::Int(v), start));
             continue;
         }
@@ -87,7 +88,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             i += 2;
             continue;
         }
-        let sym1 = ["(", ")", "{", "}", ";", ",", "<", "+", "-", "*", "!"].iter().find(|&&s| s == &src[i..i + 1]);
+        let sym1 =
+            ["(", ")", "{", "}", ";", ",", "<", "+", "-", "*", "!"].iter().find(|&&s| s == &src[i..i + 1]);
         match sym1 {
             Some(&s) => {
                 toks.push((Tok::Sym(s), i));
@@ -124,14 +126,18 @@ impl Lexer {
     fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next() {
             Some(Tok::Ident(got)) if got == kw => Ok(()),
-            other => Err(ParseError { message: format!("expected keyword {kw}, got {other:?}"), at: self.at() }),
+            other => {
+                Err(ParseError { message: format!("expected keyword {kw}, got {other:?}"), at: self.at() })
+            }
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(ParseError { message: format!("expected identifier, got {other:?}"), at: self.at() }),
+            other => {
+                Err(ParseError { message: format!("expected identifier, got {other:?}"), at: self.at() })
+            }
         }
     }
 
@@ -282,7 +288,10 @@ impl Parser {
                     stmts.push(Stmt::If(cond, then_b, else_b));
                 }
                 other => {
-                    return Err(ParseError { message: format!("expected statement, got {other:?}"), at: self.lx.at() })
+                    return Err(ParseError {
+                        message: format!("expected statement, got {other:?}"),
+                        at: self.lx.at(),
+                    })
                 }
             }
         }
@@ -311,8 +320,7 @@ pub fn parse_spec(src: &str) -> Result<RecursiveSpec, ParseError> {
     p.lx.expect_kw("else")?;
     let inductive = p.block()?;
     p.lx.expect_sym("}")?;
-    let spec =
-        RecursiveSpec { name, params: p.params.len(), base_cond, base, inductive };
+    let spec = RecursiveSpec { name, params: p.params.len(), base_cond, base, inductive };
     spec.validate().map_err(|e| ParseError { message: e.to_string(), at: 0 })?;
     Ok(spec)
 }
@@ -352,10 +360,8 @@ mod tests {
 
     #[test]
     fn rejects_foreign_calls() {
-        let err = parse_spec(
-            "spec f(n) { base (n < 1) { reduce 1; } else { spawn g(n - 1); } }",
-        )
-        .unwrap_err();
+        let err =
+            parse_spec("spec f(n) { base (n < 1) { reduce 1; } else { spawn g(n - 1); } }").unwrap_err();
         assert!(err.message.contains("self-recursive"));
     }
 

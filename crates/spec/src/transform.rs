@@ -30,7 +30,10 @@ impl BlockedSpec {
 
     /// Compile `spec` for a data-parallel outer loop: one root task per
     /// argument tuple (§5.2's `foreach`).
-    pub fn with_data_parallel(spec: RecursiveSpec, calls: Vec<Vec<i64>>) -> Result<Self, crate::ast::SpecError> {
+    pub fn with_data_parallel(
+        spec: RecursiveSpec,
+        calls: Vec<Vec<i64>>,
+    ) -> Result<Self, crate::ast::SpecError> {
         let arity = spec.validate()?;
         for call in &calls {
             assert_eq!(call.len(), spec.params, "root call arity mismatch");
@@ -43,7 +46,14 @@ impl BlockedSpec {
         self.arity
     }
 
-    fn run_stmts(&self, stmts: &[Stmt], params: &[i64], site: &mut usize, out: &mut BucketSet<Vec<Vec<i64>>>, red: &mut i64) {
+    fn run_stmts(
+        &self,
+        stmts: &[Stmt],
+        params: &[i64],
+        site: &mut usize,
+        out: &mut BucketSet<Vec<Vec<i64>>>,
+        red: &mut i64,
+    ) {
         for s in stmts {
             match s {
                 Stmt::Reduce(e) => *red += e.eval(params),
@@ -121,11 +131,9 @@ mod tests {
     #[test]
     fn blocked_fib_matches_interpreter_under_every_policy() {
         let want = interpret(&examples::fib_spec(), &[16]);
-        for cfg in [
-            SchedConfig::basic(8, 128),
-            SchedConfig::reexpansion(8, 128),
-            SchedConfig::restart(8, 128, 32),
-        ] {
+        for cfg in
+            [SchedConfig::basic(8, 128), SchedConfig::reexpansion(8, 128), SchedConfig::restart(8, 128, 32)]
+        {
             let prog = BlockedSpec::new(examples::fib_spec(), vec![16]).unwrap();
             let out = SeqScheduler::new(&prog, cfg).run();
             assert_eq!(out.reducer, want, "{:?}", cfg.policy);

@@ -18,7 +18,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{Lanes, SoaVec2};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::geom::octree::Octree;
 use crate::geom::points::plummer_cloud;
 use crate::outcome::Outcome;
@@ -230,7 +232,12 @@ struct BhSoa<'b> {
 
 impl BhSoa<'_> {
     #[inline]
-    fn expand_simd(&self, block: &SoaVec2<u32, u32>, out: &mut BucketSet<SoaVec2<u32, u32>>, red: &mut Forces) {
+    fn expand_simd(
+        &self,
+        block: &SoaVec2<u32, u32>,
+        out: &mut BucketSet<SoaVec2<u32, u32>>,
+        red: &mut Forces,
+    ) {
         let bh = self.bh;
         let len = block.num_tasks();
         let mut i = 0;
@@ -393,7 +400,13 @@ impl Benchmark for BarnesHut {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         let to = |f: Forces| Outcome::Approx(f.magnitude_sum());
         match tier {
             Tier::Block => par_summary(&BhAos { bh: self }, pool, cfg, kind, to),
@@ -447,7 +460,9 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             let cfg = SchedConfig::restart(Q, 256, 64);
             assert!(bh.blocked_seq(cfg, tier).outcome.matches(&want, tol), "{tier:?}");
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert!(bh.blocked_par(&pool, cfg, kind, tier).outcome.matches(&want, tol), "{kind:?}");
             }
         }

@@ -42,17 +42,6 @@ impl Tier {
     }
 }
 
-/// Which multicore scheduler to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParKind {
-    /// Fig. 3(a) re-expansion on the work-stealing pool.
-    ReExp,
-    /// Fig. 3(c) simplified restart (the paper's `restart`).
-    RestartSimplified,
-    /// §3.4 ideal restart on dedicated workers (our extension).
-    RestartIdeal,
-}
-
 /// One run's result: the computed answer plus scheduler statistics
 /// (`stats.wall` is the run's wall-clock time).
 #[derive(Debug, Clone)]
@@ -95,8 +84,10 @@ pub trait Benchmark: Sync + Send {
     /// Single-core blocked execution under `cfg`'s policy and thresholds.
     fn blocked_seq(&self, cfg: SchedConfig, tier: Tier) -> RunSummary;
 
-    /// Multicore blocked execution on `pool`.
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary;
+    /// Multicore blocked execution on `pool` under the selected scheduler
+    /// implementation (`kind` must be one of the parallel kinds).
+    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: SchedulerKind, tier: Tier)
+        -> RunSummary;
 }
 
 /// All eleven benchmarks at `scale`, in Table 1 order.
@@ -123,13 +114,13 @@ pub fn benchmark_by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>>
 
 // ---- helpers for the per-benchmark impls -------------------------------
 
-/// Run `prog` under the sequential scheduler and summarise.
+/// Run `prog` single-core under `cfg`'s policy and summarise.
 pub(crate) fn seq_summary<P: BlockProgram>(
     prog: &P,
     cfg: SchedConfig,
     to_outcome: impl FnOnce(P::Reducer) -> Outcome,
 ) -> RunSummary {
-    let out = SeqScheduler::new(prog, cfg).run();
+    let out = run_policy(prog, cfg, None);
     RunSummary { outcome: to_outcome(out.reducer), stats: out.stats }
 }
 
@@ -138,14 +129,13 @@ pub(crate) fn par_summary<P: BlockProgram>(
     prog: &P,
     pool: &ThreadPool,
     cfg: SchedConfig,
-    kind: ParKind,
+    kind: SchedulerKind,
     to_outcome: impl FnOnce(P::Reducer) -> Outcome,
 ) -> RunSummary {
-    let out = match kind {
-        ParKind::ReExp => ParReExpansion::new(prog, cfg).run(pool),
-        ParKind::RestartSimplified => ParRestartSimplified::new(prog, cfg).run(pool),
-        ParKind::RestartIdeal => ParRestartIdeal::new(prog, cfg, pool.threads()).run(),
-    };
+    // Hard assert: harness binaries run --release, and silently recording a
+    // sequential run under a parallel label would corrupt every table.
+    assert!(kind.is_parallel(), "blocked_par drives the multicore schedulers, got {kind:?}");
+    let out = run_scheduler(kind, prog, cfg, Some(pool));
     RunSummary { outcome: to_outcome(out.reducer), stats: out.stats }
 }
 
@@ -160,7 +150,11 @@ pub(crate) fn serial_summary(q: usize, f: impl FnOnce() -> (Outcome, u64)) -> Ru
 }
 
 /// Time a per-task Cilk-style run on `pool`.
-pub(crate) fn cilk_summary(q: usize, pool: &ThreadPool, f: impl FnOnce(&ThreadPool) -> Outcome) -> RunSummary {
+pub(crate) fn cilk_summary(
+    q: usize,
+    pool: &ThreadPool,
+    f: impl FnOnce(&ThreadPool) -> Outcome,
+) -> RunSummary {
     let before = pool.metrics();
     let start = Instant::now();
     let outcome = f(pool);

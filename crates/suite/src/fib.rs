@@ -13,7 +13,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{compact_append, Lanes};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 
 /// Vector width for `char`-sized tasks (Table 1 caption).
@@ -169,7 +171,13 @@ impl Benchmark for Fib {
         seq_summary(&self.program(tier == Tier::Simd), cfg, Outcome::Exact)
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         par_summary(&self.program(tier == Tier::Simd), pool, cfg, kind, Outcome::Exact)
     }
 }
@@ -195,7 +203,11 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             for cfg in [SchedConfig::reexpansion(Q, 256), SchedConfig::restart(Q, 256, 64)] {
                 assert_eq!(b.blocked_seq(cfg, tier).outcome, want, "{tier:?} {:?}", cfg.policy);
-                for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+                for kind in [
+                    SchedulerKind::ReExpansion,
+                    SchedulerKind::RestartSimplified,
+                    SchedulerKind::RestartIdeal,
+                ] {
                     assert_eq!(b.blocked_par(&pool, cfg, kind, tier).outcome, want, "{tier:?} {kind:?}");
                 }
             }
@@ -207,8 +219,8 @@ mod tests {
         // Block sizes that exercise both the 16-lane body and the tail.
         for t_dfe in [1usize, 7, 16, 33, 256] {
             let b = Fib { n: 18 };
-            let scalar = b.blocked_seq(SchedConfig::restart(Q, t_dfe.max(2), t_dfe.max(2).min(8)), Tier::Block);
-            let simd = b.blocked_seq(SchedConfig::restart(Q, t_dfe.max(2), t_dfe.max(2).min(8)), Tier::Simd);
+            let scalar = b.blocked_seq(SchedConfig::restart(Q, t_dfe.max(2), t_dfe.clamp(2, 8)), Tier::Block);
+            let simd = b.blocked_seq(SchedConfig::restart(Q, t_dfe.max(2), t_dfe.clamp(2, 8)), Tier::Simd);
             assert_eq!(scalar.outcome, simd.outcome, "t_dfe={t_dfe}");
             assert_eq!(scalar.stats.tasks_executed, simd.stats.tasks_executed);
         }

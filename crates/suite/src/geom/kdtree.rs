@@ -33,9 +33,8 @@ impl KdNode {
     #[inline]
     pub fn dist2_to(&self, p: &[f32; 3]) -> f32 {
         let mut d2 = 0.0;
-        for d in 0..3 {
-            let c = p[d].clamp(self.bb_min[d], self.bb_max[d]);
-            let diff = p[d] - c;
+        for ((&pd, &lo), &hi) in p.iter().zip(&self.bb_min).zip(&self.bb_max) {
+            let diff = pd - pd.clamp(lo, hi);
             d2 += diff * diff;
         }
         d2
@@ -102,7 +101,8 @@ impl KdTree {
             return id;
         }
         // Split on the widest dimension at the median.
-        let dim = (0..3).max_by(|&a, &b| (bb_max[a] - bb_min[a]).total_cmp(&(bb_max[b] - bb_min[b]))).unwrap();
+        let dim =
+            (0..3).max_by(|&a, &b| (bb_max[a] - bb_min[a]).total_cmp(&(bb_max[b] - bb_min[b]))).unwrap();
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| points[a as usize][dim].total_cmp(&points[b as usize][dim]));
         let (lo, hi) = idx.split_at_mut(mid);
@@ -165,8 +165,8 @@ mod tests {
         for n in &t.nodes {
             for i in n.start..n.end {
                 let p = [t.xs[i as usize], t.ys[i as usize], t.zs[i as usize]];
-                for d in 0..3 {
-                    assert!(p[d] >= n.bb_min[d] - 1e-6 && p[d] <= n.bb_max[d] + 1e-6);
+                for ((&pd, &lo), &hi) in p.iter().zip(&n.bb_min).zip(&n.bb_max) {
+                    assert!(pd >= lo - 1e-6 && pd <= hi + 1e-6);
                 }
             }
         }

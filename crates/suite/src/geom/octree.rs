@@ -70,8 +70,8 @@ impl Octree {
         });
         let mut com = [0f64; 3];
         for &m in &members {
-            for d in 0..3 {
-                com[d] += f64::from(self.bodies[m as usize][d]);
+            for (c, &b) in com.iter_mut().zip(&self.bodies[m as usize]) {
+                *c += f64::from(b);
             }
         }
         let mass = members.len() as f32;

@@ -11,7 +11,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::SoaVec4;
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::graphs::Graph;
 use crate::outcome::Outcome;
 
@@ -196,7 +198,13 @@ impl Benchmark for GraphCol {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         match tier {
             Tier::Block => par_summary(&GcAos { g: &self.graph }, pool, cfg, kind, Outcome::Exact),
             Tier::Soa | Tier::Simd => par_summary(&GcSoa { g: &self.graph }, pool, cfg, kind, Outcome::Exact),
@@ -233,7 +241,9 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa] {
             let cfg = SchedConfig::restart(Q, 128, 32);
             assert_eq!(b.blocked_seq(cfg, tier).outcome, want);
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert_eq!(b.blocked_par(&pool, cfg, kind, tier).outcome, want, "{kind:?}");
             }
         }

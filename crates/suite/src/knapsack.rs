@@ -12,7 +12,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{compact_append, Lanes, SoaVec3};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 
 const Q: usize = 8;
@@ -257,7 +259,13 @@ impl Benchmark for Knapsack {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         let to = |r: i16| Outcome::Exact(r as u64);
         match tier {
             Tier::Block => par_summary(&KnapAos { k: self }, pool, cfg, kind, to),
@@ -306,8 +314,8 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             let cfg = SchedConfig::restart(Q, 64, 16);
             assert_eq!(k.blocked_seq(cfg, tier).outcome, want, "{tier:?}");
-            assert_eq!(k.blocked_par(&pool, cfg, ParKind::RestartSimplified, tier).outcome, want);
-            assert_eq!(k.blocked_par(&pool, cfg, ParKind::RestartIdeal, tier).outcome, want);
+            assert_eq!(k.blocked_par(&pool, cfg, SchedulerKind::RestartSimplified, tier).outcome, want);
+            assert_eq!(k.blocked_par(&pool, cfg, SchedulerKind::RestartIdeal, tier).outcome, want);
         }
     }
 

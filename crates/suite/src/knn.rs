@@ -17,7 +17,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{Lanes, SoaVec2};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::geom::kdtree::KdTree;
 use crate::geom::points::uniform_cube;
 use crate::outcome::Outcome;
@@ -166,7 +168,14 @@ fn leaf_scan_simd(t: &KdTree, start: u32, end: u32, q: &[f32; 3], r2: f32, best:
 
 /// One traversal step for `(query, node)`.
 #[inline]
-fn expand_one(knn: &Knn, query: u32, node: u32, simd: bool, red: &mut KnnResult, mut spawn: impl FnMut(usize, u32)) {
+fn expand_one(
+    knn: &Knn,
+    query: u32,
+    node: u32,
+    simd: bool,
+    red: &mut KnnResult,
+    mut spawn: impl FnMut(usize, u32),
+) {
     let n = &knn.tree.nodes[node as usize];
     let q = &knn.queries[query as usize];
     if n.dist2_to(q) > knn.r2 {
@@ -322,7 +331,8 @@ impl Benchmark for Knn {
                         return query_cilk(knn, ctx, lo, 0).finite_sum();
                     }
                     let mid = lo + (hi - lo) / 2;
-                    let (a, b) = ctx.join(move |c| queries(knn, c, lo, mid), move |c| queries(knn, c, mid, hi));
+                    let (a, b) =
+                        ctx.join(move |c| queries(knn, c, lo, mid), move |c| queries(knn, c, mid, hi));
                     a + b
                 }
                 queries(self, ctx, 0, self.queries.len() as u32)
@@ -339,7 +349,13 @@ impl Benchmark for Knn {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         let to = |r: KnnResult| Outcome::Approx(r.total());
         match tier {
             Tier::Block => par_summary(&KnnAos { knn: self }, pool, cfg, kind, to),
@@ -403,7 +419,9 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             let cfg = SchedConfig::restart(Q, 256, 64);
             assert!(knn.blocked_seq(cfg, tier).outcome.matches(&want, tol), "{tier:?}");
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert!(knn.blocked_par(&pool, cfg, kind, tier).outcome.matches(&want, tol), "{kind:?}");
             }
         }

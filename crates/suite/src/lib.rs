@@ -54,5 +54,6 @@ pub mod geom;
 pub mod graphs;
 pub mod uts_rng;
 
-pub use bench::{all_benchmarks, benchmark_by_name, Benchmark, ParKind, RunSummary, Scale, Tier};
+pub use bench::{all_benchmarks, benchmark_by_name, Benchmark, RunSummary, Scale, Tier};
 pub use outcome::Outcome;
+pub use tb_core::SchedulerKind;

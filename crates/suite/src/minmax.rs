@@ -16,7 +16,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::SoaVec2;
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 
 const Q: usize = 16;
@@ -48,6 +50,9 @@ impl Board {
     }
 
     /// Does `mask` contain a full line?
+    // Subset test, not membership: clippy's `contains` suggestion would
+    // change semantics.
+    #[expect(clippy::manual_contains)]
     #[inline]
     pub fn wins(&self, mask: u16) -> bool {
         self.lines.iter().any(|&l| mask & l == l)
@@ -124,7 +129,7 @@ fn expand_one(b: &Board, t: Task, red: &mut Tally, mut spawn: impl FnMut(usize, 
         red.draws += 1;
         return;
     }
-    let x_to_move = plies % 2 == 0;
+    let x_to_move = plies.is_multiple_of(2);
     let mut site = 0usize;
     for cell in 0..b.cells {
         let bit = 1u16 << cell;
@@ -273,7 +278,13 @@ impl Benchmark for MinMax {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         let to = |t: Tally| Outcome::Exact(t.checksum());
         match tier {
             Tier::Block => par_summary(&MmAos { b: &self.board }, pool, cfg, kind, to),
@@ -313,7 +324,9 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa] {
             let cfg = SchedConfig::reexpansion(Q, 256);
             assert_eq!(mm.blocked_seq(cfg, tier).outcome, want);
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert_eq!(mm.blocked_par(&pool, cfg, kind, tier).outcome, want, "{kind:?}");
             }
         }

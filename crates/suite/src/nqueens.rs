@@ -16,7 +16,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::SoaVec4;
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 
 const Q: usize = 16;
@@ -56,12 +58,8 @@ pub fn nqueens_serial(n: u8) -> (u64, u64) {
         while free != 0 {
             let bit = free & free.wrapping_neg();
             free ^= bit;
-            let (c, t) = rec(
-                full,
-                cols | bit,
-                ((d1 | u32::from(bit)) << 1) & 0xFFFF,
-                (d2 | u32::from(bit)) >> 1,
-            );
+            let (c, t) =
+                rec(full, cols | bit, ((d1 | u32::from(bit)) << 1) & 0xFFFF, (d2 | u32::from(bit)) >> 1);
             count += c;
             tasks += t;
         }
@@ -80,7 +78,13 @@ fn nqueens_cilk(ctx: &WorkerCtx<'_>, full: u16, cols: u16, d1: u32, d2: u32) -> 
             0 => 0,
             1 => {
                 let bit = bits[0];
-                nqueens_cilk(ctx, full, cols | bit, ((d1 | u32::from(bit)) << 1) & 0xFFFF, (d2 | u32::from(bit)) >> 1)
+                nqueens_cilk(
+                    ctx,
+                    full,
+                    cols | bit,
+                    ((d1 | u32::from(bit)) << 1) & 0xFFFF,
+                    (d2 | u32::from(bit)) >> 1,
+                )
             }
             _ => {
                 let mut left = bits;
@@ -118,10 +122,7 @@ fn expand_one(full: u16, n: u8, t: Task, red: &mut u64, mut spawn: impl FnMut(us
     while free != 0 {
         let bit = free & free.wrapping_neg();
         free ^= bit;
-        spawn(
-            site,
-            (row + 1, cols | bit, ((d1 | u32::from(bit)) << 1) & 0xFFFF, (d2 | u32::from(bit)) >> 1),
-        );
+        spawn(site, (row + 1, cols | bit, ((d1 | u32::from(bit)) << 1) & 0xFFFF, (d2 | u32::from(bit)) >> 1));
         site += 1;
     }
 }
@@ -222,13 +223,23 @@ impl Benchmark for NQueens {
     fn blocked_seq(&self, cfg: SchedConfig, tier: Tier) -> RunSummary {
         match tier {
             Tier::Block => seq_summary(&NqAos { n: self.n, full: self.full() }, cfg, Outcome::Exact),
-            Tier::Soa | Tier::Simd => seq_summary(&NqSoa { n: self.n, full: self.full() }, cfg, Outcome::Exact),
+            Tier::Soa | Tier::Simd => {
+                seq_summary(&NqSoa { n: self.n, full: self.full() }, cfg, Outcome::Exact)
+            }
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         match tier {
-            Tier::Block => par_summary(&NqAos { n: self.n, full: self.full() }, pool, cfg, kind, Outcome::Exact),
+            Tier::Block => {
+                par_summary(&NqAos { n: self.n, full: self.full() }, pool, cfg, kind, Outcome::Exact)
+            }
             Tier::Soa | Tier::Simd => {
                 par_summary(&NqSoa { n: self.n, full: self.full() }, pool, cfg, kind, Outcome::Exact)
             }
@@ -256,7 +267,11 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa] {
             for cfg in [SchedConfig::reexpansion(Q, 128), SchedConfig::restart(Q, 128, 32)] {
                 assert_eq!(b.blocked_seq(cfg, tier).outcome, want);
-                for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+                for kind in [
+                    SchedulerKind::ReExpansion,
+                    SchedulerKind::RestartSimplified,
+                    SchedulerKind::RestartIdeal,
+                ] {
                     assert_eq!(b.blocked_par(&pool, cfg, kind, tier).outcome, want, "{kind:?}");
                 }
             }

@@ -11,7 +11,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{compact_append, Lanes, SoaVec2};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 
 const Q: usize = 16;
@@ -223,7 +225,13 @@ impl Benchmark for Parentheses {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         match tier {
             Tier::Block => par_summary(&ParAos { n: self.n }, pool, cfg, kind, Outcome::Exact),
             Tier::Soa => par_summary(&ParSoa { n: self.n, simd: false }, pool, cfg, kind, Outcome::Exact),
@@ -253,7 +261,7 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             let cfg = SchedConfig::restart(Q, 128, 32);
             assert_eq!(b.blocked_seq(cfg, tier).outcome, want, "{tier:?}");
-            assert_eq!(b.blocked_par(&pool, cfg, ParKind::ReExp, tier).outcome, want);
+            assert_eq!(b.blocked_par(&pool, cfg, SchedulerKind::ReExpansion, tier).outcome, want);
         }
     }
 

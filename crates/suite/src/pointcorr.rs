@@ -15,7 +15,9 @@ use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 use tb_simd::{Lanes, SoaVec2};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::geom::kdtree::KdTree;
 use crate::geom::points::uniform_cube;
 use crate::outcome::Outcome;
@@ -95,7 +97,14 @@ fn leaf_count_simd(t: &KdTree, start: u32, end: u32, q: &[f32; 3], r2: f32) -> u
 
 /// One traversal step for `(query, node)`.
 #[inline]
-fn expand_one(pc: &PointCorr, query: u32, node: u32, simd: bool, red: &mut u64, mut spawn: impl FnMut(usize, u32)) {
+fn expand_one(
+    pc: &PointCorr,
+    query: u32,
+    node: u32,
+    simd: bool,
+    red: &mut u64,
+    mut spawn: impl FnMut(usize, u32),
+) {
     let n = &pc.tree.nodes[node as usize];
     let q = &pc.queries[query as usize];
     if n.dist2_to(q) > pc.r2 {
@@ -264,7 +273,13 @@ impl Benchmark for PointCorr {
         }
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: Tier,
+    ) -> RunSummary {
         match tier {
             Tier::Block => par_summary(&PcAos { pc: self }, pool, cfg, kind, Outcome::Exact),
             Tier::Soa => par_summary(&PcSoa { pc: self, simd: false }, pool, cfg, kind, Outcome::Exact),
@@ -308,7 +323,9 @@ mod tests {
         for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
             let cfg = SchedConfig::restart(Q, 256, 64);
             assert_eq!(pc.blocked_seq(cfg, tier).outcome, want, "{tier:?}");
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert_eq!(pc.blocked_par(&pool, cfg, kind, tier).outcome, want, "{kind:?}");
             }
         }

@@ -15,7 +15,9 @@
 use tb_core::prelude::*;
 use tb_runtime::{ThreadPool, WorkerCtx};
 
-use crate::bench::{cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, ParKind, RunSummary, Scale, Tier};
+use crate::bench::{
+    cilk_summary, par_summary, seq_summary, serial_summary, Benchmark, RunSummary, Scale, Tier,
+};
 use crate::outcome::Outcome;
 use crate::uts_rng::{child_state, uniform};
 
@@ -171,7 +173,13 @@ impl Benchmark for Uts {
         seq_summary(&UtsProg { u: self }, cfg, Outcome::Exact)
     }
 
-    fn blocked_par(&self, pool: &ThreadPool, cfg: SchedConfig, kind: ParKind, _tier: Tier) -> RunSummary {
+    fn blocked_par(
+        &self,
+        pool: &ThreadPool,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        _tier: Tier,
+    ) -> RunSummary {
         par_summary(&UtsProg { u: self }, pool, cfg, kind, Outcome::Exact)
     }
 }
@@ -197,7 +205,9 @@ mod tests {
         assert_eq!(u.cilk(&pool).outcome, want);
         for cfg in [SchedConfig::reexpansion(Q, 128), SchedConfig::restart(Q, 128, 16)] {
             assert_eq!(u.blocked_seq(cfg, Tier::Block).outcome, want);
-            for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
+            for kind in
+                [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+            {
                 assert_eq!(u.blocked_par(&pool, cfg, kind, Tier::Block).outcome, want, "{kind:?}");
             }
         }
@@ -210,6 +220,11 @@ mod tests {
         let u = Uts::new(Scale::Tiny);
         let run = u.blocked_seq(SchedConfig::restart(Q, 64, 16), Tier::Block);
         let n = run.stats.tasks_executed as f64;
-        assert!(run.stats.max_level as f64 > n.log2(), "depth {} vs log2(n) {}", run.stats.max_level, n.log2());
+        assert!(
+            run.stats.max_level as f64 > n.log2(),
+            "depth {} vs log2(n) {}",
+            run.stats.max_level,
+            n.log2()
+        );
     }
 }

@@ -19,11 +19,7 @@ fn scales_are_strictly_increasing_in_work() {
         let cfg = SchedConfig::reexpansion(tiny.q(), 1 << 10);
         let t_tasks = tiny.blocked_seq(cfg, Tier::Block).stats.tasks_executed;
         let s_tasks = small.blocked_seq(cfg, Tier::Block).stats.tasks_executed;
-        assert!(
-            s_tasks > t_tasks,
-            "{}: small ({s_tasks}) not larger than tiny ({t_tasks})",
-            tiny.name()
-        );
+        assert!(s_tasks > t_tasks, "{}: small ({s_tasks}) not larger than tiny ({t_tasks})", tiny.name());
     }
 }
 

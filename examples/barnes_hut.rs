@@ -12,7 +12,7 @@
 use taskblocks::prelude::*;
 use taskblocks::suite::barneshut::BarnesHut;
 use taskblocks::suite::geom::points::plummer_cloud;
-use taskblocks::suite::{Benchmark, ParKind, Tier};
+use taskblocks::suite::{Benchmark, SchedulerKind, Tier};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -41,7 +41,8 @@ fn main() {
     );
 
     let (block, rb) = (1 << 9, 256);
-    let reexp = bh.blocked_par(&pool, SchedConfig::reexpansion(4, block), ParKind::ReExp, Tier::Simd);
+    let reexp =
+        bh.blocked_par(&pool, SchedConfig::reexpansion(4, block), SchedulerKind::ReExpansion, Tier::Simd);
     println!(
         "reexp+SIMD ({workers}w):  |F|sum = {}   util = {:.1}%   {:?}",
         reexp.outcome.display(),
@@ -52,7 +53,7 @@ fn main() {
     let restart = bh.blocked_par(
         &pool,
         SchedConfig::restart(4, block, rb),
-        ParKind::RestartSimplified,
+        SchedulerKind::RestartSimplified,
         Tier::Simd,
     );
     println!(

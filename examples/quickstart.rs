@@ -56,7 +56,7 @@ fn main() {
         "scheduler", "result", "tasks", "steps", "util%", "restarts", "steals"
     );
 
-    let mut show = |name: &str, out: RunOutput<u64>| {
+    let show = |name: &str, out: RunOutput<u64>| {
         println!(
             "{:<22} {:>12} {:>10} {:>10} {:>8.1} {:>9} {:>8}",
             name,
@@ -70,23 +70,26 @@ fn main() {
     };
 
     show("serial (depth-first)", run_depth_first(&prog));
-    show("basic", SeqScheduler::new(&prog, SchedConfig::basic(q, block)).run());
-    show("re-expansion", SeqScheduler::new(&prog, SchedConfig::reexpansion(q, block)).run());
-    show("restart", SeqScheduler::new(&prog, SchedConfig::restart(q, block, 64)).run());
+    // Sequential: run_policy without a pool honours cfg.policy exactly.
+    show("basic", run_policy(&prog, SchedConfig::basic(q, block), None));
+    show("re-expansion", run_policy(&prog, SchedConfig::reexpansion(q, block), None));
+    show("restart", run_policy(&prog, SchedConfig::restart(q, block, 64), None));
 
+    // Parallel: the same entry point with a pool picks the policy's
+    // multicore scheduler; run_scheduler selects an implementation by hand.
     let workers = std::thread::available_parallelism().map_or(2, usize::from);
     let pool = ThreadPool::new(workers);
     show(
         &format!("par re-expansion ({workers}w)"),
-        ParReExpansion::new(&prog, SchedConfig::reexpansion(q, block)).run(&pool),
+        run_policy(&prog, SchedConfig::reexpansion(q, block), Some(&pool)),
     );
     show(
         &format!("par restart ({workers}w)"),
-        ParRestartSimplified::new(&prog, SchedConfig::restart(q, block, 64)).run(&pool),
+        run_policy(&prog, SchedConfig::restart(q, block, 64), Some(&pool)),
     );
     show(
         &format!("ideal restart ({workers}w)"),
-        ParRestartIdeal::new(&prog, SchedConfig::restart(q, block, 64), workers).run(),
+        run_scheduler(SchedulerKind::RestartIdeal, &prog, SchedConfig::restart(q, block, 64), Some(&pool)),
     );
 
     println!(

@@ -32,7 +32,7 @@ fn main() {
         SchedConfig::reexpansion(16, 1 << 10),
         SchedConfig::restart(16, 1 << 10, 128),
     ] {
-        let out = SeqScheduler::new(&prog, cfg).run();
+        let out = run_policy(&prog, cfg, None);
         println!(
             "blocked {:<8} -> {}   ({} tasks, util {:.1}%)",
             format!("{:?}", cfg.policy),
@@ -48,6 +48,6 @@ fn main() {
     let calls: Vec<Vec<i64>> = (0..2000).map(|i| vec![i % 8, 0]).collect();
     let dp = BlockedSpec::with_data_parallel(spec, calls).expect("valid spec");
     let pool = ThreadPool::new(std::thread::available_parallelism().map_or(2, usize::from));
-    let out = ParRestartSimplified::new(&dp, SchedConfig::restart(16, 1 << 9, 64)).run(&pool);
+    let out = run_policy(&dp, SchedConfig::restart(16, 1 << 9, 64), Some(&pool));
     println!("\nforeach over 2000 partial prefixes, work-stealing restart: {}", out.reducer);
 }

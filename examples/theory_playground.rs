@@ -19,12 +19,15 @@ fn main() {
     for (name, tree) in &trees {
         let (n, h) = (tree.len() as f64, tree.height() as f64);
         println!("\n{name}: n = {n}, h = {h}, eps = h - lg n = {:.1}", h - n.log2());
-        println!("{:>6} {:>9} {:>9} {:>9} | measured/bound: {:>6} {:>6} {:>8}", "k", "basic", "reexp", "restart", "basic", "reexp", "restart");
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} | measured/bound: {:>6} {:>6} {:>8}",
+            "k", "basic", "reexp", "restart", "basic", "reexp", "restart"
+        );
         for k in [1usize, 8, 64] {
             let t_dfe = k * Q;
             let steps = |cfg: SchedConfig| {
                 let walk = TreeWalk::new(tree);
-                SeqScheduler::new(&walk, cfg).run().stats.simd_steps as f64
+                run_policy(&walk, cfg, None).stats.simd_steps as f64
             };
             let b = steps(SchedConfig::basic(Q, t_dfe));
             let x = steps(SchedConfig::reexpansion(Q, t_dfe));

@@ -8,7 +8,7 @@
 
 use taskblocks::prelude::*;
 use taskblocks::suite::uts::Uts;
-use taskblocks::suite::{Benchmark, ParKind, Scale, Tier};
+use taskblocks::suite::{Benchmark, Scale, SchedulerKind, Tier};
 
 fn main() {
     let u = Uts::new(Scale::Small);
@@ -29,9 +29,13 @@ fn main() {
     let pool = ThreadPool::new(workers);
     println!("{:<26} {:>10} {:>10} {:>9} {:>8}", "scheduler", "wall", "util%", "restarts", "steals");
     for (name, kind, cfg) in [
-        ("par re-expansion", ParKind::ReExp, SchedConfig::reexpansion(4, 1 << 11)),
-        ("par restart (simplified)", ParKind::RestartSimplified, SchedConfig::restart(4, 1 << 11, 1 << 8)),
-        ("par restart (ideal)", ParKind::RestartIdeal, SchedConfig::restart(4, 1 << 11, 1 << 8)),
+        ("par re-expansion", SchedulerKind::ReExpansion, SchedConfig::reexpansion(4, 1 << 11)),
+        (
+            "par restart (simplified)",
+            SchedulerKind::RestartSimplified,
+            SchedConfig::restart(4, 1 << 11, 1 << 8),
+        ),
+        ("par restart (ideal)", SchedulerKind::RestartIdeal, SchedConfig::restart(4, 1 << 11, 1 << 8)),
     ] {
         let out = u.blocked_par(&pool, cfg, kind, Tier::Block);
         assert_eq!(out.outcome, serial.outcome, "{name}");

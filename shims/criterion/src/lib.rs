@@ -1,0 +1,183 @@
+//! API-compatible subset of `criterion` for offline builds.
+//!
+//! Drives the same `criterion_group!` / `criterion_main!` /
+//! `bench_function` surface as the real crate, but with a deliberately
+//! simple measurement loop: warm up briefly, time a fixed budget of
+//! iterations, report mean ns/iter to stdout. No statistics, plots, or
+//! baselines — enough to keep `[[bench]]` targets compiling and runnable
+//! until the real crate can be restored in the manifest.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmark's result.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean cost per call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: one timed call sizes the batch.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `"<name>/<parameter>"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        run_one(None, id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stand-in's fixed time budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stand-in's fixed time budget ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        run_one(Some(&self.name), id.into(), f);
+        self
+    }
+
+    /// Run one parameterised benchmark inside this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (a no-op here; results were printed as they ran).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: BenchmarkId, mut f: F) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id,
+    };
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{label:<60} {value:>10.3} {unit}/iter");
+}
+
+/// Bundle benchmark functions into a runnable group, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_inputs_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| black_box(x * x)));
+        g.finish();
+    }
+}

@@ -1,0 +1,216 @@
+//! API-compatible subset of `crossbeam-deque` for offline builds.
+//!
+//! The real crate implements the Chase-Lev lock-free deque; this stand-in
+//! trades lock-freedom for a `Mutex<VecDeque>` while keeping the exact
+//! semantics the runtime relies on: LIFO owner access ([`Worker::push`] /
+//! [`Worker::pop`] at the back), FIFO thief access ([`Stealer::steal`] at
+//! the front), and a shared FIFO [`Injector`]. Blocks are coarse units of
+//! work in this codebase (hundreds-to-thousands of tasks each), so a short
+//! critical section per scheduling action is an acceptable cost; swapping
+//! the real crate back in is a one-line manifest change.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried. The mutex-based
+    /// stand-in never produces this, but callers match on it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The owner's handle to a work-stealing deque (LIFO end).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new deque whose owner operates in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// A new deque whose owner operates in FIFO order. Provided for API
+    /// parity; the runtime uses LIFO.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, item: T) {
+        self.queue.lock().push_back(item);
+    }
+
+    /// Pop from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().pop_back()
+    }
+
+    /// True when the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// A thief-side handle to this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A thief's handle to some worker's deque (steals from the FIFO end).
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A shared FIFO queue all workers can push to and steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push onto the back of the queue.
+    pub fn push(&self, item: T) {
+        self.queue.lock().push_back(item);
+    }
+
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`, returning one item directly. The
+    /// stand-in moves a single item (batching is a throughput optimisation
+    /// the mutex variant does not need).
+    pub fn steal_batch_and_pop(&self, _dest: &Worker<T>) -> Steal<T> {
+        self.steal()
+    }
+
+    /// True when the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_roundtrip() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_conserves_items() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let got: usize = std::thread::scope(|s| {
+            stealers
+                .iter()
+                .map(|st| {
+                    s.spawn(move || {
+                        let mut n = 0;
+                        while st.steal().success().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(got + w.len(), 1000);
+    }
+}

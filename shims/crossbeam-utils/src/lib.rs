@@ -1,0 +1,61 @@
+//! API-compatible subset of `crossbeam-utils` for offline builds: just
+//! [`CachePadded`], which the runtime uses to keep per-worker hot counters
+//! on separate cache lines.
+
+/// Pads and aligns a value to (at least) the length of a cache line so two
+/// `CachePadded` values never share one, preventing false sharing between
+/// cores that each hammer their own counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap, discarding the padding.
+    pub fn into_inner(padded: Self) -> T {
+        padded.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner_roundtrip() {
+        let mut p = CachePadded::new(41);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(CachePadded::into_inner(p), 42);
+    }
+}

@@ -1,0 +1,425 @@
+//! API-compatible subset of `proptest` for offline builds.
+//!
+//! Implements the slice of the proptest surface this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`, `any`, ranges,
+//! tuples, [`collection::vec`], [`array::uniform8`], [`Just`],
+//! `prop_oneof!`, `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert!` family of macros.
+//!
+//! Differences from the real crate, by design: generation is driven by a
+//! seeded ChaCha stream so failures reproduce across runs, and there is
+//! **no shrinking** — a failing case reports the generated inputs via
+//! `Debug` and the case's seed instead of minimising them.
+
+use rand::Rng as _;
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// The random source handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic RNG for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(value)`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed to mix strategy types, e.g. in
+    /// `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything" strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+arb_via_random!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy yielding any value of `T` (via [`Arbitrary`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.is_empty() { 0 } else { rng.random_range(self.len.clone()) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies, mirroring `proptest::array`.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]`.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident: $n:literal),*) => {$(
+            /// An array of `
+            #[doc = stringify!($n)]
+            /// ` values drawn independently from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        )*};
+    }
+
+    uniform_fns!(uniform2: 2, uniform4: 4, uniform8: 8, uniform16: 16, uniform32: 32);
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Run one property-test function: `cases` deterministic cases, each with a
+/// seed derived from the test name so different tests explore different
+/// inputs but every run explores the same ones.
+pub fn run_cases(test_name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut TestRng, u64)) {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..u64::from(config.cases) {
+        let seed = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        body(&mut rng, seed);
+    }
+}
+
+/// Like `assert!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Like `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Like `assert_ne!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    }};
+}
+
+/// Strategy behind [`prop_oneof!`]: pick one of `arms` per case.
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+/// Build a [`OneOf`] from boxed arms (used by the `prop_oneof!` expansion).
+pub fn one_of<T: std::fmt::Debug>(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf(arms)
+}
+
+impl<T: std::fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// The `proptest!` block: declares `#[test]` functions whose arguments are
+/// drawn from strategies. Panics (from `prop_assert!` or anywhere else)
+/// fail the case; the panic message is augmented with the inputs and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block ($config) $($rest)*);
+    };
+    (@block ($config:expr) $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block )*) => {
+        $(
+            // The `#[test]` attribute arrives via `$meta` — proptest! users
+            // write it explicitly above each property function.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &config, |rng, seed| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = &$arg;)+
+                        // Shadow references back to owned bindings for the
+                        // body, which expects by-value semantics.
+                        $(let $arg = Clone::clone($arg);)+
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case failed (seed {seed:#x}):\n{}",
+                            [$(format!("  {} = {:?}", stringify!($arg), $arg)),+].join("\n")
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@block ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (1usize..5, 0.25f64..0.75);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.25..0.75).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_and_array_shapes() {
+        let mut rng = TestRng::from_seed(9);
+        let v = crate::collection::vec(any::<u32>(), 2..5).generate(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        let a = crate::array::uniform8(any::<bool>()).generate(&mut rng);
+        assert_eq!(a.len(), 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0usize..10, ys in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_smoke(b in any::<bool>()) {
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+}

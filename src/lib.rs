@@ -46,14 +46,21 @@
 //!     }
 //! }
 //!
+//! let cfg = SchedConfig::restart(8, 1 << 10, 64);
+//!
 //! // Single core, 8 SIMD lanes, restart scheduling:
-//! let out = SeqScheduler::new(&Fib, SchedConfig::restart(8, 1 << 10, 64)).run();
+//! let out = run_policy(&Fib, cfg, None);
 //! assert_eq!(out.reducer, 75_025);
 //!
-//! // All cores, work-stealing simplified restart:
-//! let pool = tb_runtime::ThreadPool::new(4);
-//! let par = ParRestartSimplified::new(&Fib, SchedConfig::restart(8, 1 << 10, 64)).run(&pool);
+//! // All cores: the same entry point with a work-stealing pool picks the
+//! // policy's multicore scheduler (simplified restart here).
+//! let pool = ThreadPool::new(4);
+//! let par = run_policy(&Fib, cfg, Some(&pool));
 //! assert_eq!(par.reducer, 75_025);
+//!
+//! // Or pick a scheduler implementation explicitly:
+//! let ideal = run_scheduler(SchedulerKind::RestartIdeal, &Fib, cfg, Some(&pool));
+//! assert_eq!(ideal.reducer, 75_025);
 //! ```
 
 pub use tb_core as core;

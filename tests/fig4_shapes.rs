@@ -2,8 +2,8 @@
 //! claims, run as part of the test suite so regressions in the schedulers
 //! show up as test failures, not just changed plots.
 
-use tb_core::prelude::*;
 use taskblocks::suite::{benchmark_by_name, Scale, Tier};
+use tb_core::prelude::*;
 
 fn utilization(name: &str, policy: PolicyKind, block: usize) -> f64 {
     let b = benchmark_by_name(name, Scale::Tiny).expect("known benchmark");
@@ -22,10 +22,7 @@ fn restart_dominates_reexp_on_the_fig4_benchmarks() {
             let block = 1usize << log2;
             let x = utilization(name, PolicyKind::ReExpansion, block);
             let r = utilization(name, PolicyKind::Restart, block);
-            assert!(
-                r >= x - 1e-9,
-                "{name} at 2^{log2}: restart {r:.3} < reexp {x:.3}"
-            );
+            assert!(r >= x - 1e-9, "{name} at 2^{log2}: restart {r:.3} < reexp {x:.3}");
         }
     }
 }

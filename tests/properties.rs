@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn every_node_exactly_once(tree in arb_tree(), cfg in arb_cfg()) {
         let walk = TreeWalk::recording(&tree);
-        let out = SeqScheduler::new(&walk, cfg).run();
+        let out = run_policy(&walk, cfg, None);
         out.reducer.assert_exactly_once(&tree);
     }
 
@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn step_count_bounds(tree in arb_tree(), cfg in arb_cfg()) {
         let walk = TreeWalk::new(&tree);
-        let out = SeqScheduler::new(&walk, cfg).run();
+        let out = run_policy(&walk, cfg, None);
         let n = tree.len() as u64;
         let h = tree.height() as u64;
         let q = cfg.q as u64;
@@ -57,7 +57,7 @@ proptest! {
         let q = 4;
         let cfg = SchedConfig::restart(q, k * q, k * q);
         let walk = TreeWalk::new(&tree);
-        let out = SeqScheduler::new(&walk, cfg).run();
+        let out = run_policy(&walk, cfg, None);
         let opt = tree.len() as f64 / q as f64 + tree.height() as f64;
         prop_assert!(
             (out.stats.simd_steps as f64) <= 3.0 * opt,
@@ -70,8 +70,8 @@ proptest! {
     #[test]
     fn restart_dominates_reexp_utilization(tree in arb_tree(), k in 1usize..16) {
         let q = 4;
-        let x = SeqScheduler::new(&TreeWalk::new(&tree), SchedConfig::reexpansion(q, k * q)).run();
-        let r = SeqScheduler::new(&TreeWalk::new(&tree), SchedConfig::restart(q, k * q, k * q)).run();
+        let x = run_policy(&TreeWalk::new(&tree), SchedConfig::reexpansion(q, k * q), None);
+        let r = run_policy(&TreeWalk::new(&tree), SchedConfig::restart(q, k * q, k * q), None);
         prop_assert!(
             r.stats.simd_utilization() >= x.stats.simd_utilization() - 1e-9,
             "restart {} < reexp {}", r.stats.simd_utilization(), x.stats.simd_utilization()
@@ -85,7 +85,7 @@ proptest! {
         let q = 4;
         let cfg = SchedConfig::restart(q, k * q, k * q);
         let walk = TreeWalk::new(&tree);
-        let out = SeqScheduler::new(&walk, cfg).run();
+        let out = run_policy(&walk, cfg, None);
         let h = (out.stats.max_level + 1) as u64;
         let cap = h * 2 * (2 * k as u64 * q as u64);
         prop_assert!(out.stats.max_deque_tasks <= cap,
@@ -97,8 +97,8 @@ proptest! {
     #[test]
     fn parallel_equals_sequential(tree in arb_tree(), workers in 1usize..5) {
         let cfg = SchedConfig::restart(4, 32, 16);
-        let seq = SeqScheduler::new(&TreeWalk::new(&tree), cfg).run();
-        let ideal = ParRestartIdeal::new(&TreeWalk::new(&tree), cfg, workers).run();
+        let seq = run_policy(&TreeWalk::new(&tree), cfg, None);
+        let ideal = run_scheduler_on(SchedulerKind::RestartIdeal, &TreeWalk::new(&tree), cfg, workers);
         prop_assert_eq!(seq.reducer.count, ideal.reducer.count);
         prop_assert_eq!(ideal.stats.tasks_executed, tree.len() as u64);
     }
@@ -114,7 +114,7 @@ proptest! {
         let pool = ThreadPool::new(workers);
         let cfg = SchedConfig::restart(4, 32, 8);
         let walk = TreeWalk::recording(&tree);
-        let out = ParRestartSimplified::new(&walk, cfg).run(&pool);
+        let out = run_policy(&walk, cfg, Some(&pool));
         out.reducer.assert_exactly_once(&tree);
     }
 }

@@ -1,9 +1,47 @@
-//! Cross-crate integration: every benchmark × every scheduler × several
-//! threshold settings computes the same answer, and the machine-model
-//! counters are mutually consistent.
+//! Cross-crate integration: every scheduler implementation computes the
+//! same answer as every other, across benchmarks, policies, tiers and
+//! worker counts — all driven through the uniform `Scheduler` dispatch,
+//! never by naming a concrete scheduler type.
 
 use taskblocks::prelude::*;
-use taskblocks::suite::{all_benchmarks, ParKind, Scale, Tier};
+use taskblocks::suite::{all_benchmarks, benchmark_by_name, Scale, SchedulerKind, Tier};
+
+/// The satellite matrix: all four schedulers return identical reducers on
+/// fib, nqueens and uts, for every policy family, on 1/2/4 threads.
+#[test]
+fn four_schedulers_agree_on_fib_nqueens_uts_across_policies_and_threads() {
+    let q = 4;
+    let (t_dfe, t_restart) = (64, 16);
+    for name in ["fib", "nqueens", "uts"] {
+        let b = benchmark_by_name(name, Scale::Tiny).expect("known benchmark");
+        let reference = b.serial().outcome;
+        for policy in [PolicyKind::Basic, PolicyKind::ReExpansion, PolicyKind::Restart] {
+            let cfg = SchedConfig::restart(q, t_dfe, t_restart).with_policy(policy);
+            // The sequential engine honours the policy exactly...
+            let seq = b.blocked_seq(cfg, Tier::Block);
+            assert_eq!(seq.outcome, reference, "{name}: seq under {policy:?} disagrees with serial");
+            // ...and each multicore scheduler (which coerces the policy to
+            // its own family) must still produce the identical reducer, at
+            // every worker count.
+            for threads in [1usize, 2, 4] {
+                let pool = ThreadPool::new(threads);
+                for kind in [
+                    SchedulerKind::ReExpansion,
+                    SchedulerKind::RestartSimplified,
+                    SchedulerKind::RestartIdeal,
+                ] {
+                    let got = b.blocked_par(&pool, cfg, kind, Tier::Block);
+                    assert_eq!(
+                        got.outcome,
+                        reference,
+                        "{name}: {} under {policy:?} on {threads} threads disagrees",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
 
 #[test]
 fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
@@ -11,11 +49,7 @@ fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
     for b in all_benchmarks(Scale::Tiny) {
         let want = b.serial().outcome;
         let tol = b.tolerance().max(1e-9);
-        assert!(
-            b.cilk(&pool).outcome.matches(&want, tol),
-            "{}: cilk variant disagrees",
-            b.name()
-        );
+        assert!(b.cilk(&pool).outcome.matches(&want, tol), "{}: cilk variant disagrees", b.name());
         for (t_dfe, t_r) in [(64usize, 16usize), (1 << 12, 1 << 8)] {
             for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
                 let reexp = SchedConfig::reexpansion(b.q(), t_dfe);
@@ -30,8 +64,12 @@ fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
                         want
                     );
                 }
-                for kind in [ParKind::ReExp, ParKind::RestartSimplified, ParKind::RestartIdeal] {
-                    let cfg = if kind == ParKind::ReExp { reexp } else { restart };
+                for kind in [
+                    SchedulerKind::ReExpansion,
+                    SchedulerKind::RestartSimplified,
+                    SchedulerKind::RestartIdeal,
+                ] {
+                    let cfg = if kind == SchedulerKind::ReExpansion { reexp } else { restart };
                     let got = b.blocked_par(&pool, cfg, kind, tier);
                     assert!(
                         got.outcome.matches(&want, tol),
@@ -78,7 +116,7 @@ fn stats_counters_are_internally_consistent() {
         assert!(s.simd_utilization() >= 0.0 && s.simd_utilization() <= 1.0);
         // Model lower bounds (§4 preliminaries).
         assert!(s.simd_steps >= s.tasks_executed.div_ceil(s.q));
-        assert!(s.simd_steps >= s.max_level + 1);
+        assert!(s.simd_steps > s.max_level);
     }
 }
 
@@ -105,9 +143,9 @@ fn parallel_runs_are_repeatable() {
     let pool = ThreadPool::new(4);
     for b in all_benchmarks(Scale::Tiny) {
         let cfg = SchedConfig::restart(b.q(), 128, 32);
-        let a = b.blocked_par(&pool, cfg, ParKind::RestartSimplified, Tier::Block);
+        let a = b.blocked_par(&pool, cfg, SchedulerKind::RestartSimplified, Tier::Block);
         for _ in 0..3 {
-            let c = b.blocked_par(&pool, cfg, ParKind::RestartSimplified, Tier::Block);
+            let c = b.blocked_par(&pool, cfg, SchedulerKind::RestartSimplified, Tier::Block);
             assert!(a.outcome.matches(&c.outcome, b.tolerance().max(1e-9)), "{}", b.name());
             assert_eq!(a.stats.tasks_executed, c.stats.tasks_executed, "{}", b.name());
         }

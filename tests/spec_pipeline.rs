@@ -27,7 +27,7 @@ fn blocked_spec_matches_native_under_all_policies() {
         SchedConfig::restart(16, 8, 8),
     ] {
         let prog = BlockedSpec::new(spec.clone(), vec![0, 0]).unwrap();
-        let out = SeqScheduler::new(&prog, cfg).run();
+        let out = run_policy(&prog, cfg, None);
         assert_eq!(out.reducer as u64, native, "{:?}", cfg.policy);
     }
 }
@@ -38,7 +38,7 @@ fn spec_task_counts_match_native_tree() {
     // the same answer.
     let spec = examples::fib_spec();
     let prog = BlockedSpec::new(spec, vec![15]).unwrap();
-    let out = SeqScheduler::new(&prog, SchedConfig::reexpansion(16, 128)).run();
+    let out = run_policy(&prog, SchedConfig::reexpansion(16, 128), None);
     assert_eq!(out.stats.tasks_executed, fib_serial(15).1);
 }
 
@@ -50,7 +50,7 @@ fn data_parallel_specs_run_under_work_stealing() {
     let prog = BlockedSpec::with_data_parallel(spec, calls).unwrap();
     let pool = ThreadPool::new(4);
     for _ in 0..3 {
-        let out = ParRestartSimplified::new(&prog, SchedConfig::restart(16, 128, 32)).run(&pool);
+        let out = run_policy(&prog, SchedConfig::restart(16, 128, 32), Some(&pool));
         assert_eq!(out.reducer, want);
     }
 }
@@ -62,7 +62,7 @@ fn interpreter_and_transform_agree_on_a_grid_of_inputs() {
         for k in 0..=n {
             let want = interpret(&spec, &[n, k]);
             let prog = BlockedSpec::new(spec.clone(), vec![n, k]).unwrap();
-            let got = SeqScheduler::new(&prog, SchedConfig::restart(8, 32, 8)).run().reducer;
+            let got = run_policy(&prog, SchedConfig::restart(8, 32, 8), None).reducer;
             assert_eq!(got, want, "C({n},{k})");
         }
     }
