@@ -1,0 +1,673 @@
+//! The benchmark-trajectory pipeline: one comparable data point per PR.
+//!
+//! Runs a pinned subset — `fib`, `uts`, `nqueens`, `barneshut` at 1/2/4
+//! workers under the Basic and Restart policies — and writes a
+//! machine-readable JSON file (default `BENCH_PR2.json` at the current
+//! directory, i.e. the repo root when run via `cargo run`) that future PRs
+//! can regenerate with a new `--tag` and diff against. The harness also
+//! performs an in-run A/B of the restart scheduler's deque substrate:
+//! the lock-free `SharedLeveledDeque` (`ParRestartIdeal`) against a
+//! mutex-guarded port of the pre-PR-2 implementation, on identical
+//! programs — so the JSON carries its own control group and the numbers
+//! stay comparable no matter what machine produced them.
+//!
+//! # JSON schema (`taskblocks-trajectory/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "taskblocks-trajectory/v1",
+//!   "tag": "PR2",                       // --tag; names the data point
+//!   "created_unix": 1700000000,         // seconds since the epoch
+//!   "host": { "available_parallelism": 8 },
+//!   "scale": "small",                   // input preset (see tb-suite)
+//!   "config": { "t_dfe": 1024, "t_restart": 256 },
+//!   "reps": 3,                          // runs per cell; wall = median
+//!   "runs": [                           // pinned-subset measurements
+//!     { "bench": "fib", "variant": "basic|restart", "threads": 1,
+//!       "wall_s": 0.123,                // median wall-clock seconds
+//!       "tasks": 29860703,              // tasks executed (exactness check)
+//!       "supersteps": 123, "steals": 4, "merges": 5 }
+//!   ],
+//!   "substrate_ab": [                   // same-run deque substrate control
+//!     { "bench": "fib", "threads": 4,   // rows at 1 worker (owner path
+//!                                       //   alone) and 4 (steal traffic)
+//!       "lockfree_wall_s": 0.5, "mutex_wall_s": 0.6,
+//!       "mutex_over_lockfree": 1.2 }    // median of *paired* per-rep
+//!   ]                                   //   ratios; > 1.0: lock-free wins
+//! }
+//! ```
+//!
+//! `variant` mapping: `basic` is `SchedConfig::basic` driven through the
+//! re-expansion scheduler (§3.2: parallel basic *is* re-expansion's warm-up
+//! phase, the same mapping `run_policy` uses); `restart` is
+//! `SchedConfig::restart` on `ParRestartIdeal`, the §3.4 scheduler whose
+//! substrate this pipeline exists to track.
+//!
+//! Flags: `--scale tiny|small|paper`, `--reps N`, `--tag NAME`,
+//! `--file PATH`, `--smoke` (tiny scale, 1 rep, writes under `results/` so
+//! CI never dirties the tree — a health check, not a measurement).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use tb_bench::HarnessArgs;
+use tb_core::prelude::*;
+use tb_core::LeveledDeque;
+use tb_runtime::ThreadPool;
+use tb_suite::uts::Uts;
+use tb_suite::uts_rng::{child_state, uniform};
+use tb_suite::{benchmark_by_name, Scale, SchedulerKind, Tier};
+
+/// The pinned subset: two task-only recursions (one balanced, one wildly
+/// unbalanced), one data-in-task and one task-in-data benchmark.
+const TRAJ_BENCHES: &[&str] = &["fib", "uts", "nqueens", "barneshut"];
+const TRAJ_THREADS: &[usize] = &[1, 2, 4];
+
+/// Pinned thresholds: identical across PRs so trajectory points compare.
+const T_DFE: usize = 1 << 10;
+const T_RESTART: usize = 1 << 8;
+
+struct TrajArgs {
+    common: HarnessArgs,
+    reps: usize,
+    tag: String,
+    file: Option<String>,
+    smoke: bool,
+    /// Skip the pinned subset and run only the substrate A/B (a quick
+    /// check while iterating on the deques; not for committed artifacts).
+    ab_only: bool,
+}
+
+impl TrajArgs {
+    fn parse() -> Self {
+        let mut t = TrajArgs {
+            common: HarnessArgs::parse(),
+            reps: 3,
+            tag: "PR2".to_string(),
+            file: None,
+            smoke: false,
+            ab_only: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--reps" => {
+                    i += 1;
+                    t.reps = argv[i].parse().expect("--reps N");
+                }
+                "--tag" => {
+                    i += 1;
+                    t.tag = argv[i].clone();
+                }
+                "--file" => {
+                    i += 1;
+                    t.file = Some(argv[i].clone());
+                }
+                "--smoke" => t.smoke = true,
+                "--ab-only" => t.ab_only = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if t.smoke {
+            t.common.scale = Scale::Tiny;
+            t.reps = 1;
+        }
+        t
+    }
+
+    fn out_path(&self) -> String {
+        if let Some(f) = &self.file {
+            return f.clone();
+        }
+        if self.smoke {
+            std::fs::create_dir_all(&self.common.out_dir).expect("create results dir");
+            return self.common.out_dir.join("BENCH_smoke.json").to_string_lossy().into_owned();
+        }
+        format!("BENCH_{}.json", self.tag)
+    }
+}
+
+struct RunRow {
+    bench: &'static str,
+    variant: &'static str,
+    threads: usize,
+    wall_s: f64,
+    tasks: u64,
+    supersteps: u64,
+    steals: u64,
+    merges: u64,
+}
+
+struct AbRow {
+    bench: &'static str,
+    threads: usize,
+    lockfree_wall_s: f64,
+    mutex_wall_s: f64,
+    /// Fastest observed sample per substrate (interference-resistant).
+    lockfree_min_s: f64,
+    mutex_min_s: f64,
+    /// Median over reps of the *paired* per-rep ratio `mutex_i / lockfree_i`.
+    /// Each pair runs back-to-back, so slow drift of the host (co-tenants,
+    /// frequency scaling) cancels within a pair instead of biasing whichever
+    /// substrate happened to run during the busy seconds — the fair test on
+    /// shared hardware.
+    mutex_over_lockfree: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = TrajArgs::parse();
+    println!(
+        "trajectory | tag={} scale={} reps={} threads={TRAJ_THREADS:?} t_dfe={T_DFE} t_restart={T_RESTART}\n",
+        args.tag,
+        args.common.scale_name(),
+        args.reps,
+    );
+
+    // ---- pinned subset ---------------------------------------------------
+    let mut runs: Vec<RunRow> = Vec::new();
+    let subset: &[&str] = if args.ab_only { &[] } else { TRAJ_BENCHES };
+    for name in subset {
+        let b = benchmark_by_name(name, args.common.scale).expect("pinned benchmark exists");
+        let basic = SchedConfig::basic(b.q(), T_DFE);
+        let restart = SchedConfig::restart(b.q(), T_DFE, T_RESTART);
+        for &threads in TRAJ_THREADS {
+            let pool = ThreadPool::new(threads);
+            for (variant, cfg, kind) in [
+                ("basic", basic, SchedulerKind::ReExpansion),
+                ("restart", restart, SchedulerKind::RestartIdeal),
+            ] {
+                let mut walls = Vec::with_capacity(args.reps);
+                let mut last = None;
+                for _ in 0..args.reps {
+                    let s = b.blocked_par(&pool, cfg, kind, Tier::Block);
+                    walls.push(s.stats.wall.as_secs_f64());
+                    last = Some(s);
+                }
+                let last = last.expect("at least one rep");
+                let wall_s = median(walls);
+                println!(
+                    "{name:>10} {variant:>8} w={threads} wall={wall_s:>9.4}s tasks={} steals={}",
+                    last.stats.tasks_executed, last.stats.steals
+                );
+                runs.push(RunRow {
+                    bench: name,
+                    variant,
+                    threads,
+                    wall_s,
+                    tasks: last.stats.tasks_executed,
+                    supersteps: last.stats.supersteps,
+                    steals: last.stats.steals,
+                    merges: last.stats.merges,
+                });
+            }
+        }
+    }
+
+    // ---- substrate A/B: lock-free vs mutex leveled deques ---------------
+    // Same program values, same thresholds, same worker count, same run;
+    // only the deque substrate differs. `mutex_over_lockfree > 1` means
+    // the lock-free substrate is faster.
+    println!("\nsubstrate A/B (restart): lock-free SharedLeveledDeque vs Mutex<LeveledDeque>");
+    let ab_reps = if args.smoke { 1 } else { args.reps.max(5) };
+    // Short workloads are amplified: one timing sample = `inner` back-to-
+    // back runs, so every sample is tens of milliseconds and scheduler
+    // jitter averages out instead of dominating.
+    let ab_inner = if args.smoke { 1 } else { 16 };
+    let mut substrate_ab: Vec<AbRow> = Vec::new();
+    {
+        let fib = TrajFib { n: tb_suite::fib::Fib::new(args.common.scale).n };
+        let uts = Uts::new(args.common.scale);
+        let uts_prog = TrajUts { u: &uts };
+        let fib_cfg = SchedConfig::restart(16, T_DFE, T_RESTART);
+        let uts_cfg = SchedConfig::restart(4, T_DFE, T_RESTART);
+        // w=1 isolates the owner path (no thieves, no oversubscription);
+        // w=4 adds steal traffic — on hosts with fewer than 4 cores it
+        // also measures the OS scheduler, which is why the ratios are
+        // paired per rep.
+        let fib_inner = if args.smoke { 1 } else { 2 };
+        for threads in [1usize, 4] {
+            substrate_ab.push(run_ab("fib", &fib, fib_cfg, threads, ab_reps, fib_inner));
+            substrate_ab.push(run_ab("uts", &uts_prog, uts_cfg, threads, ab_reps, ab_inner));
+        }
+    }
+
+    // ---- emit ------------------------------------------------------------
+    let path = args.out_path();
+    let json = render_json(&args, &runs, &substrate_ab);
+    std::fs::write(&path, json).expect("write trajectory json");
+    println!("\n[trajectory written to {path}]");
+}
+
+fn run_ab<P>(
+    bench: &'static str,
+    prog: &P,
+    cfg: SchedConfig,
+    threads: usize,
+    reps: usize,
+    inner: usize,
+) -> AbRow
+where
+    P: BlockProgram,
+    P::Reducer: PartialEq + std::fmt::Debug,
+{
+    let mut lf = Vec::with_capacity(reps);
+    let mut mx = Vec::with_capacity(reps);
+    let mut lf_red = None;
+    let mut mx_red = None;
+    // Interleave the substrates so drift (thermal, noisy neighbours) hits
+    // both sides equally, and counterbalance which side goes first per rep
+    // so position effects (cache state left by the previous phase, thread
+    // spawn clustering) cancel instead of biasing one substrate. Each
+    // sample aggregates `inner` runs.
+    let mut run_lf = |lf: &mut Vec<f64>| {
+        let mut wall = 0.0;
+        for _ in 0..inner {
+            let out = tb_core::run_scheduler_on(SchedulerKind::RestartIdeal, prog, cfg, threads);
+            wall += out.stats.wall.as_secs_f64();
+            lf_red = Some(out.reducer);
+        }
+        lf.push(wall / inner as f64);
+    };
+    let mut run_mx = |mx: &mut Vec<f64>| {
+        let mut wall = 0.0;
+        for _ in 0..inner {
+            let (red, w) = mutex_restart_run(prog, cfg, threads);
+            wall += w.as_secs_f64();
+            mx_red = Some(red);
+        }
+        mx.push(wall / inner as f64);
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            run_lf(&mut lf);
+            run_mx(&mut mx);
+        } else {
+            run_mx(&mut mx);
+            run_lf(&mut lf);
+        }
+    }
+    let paired: Vec<f64> = lf.iter().zip(&mx).map(|(l, m)| m / l).collect();
+    // Two estimators, robust against different noise: the median of paired
+    // ratios cancels slow drift; the ratio of minima ("fastest observed
+    // run" — timeit's classic estimator) discards co-tenant interference
+    // entirely, since both substrates get the same number of chances to
+    // hit a quiet window. On a quiet host they agree.
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let row = AbRow {
+        bench,
+        threads,
+        lockfree_wall_s: median(lf.clone()),
+        mutex_wall_s: median(mx.clone()),
+        lockfree_min_s: min(&lf),
+        mutex_min_s: min(&mx),
+        mutex_over_lockfree: median(paired),
+    };
+    println!(
+        "{bench:>10} w={threads} lockfree={:>9.4}s mutex={:>9.4}s paired-ratio={:.3} min-ratio={:.3}",
+        row.lockfree_wall_s,
+        row.mutex_wall_s,
+        row.mutex_over_lockfree,
+        row.mutex_min_s / row.lockfree_min_s
+    );
+    // The substrates must agree on the answer or the timing is meaningless.
+    assert!(lf_red == mx_red, "substrates disagree on {bench}: {lf_red:?} vs {mx_red:?}");
+    row
+}
+
+fn render_json(args: &TrajArgs, runs: &[RunRow], ab: &[AbRow]) -> String {
+    let created = SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"taskblocks-trajectory/v1\",");
+    let _ = writeln!(s, "  \"tag\": \"{}\",", args.tag);
+    let _ = writeln!(s, "  \"created_unix\": {created},");
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"available_parallelism\": {} }},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(s, "  \"scale\": \"{}\",", args.common.scale_name());
+    let _ = writeln!(s, "  \"config\": {{ \"t_dfe\": {T_DFE}, \"t_restart\": {T_RESTART} }},");
+    let _ = writeln!(s, "  \"reps\": {},", args.reps);
+    let _ = writeln!(s, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \
+             \"tasks\": {}, \"supersteps\": {}, \"steals\": {}, \"merges\": {} }}{comma}",
+            r.bench, r.variant, r.threads, r.wall_s, r.tasks, r.supersteps, r.steals, r.merges
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"substrate_ab_note\": \"ratios within ~±0.04 of 1.0 are parity on shared hosts \
+         (observed run-to-run noise band); uncontended single-core locks are the mutex \
+         substrate's best case — see DESIGN.md §6\","
+    );
+    let _ = writeln!(s, "  \"substrate_ab\": [");
+    for (i, r) in ab.iter().enumerate() {
+        let comma = if i + 1 < ab.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"bench\": \"{}\", \"threads\": {}, \"lockfree_wall_s\": {:.6}, \
+             \"mutex_wall_s\": {:.6}, \"lockfree_min_s\": {:.6}, \"mutex_min_s\": {:.6}, \
+             \"mutex_over_lockfree\": {:.4}, \"mutex_over_lockfree_min\": {:.4} }}{comma}",
+            r.bench,
+            r.threads,
+            r.lockfree_wall_s,
+            r.mutex_wall_s,
+            r.lockfree_min_s,
+            r.mutex_min_s,
+            r.mutex_over_lockfree,
+            r.mutex_min_s / r.lockfree_min_s
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Local blocked programs (identical to the suite's Block-tier programs) so
+// the A/B holds the program constant while swapping substrates.
+// ---------------------------------------------------------------------------
+
+struct TrajFib {
+    n: u8,
+}
+
+impl BlockProgram for TrajFib {
+    type Store = Vec<u8>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn make_root(&self) -> Vec<u8> {
+        vec![self.n]
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u8>, out: &mut BucketSet<Vec<u8>>, red: &mut u64) {
+        for n in block.drain(..) {
+            if n < 2 {
+                *red += u64::from(n);
+            } else {
+                out.bucket(0).push(n - 1);
+                out.bucket(1).push(n - 2);
+            }
+        }
+    }
+}
+
+struct TrajUts<'u> {
+    u: &'u Uts,
+}
+
+impl BlockProgram for TrajUts<'_> {
+    type Store = Vec<u64>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        self.u.m
+    }
+
+    fn make_root(&self) -> Vec<u64> {
+        (0..self.u.b0).map(|i| child_state(self.u.seed, i as u64)).collect()
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u64>, out: &mut BucketSet<Vec<u64>>, red: &mut u64) {
+        for state in block.drain(..) {
+            *red += 1;
+            if uniform(state) < self.u.q {
+                for i in 0..self.u.m {
+                    out.bucket(i).push(child_state(state, i as u64));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The frozen mutex baseline: a faithful port of the pre-PR-2
+// `ParRestartIdeal` (per-worker `Mutex<LeveledDeque>`, single-block
+// `steal_top`). Kept *here*, not in tb-core, so the production scheduler
+// stays lock-free while every trajectory run re-measures the substrate it
+// replaced under today's conditions.
+// ---------------------------------------------------------------------------
+
+const BASELINE_BFE_BURST: usize = 4;
+
+struct BaselineShared<S> {
+    deques: Vec<Mutex<LeveledDeque<S>>>,
+    live: AtomicI64,
+    done: AtomicBool,
+}
+
+/// Run `prog` to completion on `workers` threads over mutex-guarded leveled
+/// deques; returns the reduction and the wall time.
+fn mutex_restart_run<P: BlockProgram>(prog: &P, cfg: SchedConfig, workers: usize) -> (P::Reducer, Duration) {
+    let start = Instant::now();
+    let n = workers.max(1);
+    let mut root = prog.make_root();
+    let total = root.len() as i64;
+    if total == 0 {
+        return (prog.make_reducer(), start.elapsed());
+    }
+    let deques: Vec<Mutex<LeveledDeque<P::Store>>> =
+        (0..n).map(|_| Mutex::new(LeveledDeque::new())).collect();
+    let strip = cfg.t_dfe.max(1);
+    let mut w = 0usize;
+    loop {
+        let rest = if root.len() > strip { root.split_off(strip) } else { P::Store::default() };
+        deques[w % n].lock().unwrap().push_dfe(TaskBlock::new(0, root));
+        root = rest;
+        w += 1;
+        if root.is_empty() {
+            break;
+        }
+    }
+    let shared = BaselineShared { deques, live: AtomicI64::new(total), done: AtomicBool::new(false) };
+    let mut reds: Vec<P::Reducer> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let shared = &shared;
+                s.spawn(move || baseline_worker(prog, cfg, shared, i, n))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("baseline worker panicked")).collect()
+    });
+    let mut red = prog.make_reducer();
+    for r in reds.drain(..) {
+        prog.merge_reducers(&mut red, r);
+    }
+    (red, start.elapsed())
+}
+
+fn baseline_worker<P: BlockProgram>(
+    prog: &P,
+    cfg: SchedConfig,
+    shared: &BaselineShared<P::Store>,
+    index: usize,
+    n: usize,
+) -> P::Reducer {
+    let mut out = BucketSet::new(prog.arity());
+    let mut red = prog.make_reducer();
+    // Same per-block accounting as the production scheduler, so the A/B
+    // compares substrates, not bookkeeping budgets.
+    let stats = std::cell::RefCell::new(ExecStats::new(cfg.q));
+    let mut rng: u64 = 0x853C_49E6_748F_EA9Bu64.wrapping_mul(index as u64 + 1) | 1;
+    let mut next_rand = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut merges = 0u64;
+
+    // Execute one block; returns children (split for DFE, merged for BFE).
+    let expand = |block: &mut tb_core::TaskBlock<P::Store>,
+                  bfe: bool,
+                  out: &mut BucketSet<P::Store>,
+                  red: &mut P::Reducer| {
+        let executed = block.len();
+        {
+            let mut st = stats.borrow_mut();
+            if bfe {
+                st.bfe_actions += 1;
+            } else {
+                st.dfe_actions += 1;
+            }
+            st.account_block(executed, cfg.t_restart);
+            st.observe_level(block.level);
+        }
+        prog.expand(&mut block.store, out, red);
+        let level = block.level + 1;
+        let mut children = Vec::new();
+        if bfe {
+            let merged = out.drain_merged();
+            if !merged.is_empty() {
+                children.push(tb_core::TaskBlock::new(level, merged));
+            }
+        } else {
+            for i in 0..out.arity() {
+                let s = out.take_bucket(i);
+                if !s.is_empty() {
+                    children.push(tb_core::TaskBlock::new(level, s));
+                }
+            }
+        }
+        let created: usize = children.iter().map(tb_core::TaskBlock::len).sum();
+        let delta = created as i64 - executed as i64;
+        let prev = shared.live.fetch_add(delta, Ordering::SeqCst);
+        if prev + delta == 0 {
+            shared.done.store(true, Ordering::Release);
+        }
+        children
+    };
+
+    let descend = |mut cur: tb_core::TaskBlock<P::Store>,
+                   out: &mut BucketSet<P::Store>,
+                   red: &mut P::Reducer,
+                   merges: &mut u64| loop {
+        if cur.is_empty() {
+            return;
+        }
+        if cur.len() < cfg.t_restart {
+            let mut dq = shared.deques[index].lock().unwrap();
+            if dq.push_restart(cur) {
+                *merges += 1;
+            }
+            stats.borrow_mut().observe_deque(dq.block_count(), dq.task_count());
+            return;
+        }
+        let mut children = expand(&mut cur, false, out, red);
+        if children.is_empty() {
+            return;
+        }
+        let rest = children.split_off(1);
+        if !rest.is_empty() {
+            let mut dq = shared.deques[index].lock().unwrap();
+            for c in rest {
+                if dq.push_dfe(c) {
+                    *merges += 1;
+                }
+            }
+            stats.borrow_mut().observe_deque(dq.block_count(), dq.task_count());
+        }
+        cur = children.pop().expect("first child");
+    };
+
+    let mut idle = 0u32;
+    while !shared.done.load(Ordering::Acquire) {
+        let mine = shared.deques[index].lock().unwrap().find_restart_full(cfg.t_restart, &mut merges);
+        if let Some(b) = mine {
+            descend(b, &mut out, &mut red, &mut merges);
+            idle = 0;
+            continue;
+        }
+        stats.borrow_mut().steal_attempts += 1;
+        let victim = (next_rand() as usize) % n;
+        let loot = shared.deques[victim].lock().unwrap().steal_top(cfg.t_restart);
+        match loot {
+            Some(b) => {
+                stats.borrow_mut().steals += 1;
+                idle = 0;
+                if b.len() >= cfg.t_restart {
+                    descend(b, &mut out, &mut red, &mut merges);
+                } else {
+                    // BFE burst on undersized loot.
+                    let mut cur = b;
+                    let mut parked = false;
+                    for _ in 0..BASELINE_BFE_BURST {
+                        if cur.is_empty() || cur.len() >= cfg.t_restart {
+                            break;
+                        }
+                        let absorbed = shared.deques[index].lock().unwrap().take_level(cur.level);
+                        if let Some(mut extra) = absorbed {
+                            cur.merge(&mut extra);
+                            if cur.len() >= cfg.t_restart {
+                                break;
+                            }
+                        }
+                        let mut children = expand(&mut cur, true, &mut out, &mut red);
+                        match children.pop() {
+                            Some(next) => cur = next,
+                            None => {
+                                parked = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !parked && !cur.is_empty() {
+                        if cur.len() >= cfg.t_restart {
+                            descend(cur, &mut out, &mut red, &mut merges);
+                        } else {
+                            let mut dq = shared.deques[index].lock().unwrap();
+                            if dq.push_restart(cur) {
+                                merges += 1;
+                            }
+                            stats.borrow_mut().observe_deque(dq.block_count(), dq.task_count());
+                        }
+                    }
+                }
+            }
+            None => {
+                idle += 1;
+                if idle > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    red
+}

@@ -10,6 +10,20 @@
 //! "Bottom" of the deque is the deepest level (where the worker pushes and
 //! pops), "top" is the shallowest (where thieves steal), matching standard
 //! work-stealing orientation.
+//!
+//! Two implementations live here:
+//!
+//! * [`LeveledDeque`] — the plain single-threaded structure used by the
+//!   sequential engine (and by tests as the semantic reference);
+//! * [`SharedLeveledDeque`] — the lock-free concurrent variant backing
+//!   [`ParRestartIdeal`](crate::par::ParRestartIdeal) since PR 2: each
+//!   level is an `AtomicPtr` to its heap-allocated slot pair, the owning
+//!   worker mutates levels by *detach → edit → republish*, and thieves
+//!   take an entire level — both its blocks, i.e. the §3.4 steal-half
+//!   unit — with a single atomic exchange. See DESIGN.md §6 for the
+//!   memory-ordering argument.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use crate::block::{TaskBlock, TaskStore};
 
@@ -479,5 +493,745 @@ mod tests {
             .sum();
         assert_eq!(blocks, d.block_count());
         assert_eq!(tasks, d.task_count());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free shared leveled deque (PR 2)
+// ---------------------------------------------------------------------------
+
+/// Loot returned by [`SharedLeveledDeque::steal_half`]: the whole top level
+/// of the victim's deque, taken with one atomic exchange.
+///
+/// A level holds at most two blocks (the §3.3 invariant), so the thief
+/// executes the ⌈half⌉ it prefers — `primary`, chosen exactly like the old
+/// mutex-guarded `steal_top` chose — and re-parks `leftover` (the remaining
+/// ⌊half⌋, if the level held two blocks) on *its own* deque. This is the
+/// block-granularity steal-half protocol: one atomic operation relieves the
+/// victim of a whole level, and the thief splits the loot instead of going
+/// back for seconds.
+#[derive(Debug)]
+pub struct StolenLevel<S> {
+    /// The block the thief should act on (full ⇒ DFE, undersized ⇒ BFE
+    /// burst).
+    pub primary: TaskBlock<S>,
+    /// The level's other block, if it held two; the thief parks it on its
+    /// own deque.
+    pub leftover: Option<TaskBlock<S>>,
+}
+
+/// One level's slot pair, heap-allocated so a level can change hands with a
+/// single pointer exchange.
+#[derive(Debug)]
+struct LevelCell<S> {
+    dfe: Option<S>,
+    restart: Option<S>,
+}
+
+impl<S: TaskStore> LevelCell<S> {
+    fn blocks(&self) -> usize {
+        usize::from(self.dfe.is_some()) + usize::from(self.restart.is_some())
+    }
+
+    fn tasks(&self) -> usize {
+        self.dfe.as_ref().map_or(0, TaskStore::len) + self.restart.as_ref().map_or(0, TaskStore::len)
+    }
+}
+
+/// Levels per lazily-allocated segment (64 × 8-byte slots = one page-ish).
+const SEG_LEN: usize = 64;
+/// Segments in the spine: supports computation trees up to
+/// `SEG_LEN × SPINE_LEN` = 4096 levels deep (the deepest paper input, UTS,
+/// reaches 228).
+const SPINE_LEN: usize = 64;
+
+struct Segment<S> {
+    slots: [AtomicPtr<LevelCell<S>>; SEG_LEN],
+}
+
+impl<S> Segment<S> {
+    fn new() -> Box<Self> {
+        Box::new(Segment { slots: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())) })
+    }
+}
+
+/// A leveled deque whose levels are stealable without locks.
+///
+/// Concurrency contract — the same split Chase–Lev uses:
+///
+/// * **owner operations** ([`push_dfe`](Self::push_dfe),
+///   [`push_restart`](Self::push_restart),
+///   [`find_restart_full`](Self::find_restart_full),
+///   [`take_level`](Self::take_level)) may be called by *one* thread at a
+///   time — the worker that owns this deque (or the driver before the
+///   workers start);
+/// * **thief operations** ([`steal_half`](Self::steal_half)) and the
+///   counter reads may be called by any thread concurrently with anything.
+///
+/// Every occupied level is an `AtomicPtr` to its boxed level cell.
+/// Whoever `swap`s a non-null pointer out *owns* that cell outright — there
+/// is no window in which two threads can observe the same cell, so there is
+/// no ABA problem and no deferred reclamation: ownership rides the
+/// exchange. The owner edits a level by detaching it (swap to null),
+/// mutating privately, and republishing (swap back); thieves that scan past
+/// a detached level simply see it as momentarily empty, which is benign —
+/// a failed steal is always allowed to fail.
+pub struct SharedLeveledDeque<S> {
+    spine: Box<[AtomicPtr<Segment<S>>]>,
+    /// Deepest level the owner has ever occupied (monotone hint bounding
+    /// scans; levels above it are guaranteed null).
+    deepest: AtomicUsize,
+    /// Net blocks/tasks the owner has parked minus what it has removed,
+    /// packed as `blocks << OCC_BLOCK_SHIFT | tasks`. Single writer (the
+    /// owner), so it is maintained with plain load + store — no RMW on the
+    /// owner's hot path. Statistics only.
+    owner_net: AtomicU64,
+    /// Blocks/tasks removed by thieves (same packing), `fetch_add`ed on
+    /// each successful steal — an RMW, but steals are rare by design.
+    /// Current occupancy = `owner_net - thief_taken`, per field: exact at
+    /// quiescent points, transiently stale mid-operation.
+    thief_taken: AtomicU64,
+    /// The owner's private `(dfe_len, restart_len)` upper bound per level.
+    ///
+    /// Published cells are *immutable to everyone but the owner* (thieves
+    /// only take whole cells), so the owner always knows an upper bound on
+    /// every level's contents without touching shared memory: exact for
+    /// levels no thief has hit, `(0, 0)`-discoverable (a `detach` returning
+    /// `None`) for levels that were stolen. The merge-scan consults this
+    /// mirror to *skip* levels that cannot qualify — a plain array read
+    /// instead of a detach/republish exchange pair — which is what keeps
+    /// the owner's scan as cheap as the single-threaded [`LeveledDeque`]'s.
+    /// Owner-only by the struct's concurrency contract.
+    mirror: std::cell::UnsafeCell<Vec<(usize, usize)>>,
+    /// Owner's *shrinking* bound on the deepest occupied level (the atomic
+    /// `deepest` only ever grows — it is the thieves' conservative bound).
+    /// Pushes raise it exactly; each merge-scan lowers it to the deepest
+    /// level it actually saw occupied, so steady-state scans walk the
+    /// occupied band instead of the deque's historical depth. May
+    /// overestimate (extra empty-entry checks), never underestimates.
+    /// Owner-only by the struct's concurrency contract.
+    mirror_hi: std::cell::UnsafeCell<usize>,
+    /// Owner-side cache of emptied [`LevelCell`] boxes, so the steady-state
+    /// park/assemble cycle recycles one allocation instead of hitting the
+    /// allocator per scheduling action (the single-threaded deque's `Vec`
+    /// slots never allocate either). Thief-consumed cells are simply
+    /// dropped on the thief's side — steals are rare by design.
+    /// Owner-only by the struct's concurrency contract.
+    spare_cells: std::cell::UnsafeCell<Vec<Box<LevelCell<S>>>>,
+}
+
+/// Cap on the owner's recycled-cell cache.
+const SPARE_CELL_CAP: usize = 32;
+
+/// Bit position of the block count inside the packed occupancy word
+/// (tasks get the low 48 bits — `2^48` parked tasks is beyond any run).
+const OCC_BLOCK_SHIFT: u32 = 48;
+
+#[inline]
+fn occ(blocks: usize, tasks: usize) -> u64 {
+    ((blocks as u64) << OCC_BLOCK_SHIFT) | tasks as u64
+}
+
+// SAFETY: all cross-thread hand-off goes through atomic pointer exchange
+// with Acquire/Release ordering; a cell is reachable from exactly one
+// handle after any swap. The `mirror` is only touched by owner operations,
+// which the concurrency contract restricts to one thread at a time (with
+// cross-thread owner hand-off — driver seeding → worker — ordered by the
+// thread-spawn happens-before edge).
+unsafe impl<S: Send> Send for SharedLeveledDeque<S> {}
+unsafe impl<S: Send> Sync for SharedLeveledDeque<S> {}
+
+impl<S: TaskStore> Default for SharedLeveledDeque<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: TaskStore> SharedLeveledDeque<S> {
+    /// An empty deque. Segments are allocated on first touch of a level.
+    pub fn new() -> Self {
+        SharedLeveledDeque {
+            spine: (0..SPINE_LEN).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            deepest: AtomicUsize::new(0),
+            owner_net: AtomicU64::new(0),
+            thief_taken: AtomicU64::new(0),
+            mirror: std::cell::UnsafeCell::new(Vec::new()),
+            mirror_hi: std::cell::UnsafeCell::new(0),
+            spare_cells: std::cell::UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only counter bump: plain load + store (single writer), so the
+    /// owner's hot path carries no counter RMW. `delta` is added when
+    /// `credit`, subtracted otherwise.
+    fn owner_account(&self, delta: u64, credit: bool) {
+        let cur = self.owner_net.load(Ordering::Relaxed);
+        let next = if credit { cur.wrapping_add(delta) } else { cur.wrapping_sub(delta) };
+        self.owner_net.store(next, Ordering::Relaxed);
+    }
+
+    /// A cell holding `dfe`/`restart`, recycled from the owner cache when
+    /// possible.
+    ///
+    /// # Safety
+    /// Caller must be the owner.
+    unsafe fn fresh_cell(&self, dfe: Option<S>, restart: Option<S>) -> Box<LevelCell<S>> {
+        match unsafe { (*self.spare_cells.get()).pop() } {
+            Some(mut cell) => {
+                cell.dfe = dfe;
+                cell.restart = restart;
+                cell
+            }
+            None => Box::new(LevelCell { dfe, restart }),
+        }
+    }
+
+    /// Recycle an emptied cell into the owner cache (bounded).
+    ///
+    /// # Safety
+    /// Caller must be the owner, and the cell must be empty.
+    unsafe fn cache_cell(&self, cell: Box<LevelCell<S>>) {
+        debug_assert!(cell.dfe.is_none() && cell.restart.is_none());
+        let spares = unsafe { &mut *self.spare_cells.get() };
+        if spares.len() < SPARE_CELL_CAP {
+            spares.push(cell);
+        }
+    }
+
+    /// The owner's mirror entry for `level`, growing the mirror on demand.
+    ///
+    /// # Safety
+    /// Caller must be the owner (per the struct's concurrency contract).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn mirror_entry(&self, level: usize) -> &mut (usize, usize) {
+        let m = unsafe { &mut *self.mirror.get() };
+        if level >= m.len() {
+            m.resize(level + 1, (0, 0));
+        }
+        &mut m[level]
+    }
+
+    /// Approximate `(blocks, tasks)` parked, from one read of each counter
+    /// (exact at quiescent points).
+    pub fn counts(&self) -> (usize, usize) {
+        const MASK: u64 = (1 << OCC_BLOCK_SHIFT) - 1;
+        let net = self.owner_net.load(Ordering::Relaxed);
+        let taken = self.thief_taken.load(Ordering::Relaxed);
+        (
+            ((net >> OCC_BLOCK_SHIFT) as usize).saturating_sub((taken >> OCC_BLOCK_SHIFT) as usize),
+            ((net & MASK) as usize).saturating_sub((taken & MASK) as usize),
+        )
+    }
+
+    /// Approximate number of parked blocks (exact at quiescent points).
+    pub fn block_count(&self) -> usize {
+        self.counts().0
+    }
+
+    /// Approximate number of parked tasks (exact at quiescent points).
+    pub fn task_count(&self) -> usize {
+        self.counts().1
+    }
+
+    /// True when no block is visible (approximate between operations).
+    pub fn is_empty(&self) -> bool {
+        self.block_count() == 0
+    }
+
+    /// The slot for `level` if its segment exists (thieves never allocate).
+    fn slot(&self, level: usize) -> Option<&AtomicPtr<LevelCell<S>>> {
+        let seg = self.spine[level / SEG_LEN].load(Ordering::Acquire);
+        if seg.is_null() {
+            return None;
+        }
+        // SAFETY: segments are never freed before the deque drops; the
+        // Acquire load pairs with the installing CAS's Release.
+        Some(unsafe { &(*seg).slots[level % SEG_LEN] })
+    }
+
+    /// The slot for `level`, allocating its segment on demand. Allocation
+    /// races are resolved by CAS; the loser frees its candidate.
+    fn slot_or_alloc(&self, level: usize) -> &AtomicPtr<LevelCell<S>> {
+        assert!(level < SEG_LEN * SPINE_LEN, "computation tree deeper than {} levels", SEG_LEN * SPINE_LEN);
+        let spine_slot = &self.spine[level / SEG_LEN];
+        let mut seg = spine_slot.load(Ordering::Acquire);
+        if seg.is_null() {
+            let candidate = Box::into_raw(Segment::new());
+            // Release on success: publish the zeroed slots. Acquire on
+            // failure: adopt the winner's segment.
+            match spine_slot.compare_exchange(
+                std::ptr::null_mut(),
+                candidate,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => seg = candidate,
+                Err(winner) => {
+                    // SAFETY: `candidate` was never published.
+                    drop(unsafe { Box::from_raw(candidate) });
+                    seg = winner;
+                }
+            }
+        }
+        // SAFETY: non-null segments live until the deque drops.
+        unsafe { &(*seg).slots[level % SEG_LEN] }
+    }
+
+    /// Detach the cell at `slot`. Acquire pairs with the Release of
+    /// whichever thread published the cell, making its contents visible.
+    ///
+    /// A plain load prefilters the common empty case so scans over vacant
+    /// levels cost a read, not an RMW — the `swap` (one atomic exchange)
+    /// runs only when there is something to take. The load may race a
+    /// concurrent publish/steal; that only turns one steal opportunity
+    /// into a miss, which the protocol always tolerates.
+    fn detach(slot: &AtomicPtr<LevelCell<S>>) -> Option<Box<LevelCell<S>>> {
+        if slot.load(Ordering::Relaxed).is_null() {
+            return None;
+        }
+        let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        // SAFETY: a non-null swap result transfers sole ownership.
+        (!p.is_null()).then(|| unsafe { Box::from_raw(p) })
+    }
+
+    /// Republish a cell (owner-only). Release publishes the cell contents
+    /// to the next `detach`er. A plain store (not an exchange) is sound
+    /// because the slot is necessarily null here: only the owner publishes,
+    /// the owner detached this slot (or proved it empty via the mirror),
+    /// and a concurrent thief can only turn a null slot into a null slot —
+    /// so no pointer can be overwritten and lost.
+    fn publish(slot: &AtomicPtr<LevelCell<S>>, cell: Box<LevelCell<S>>) {
+        debug_assert!(
+            slot.load(Ordering::Relaxed).is_null(),
+            "slot republished while occupied: second owner?"
+        );
+        slot.store(Box::into_raw(cell), Ordering::Release);
+    }
+
+    /// Park a DFE-leftover block at its level, merging with any DFE block
+    /// already parked there; returns `true` when a merge happened.
+    /// Owner-only.
+    pub fn push_dfe(&self, block: TaskBlock<S>) -> bool {
+        self.push_slot(block, false)
+    }
+
+    /// Park a restart-leftover block at its level, merging with any restart
+    /// block already parked there; returns `true` when a merge happened.
+    /// Owner-only.
+    pub fn push_restart(&self, block: TaskBlock<S>) -> bool {
+        self.push_slot(block, true)
+    }
+
+    fn push_slot(&self, block: TaskBlock<S>, restart: bool) -> bool {
+        if block.is_empty() {
+            return false;
+        }
+        let len = block.len();
+        let slot = self.slot_or_alloc(block.level);
+        // Monotone hint: RMW only when the deque actually deepens.
+        if self.deepest.load(Ordering::Relaxed) < block.level {
+            self.deepest.fetch_max(block.level, Ordering::Relaxed);
+        }
+        // SAFETY: push is an owner operation.
+        unsafe {
+            let hi = &mut *self.mirror_hi.get();
+            if *hi < block.level {
+                *hi = block.level;
+            }
+        }
+        // SAFETY: push is an owner operation.
+        let entry = unsafe { self.mirror_entry(block.level) };
+        let mut incoming = block.store;
+        // Mirror says empty ⇒ the slot is null (thieves only *empty*
+        // levels, so the mirror never underestimates): skip the detach.
+        // Mirror says occupied ⇒ swap directly, no prefilter load — the
+        // swap resolves the (rare) race with a thief by returning null.
+        let existing = if *entry == (0, 0) {
+            None
+        } else {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+            // SAFETY: a non-null swap result transfers sole ownership.
+            (!p.is_null()).then(|| unsafe { Box::from_raw(p) })
+        };
+        let (cell, merged) = match existing {
+            Some(mut cell) => {
+                let target = if restart { &mut cell.restart } else { &mut cell.dfe };
+                let merged = match target {
+                    Some(existing) => {
+                        existing.append(&mut incoming);
+                        true
+                    }
+                    none => {
+                        *none = Some(incoming);
+                        false
+                    }
+                };
+                (cell, merged)
+            }
+            None => {
+                // Slot empty — or the mirror was stale because a thief
+                // emptied the level; either way we start a fresh cell.
+                *entry = (0, 0);
+                // SAFETY: push is an owner operation.
+                let cell = if restart {
+                    unsafe { self.fresh_cell(None, Some(incoming)) }
+                } else {
+                    unsafe { self.fresh_cell(Some(incoming), None) }
+                };
+                (cell, false)
+            }
+        };
+        *entry =
+            (cell.dfe.as_ref().map_or(0, TaskStore::len), cell.restart.as_ref().map_or(0, TaskStore::len));
+        // Count before publishing so a thief that immediately steals the
+        // cell never drives the counters negative.
+        self.owner_account(occ(usize::from(!merged), len), true);
+        Self::publish(slot, cell);
+        merged
+    }
+
+    /// Detach and return the merged contents of `level` (both slots), if
+    /// any. Owner-only (used by the BFE burst to absorb own leftovers).
+    pub fn take_level(&self, level: usize) -> Option<TaskBlock<S>> {
+        // SAFETY: take_level is an owner operation.
+        let entry = unsafe { self.mirror_entry(level) };
+        if *entry == (0, 0) {
+            return None; // mirror never underestimates: level is empty
+        }
+        *entry = (0, 0);
+        let slot = self.slot(level)?;
+        let mut cell = Self::detach(slot)?;
+        self.owner_account(occ(cell.blocks(), cell.tasks()), false);
+        let mut merged: Option<S> = None;
+        for mut s in [cell.dfe.take(), cell.restart.take()].into_iter().flatten() {
+            match &mut merged {
+                Some(m) => m.append(&mut s),
+                none => *none = Some(s),
+            }
+        }
+        // SAFETY: owner operation; cell fully drained above.
+        unsafe { self.cache_cell(cell) };
+        merged.map(|s| TaskBlock::new(level, s))
+    }
+
+    /// The §3.4 merge-scan: walk from the deepest occupied level toward the
+    /// top; the first level whose two slots together reach `t_restart`
+    /// tasks is merged, removed, and returned for DFE. On failure
+    /// everything stays parked and `None` is returned — the worker then
+    /// *steals*. Each physical merge performed is reported through
+    /// `merges`. Owner-only.
+    ///
+    /// Unlike the sequential [`LeveledDeque::find_restart`], which merges
+    /// every scanned level's slot pair eagerly (free when the deque has a
+    /// single owner and no one else can see it), the lock-free scan decides
+    /// qualification from the owner mirror — `dfe_len + restart_len` is
+    /// exact whenever the cell is present — and defers the physical merge
+    /// to the moment a level is actually *consumed* (here, by
+    /// [`take_level`](Self::take_level), or by a thief's
+    /// [`steal_half`](Self::steal_half), which hands over both halves).
+    /// The assembled block, its level, and the schedule's reduction are
+    /// identical; only the merge timing (and so the `merges`-stat
+    /// attribution) differs. The payoff is that a *failing* scan performs
+    /// zero shared-memory operations — it is a walk over a private array —
+    /// which is what lets the restart scheduler spin its
+    /// scan-steal-descend loop without serializing against its thieves.
+    pub fn find_restart_full(&self, t_restart: usize, merges: &mut u64) -> Option<TaskBlock<S>> {
+        // SAFETY: the merge-scan is an owner operation; nothing in the loop
+        // body touches the mirror through another path.
+        let mirror = unsafe { &mut *self.mirror.get() };
+        let hi = unsafe { &mut *self.mirror_hi.get() };
+        if mirror.is_empty() {
+            return None;
+        }
+        let start = (*hi).min(mirror.len() - 1);
+        // The deepest level this walk actually saw occupied: becomes the
+        // new shrinking bound, so the next scan skips the empty tail.
+        let mut seen_hi: Option<usize> = None;
+        for level in (0..=start).rev() {
+            let entry = &mut mirror[level];
+            let (dfe_len, restart_len) = *entry;
+            if dfe_len + restart_len > 0 && seen_hi.is_none() {
+                seen_hi = Some(level);
+            }
+            // Mirror lengths are exact while the cell is present, so this
+            // is the §3.4 qualification test itself, not a heuristic.
+            if dfe_len + restart_len < t_restart {
+                continue;
+            }
+            let Some(slot) = self.slot(level) else { continue };
+            let Some(mut cell) = Self::detach(slot) else {
+                // A thief emptied the level since the mirror last saw it.
+                *entry = (0, 0);
+                continue;
+            };
+            // Consume the level: physically merge its two blocks now.
+            let (store, removed_blocks) = match (cell.dfe.take(), cell.restart.take()) {
+                (Some(d), Some(mut r)) => {
+                    let mut d = d;
+                    r.append(&mut d);
+                    *merges += 1;
+                    (r, 2)
+                }
+                (Some(d), None) => (d, 1),
+                (None, Some(r)) => (r, 1),
+                (None, None) => unreachable!("mirror said level {level} was non-empty"),
+            };
+            debug_assert!(store.len() >= t_restart, "mirror lengths must be exact");
+            *entry = (0, 0);
+            self.owner_account(occ(removed_blocks, store.len()), false);
+            // SAFETY: owner operation; cell fully drained above.
+            unsafe { self.cache_cell(cell) };
+            // The consumed level is a safe (over)estimate of the new bound.
+            *hi = seen_hi.unwrap_or(level);
+            return Some(TaskBlock::new(level, store));
+        }
+        *hi = seen_hi.unwrap_or(0);
+        None
+    }
+
+    /// Steal the shallowest occupied level — both its blocks — with one
+    /// atomic exchange. The block the old `steal_top` would have chosen
+    /// (the DFE block if it has at least `prefer_at_least` tasks or at
+    /// least as many as the restart block, else the restart block) comes
+    /// back as [`StolenLevel::primary`]; the other block, if present, as
+    /// [`StolenLevel::leftover`] for the thief to re-park on its own deque.
+    /// Callable by any thread.
+    pub fn steal_half(&self, prefer_at_least: usize) -> Option<StolenLevel<S>> {
+        // Acquire on `deepest`: not load-bearing for safety (a stale bound
+        // only hides the newest levels, and a thief may always fail), but
+        // it keeps the bound fresh relative to the cells we can see.
+        let deepest = self.deepest.load(Ordering::Acquire);
+        for seg_idx in 0..=deepest / SEG_LEN {
+            // Whole segment absent ⇒ its SEG_LEN levels are empty.
+            let seg = self.spine[seg_idx].load(Ordering::Acquire);
+            if seg.is_null() {
+                continue;
+            }
+            let base = seg_idx * SEG_LEN;
+            for off in 0..SEG_LEN.min(deepest - base + 1) {
+                // SAFETY: non-null segments live until the deque drops.
+                let slot = unsafe { &(*seg).slots[off] };
+                let Some(mut cell) = Self::detach(slot) else { continue };
+                self.thief_debit(&cell);
+                let dfe_len = cell.dfe.as_ref().map_or(0, TaskStore::len);
+                let restart_len = cell.restart.as_ref().map_or(0, TaskStore::len);
+                let (primary, leftover) = if dfe_len >= prefer_at_least || dfe_len >= restart_len {
+                    (cell.dfe.take().or_else(|| cell.restart.take()), cell.restart.take())
+                } else {
+                    (cell.restart.take().or_else(|| cell.dfe.take()), cell.dfe.take())
+                };
+                let primary = primary.expect("detached cells hold at least one block");
+                return Some(StolenLevel {
+                    primary: TaskBlock::new(base + off, primary),
+                    leftover: leftover.map(|s| TaskBlock::new(base + off, s)),
+                });
+            }
+        }
+        None
+    }
+
+    /// Record a thief's removal (the only multi-writer counter update).
+    fn thief_debit(&self, cell: &LevelCell<S>) {
+        self.thief_taken.fetch_add(occ(cell.blocks(), cell.tasks()), Ordering::Relaxed);
+    }
+}
+
+impl<S> Drop for SharedLeveledDeque<S> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent handles remain; free cells + segments.
+        for spine_slot in self.spine.iter() {
+            let seg = spine_slot.load(Ordering::Relaxed);
+            if seg.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; pointers were Box::into_raw'd.
+            unsafe {
+                for slot in &(*seg).slots {
+                    let p = slot.load(Ordering::Relaxed);
+                    if !p.is_null() {
+                        drop(Box::from_raw(p));
+                    }
+                }
+                drop(Box::from_raw(seg));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    fn blk(level: usize, n: usize) -> TaskBlock<Vec<u32>> {
+        TaskBlock::new(level, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn push_and_find_restart_full_matches_reference() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_restart(blk(1, 2));
+        d.push_dfe(blk(3, 6));
+        d.push_restart(blk(3, 4)); // merged at scan: 10 >= 8
+        d.push_restart(blk(5, 3));
+        assert_eq!(d.block_count(), 4);
+        assert_eq!(d.task_count(), 15);
+        let mut merges = 0;
+        let got = d.find_restart_full(8, &mut merges).expect("level 3 qualifies");
+        assert_eq!(got.level, 3);
+        assert_eq!(got.len(), 10);
+        assert_eq!(merges, 1);
+        assert_eq!(d.task_count(), 5);
+        assert_eq!(d.block_count(), 2);
+    }
+
+    #[test]
+    fn failed_scan_keeps_everything_parked() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_restart(blk(2, 3));
+        d.push_dfe(blk(4, 2));
+        let mut merges = 0;
+        assert!(d.find_restart_full(100, &mut merges).is_none());
+        assert_eq!(d.task_count(), 5);
+        assert_eq!(d.block_count(), 2);
+    }
+
+    #[test]
+    fn push_merges_same_slot_kind() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        assert!(!d.push_dfe(blk(3, 2)));
+        assert!(d.push_dfe(blk(3, 4)));
+        assert!(!d.push_restart(blk(3, 1)));
+        assert!(d.push_restart(blk(3, 1)));
+        assert_eq!(d.block_count(), 2);
+        assert_eq!(d.task_count(), 8);
+    }
+
+    #[test]
+    fn steal_half_takes_shallowest_level_whole() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_dfe(blk(4, 10));
+        d.push_dfe(blk(2, 9));
+        d.push_restart(blk(2, 1));
+        let loot = d.steal_half(8).expect("level 2 occupied");
+        assert_eq!(loot.primary.level, 2);
+        assert_eq!(loot.primary.len(), 9, "the >= t_restart DFE block is preferred");
+        assert_eq!(loot.leftover.as_ref().map(TaskBlock::len), Some(1));
+        // Level 4 remains for the next thief.
+        let loot = d.steal_half(8).expect("level 4 occupied");
+        assert_eq!(loot.primary.level, 4);
+        assert!(loot.leftover.is_none());
+        assert!(d.steal_half(8).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_half_prefers_restart_when_dfe_is_small() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_dfe(blk(1, 3));
+        d.push_restart(blk(1, 7));
+        let loot = d.steal_half(8).unwrap();
+        assert_eq!(loot.primary.len(), 7);
+        assert_eq!(loot.leftover.as_ref().map(TaskBlock::len), Some(3));
+    }
+
+    #[test]
+    fn take_level_merges_both_slots() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_dfe(blk(2, 3));
+        d.push_restart(blk(2, 4));
+        let b = d.take_level(2).unwrap();
+        assert_eq!(b.len(), 7);
+        assert!(d.take_level(2).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_blocks_are_ignored() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_dfe(blk(0, 0));
+        d.push_restart(blk(1, 0));
+        assert!(d.is_empty());
+        assert!(d.steal_half(4).is_none());
+    }
+
+    #[test]
+    fn deep_levels_allocate_segments_lazily() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        d.push_dfe(blk(0, 1));
+        d.push_dfe(blk(SEG_LEN * 3 + 7, 2));
+        let mut merges = 0;
+        let got = d.find_restart_full(2, &mut merges).unwrap();
+        assert_eq!(got.level, SEG_LEN * 3 + 7, "deepest qualifying level wins");
+        let loot = d.steal_half(2).unwrap();
+        assert_eq!(loot.primary.level, 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn drop_with_parked_blocks_frees_everything() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        for lvl in 0..100 {
+            d.push_dfe(blk(lvl, 5));
+            d.push_restart(blk(lvl, 2));
+        }
+        drop(d); // boxes + segments reclaimed; Miri/leak checkers agree
+    }
+
+    #[test]
+    fn concurrent_thieves_and_owner_conserve_tasks() {
+        use std::sync::atomic::AtomicUsize;
+        const LEVELS: usize = 40;
+        const ROUNDS: usize = 200;
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        let stolen_tasks = AtomicUsize::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let mut owner_tasks = 0usize;
+        let mut pushed = 0usize;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let (d, stolen_tasks, done) = (&d, &stolen_tasks, &done);
+                s.spawn(move || loop {
+                    match d.steal_half(4) {
+                        Some(loot) => {
+                            let n = loot.primary.len() + loot.leftover.as_ref().map_or(0, TaskBlock::len);
+                            stolen_tasks.fetch_add(n, Ordering::Relaxed);
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) && d.steal_half(4).is_none() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Owner: pushes, scans, and occasionally takes levels.
+            let mut merges = 0u64;
+            for r in 0..ROUNDS {
+                for lvl in 0..LEVELS {
+                    let n = 1 + (r + lvl) % 7;
+                    pushed += n;
+                    if (r + lvl) % 2 == 0 {
+                        d.push_dfe(blk(lvl, n));
+                    } else {
+                        d.push_restart(blk(lvl, n));
+                    }
+                }
+                if let Some(b) = d.find_restart_full(16, &mut merges) {
+                    owner_tasks += b.len();
+                }
+                if let Some(b) = d.take_level(r % LEVELS) {
+                    owner_tasks += b.len();
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        // Drain whatever survived the storm.
+        while let Some(loot) = d.steal_half(1) {
+            owner_tasks += loot.primary.len() + loot.leftover.as_ref().map_or(0, TaskBlock::len);
+        }
+        assert_eq!(owner_tasks + stolen_tasks.load(Ordering::Relaxed), pushed, "no task lost or duplicated");
+        assert_eq!(d.task_count(), 0);
+        assert_eq!(d.block_count(), 0);
     }
 }

@@ -80,7 +80,7 @@ pub mod seq;
 pub mod stats;
 
 pub use block::{TaskBlock, TaskStore};
-pub use deque::{LeveledDeque, RestartFind};
+pub use deque::{LeveledDeque, RestartFind, SharedLeveledDeque, StolenLevel};
 pub use policy::{PolicyKind, SchedConfig};
 pub use program::{BlockProgram, BucketSet, RunOutput};
 pub use scheduler::{run_policy, run_scheduler, run_scheduler_on, Scheduler, SchedulerKind};

@@ -3,24 +3,26 @@
 //! This is the formulation the theory analyses (Theorem 4): every worker
 //! owns a full leveled deque (task *and* restart blocks per level, all of it
 //! stealable), and a worker whose deque cannot produce a `t_restart`-sized
-//! block *steals* — taking the top block of a random victim's deque
-//! (possibly its own), executing it with DFE if it is full and otherwise
-//! growing it with a constant number of BFE actions.
+//! block *steals* — taking the top level of a random victim's deque
+//! (possibly its own), executing the preferred block with DFE if it is full
+//! and otherwise growing it with a constant number of BFE actions.
 //!
 //! The paper implements the *simplified* variant on Cilk because exposing
 //! restart blocks for stealing "does not naturally map to Cilk-like
 //! programming models"; since we own the runtime, we also build the ideal
-//! variant on dedicated threads with mutex-guarded leveled deques (blocks
-//! are coarse, so a lock per scheduling action is cheap). Termination is a
-//! global live-task counter: it starts at the root count, every block
-//! execution adds `children - executed`, and zero means done.
+//! variant on dedicated threads. Since PR 2 the per-worker deques are
+//! [`SharedLeveledDeque`]s — entirely lock-free: the owner parks and scans
+//! by detaching level cells with atomic exchanges, and thieves take a whole
+//! level (the steal-half unit: execute the preferred ⌈half⌉ of its blocks,
+//! re-park the rest on their own deque) with a single exchange. No mutex
+//! exists anywhere on the push/pop/steal path. Termination is a global
+//! live-task counter: it starts at the root count, every block execution
+//! adds `children - executed`, and zero means done.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
-use parking_lot::Mutex;
-
 use crate::block::{TaskBlock, TaskStore};
-use crate::deque::LeveledDeque;
+use crate::deque::SharedLeveledDeque;
 use crate::policy::{PolicyKind, SchedConfig};
 use crate::program::{BlockProgram, BucketSet, RunOutput};
 use crate::stats::ExecStats;
@@ -29,7 +31,7 @@ use crate::stats::ExecStats;
 /// actions", §3.4) when the config does not specify one.
 const DEFAULT_BFE_BURST: usize = 4;
 
-/// Multicore restart scheduler with per-worker leveled deques.
+/// Multicore restart scheduler with per-worker lock-free leveled deques.
 pub struct ParRestartIdeal<'p, P: BlockProgram> {
     prog: &'p P,
     cfg: SchedConfig,
@@ -59,14 +61,15 @@ impl<'p, P: BlockProgram> ParRestartIdeal<'p, P> {
             return RunOutput { reducer: self.prog.make_reducer(), stats };
         }
 
-        // Seed the deques: strips of the root, round-robin.
-        let deques: Vec<Mutex<LeveledDeque<P::Store>>> =
-            (0..n).map(|_| Mutex::new(LeveledDeque::new())).collect();
+        // Seed the deques: strips of the root, round-robin. Owner ops from
+        // the driver thread are fine — the spawn below establishes the
+        // happens-before edge to each deque's worker.
+        let deques: Vec<SharedLeveledDeque<P::Store>> = (0..n).map(|_| SharedLeveledDeque::new()).collect();
         let strip = self.cfg.t_dfe.max(1);
         let mut w = 0usize;
         loop {
             let rest = if root.len() > strip { root.split_off(strip) } else { P::Store::default() };
-            deques[w % n].lock().push_dfe(TaskBlock::new(0, root));
+            deques[w % n].push_dfe(TaskBlock::new(0, root));
             root = rest;
             w += 1;
             if root.is_empty() {
@@ -116,7 +119,7 @@ impl<P: BlockProgram> crate::scheduler::Scheduler<P> for ParRestartIdeal<'_, P> 
 }
 
 struct SharedState<S> {
-    deques: Vec<Mutex<LeveledDeque<S>>>,
+    deques: Vec<SharedLeveledDeque<S>>,
     live: AtomicI64,
     done: AtomicBool,
 }
@@ -150,32 +153,52 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
         }
     }
 
+    /// This worker's own deque (the only one it performs owner ops on).
+    /// Returns the `'e` borrow so callers can keep mutating `self.stats`.
+    fn mine(&self) -> &'e SharedLeveledDeque<P::Store> {
+        &self.shared.deques[self.index]
+    }
+
     fn run(mut self) -> (P::Reducer, ExecStats) {
         let mut idle = 0u32;
         while !self.shared.done.load(Ordering::Acquire) {
-            // 1. Try to assemble a full block from our own deque.
-            let mine = {
-                let mut dq = self.shared.deques[self.index].lock();
-                dq.find_restart_full(self.cfg.t_restart, &mut self.stats.merges)
-            };
+            // 1. Try to assemble a full block from our own deque (owner
+            //    merge-scan; lock-free detach/republish per level).
+            let mine = self.mine().find_restart_full(self.cfg.t_restart, &mut self.stats.merges);
             if let Some(b) = mine {
                 self.descend(b);
                 idle = 0;
                 continue;
             }
             // 2. Steal: random victim, self included (§3.4: "the victim
-            //    could be the thief itself").
+            //    could be the thief itself"). One atomic exchange takes the
+            //    victim's whole top level; we act on the preferred block
+            //    and re-park the other half on our own deque.
             self.stats.steal_attempts += 1;
             let victim = (self.next_rand() as usize) % self.n;
-            let loot = self.shared.deques[victim].lock().steal_top(self.cfg.t_restart);
+            let loot = self.shared.deques[victim].steal_half(self.cfg.t_restart);
             match loot {
-                Some(b) => {
+                Some(loot) => {
                     self.stats.steals += 1;
                     idle = 0;
-                    if b.len() >= self.cfg.t_restart {
-                        self.descend(b);
+                    if let Some(extra) = loot.leftover {
+                        // Steal-half re-park: the sub-threshold half goes
+                        // back as a restart block, a full half as a DFE
+                        // block (it is immediately re-stealable either way).
+                        let merged = if extra.len() >= self.cfg.t_restart {
+                            self.mine().push_dfe(extra)
+                        } else {
+                            self.mine().push_restart(extra)
+                        };
+                        if merged {
+                            self.stats.merges += 1;
+                        }
+                        self.observe_mine();
+                    }
+                    if loot.primary.len() >= self.cfg.t_restart {
+                        self.descend(loot.primary);
                     } else {
-                        self.bfe_burst(b);
+                        self.bfe_burst(loot.primary);
                     }
                 }
                 None => {
@@ -199,6 +222,11 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
         x ^= x << 17;
         self.rng = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn observe_mine(&mut self) {
+        let (blocks, tasks) = self.shared.deques[self.index].counts();
+        self.stats.observe_deque(blocks, tasks);
     }
 
     /// Execute one block, updating the live counter. Returns the non-empty
@@ -248,26 +276,31 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
                 return;
             }
             if cur.len() < self.cfg.t_restart {
-                let mut dq = self.shared.deques[self.index].lock();
-                if dq.push_restart(cur) {
+                if self.mine().push_restart(cur) {
                     self.stats.merges += 1;
                 }
-                self.stats.observe_deque(dq.block_count(), dq.task_count());
+                self.observe_mine();
                 return;
             }
             let mut children = self.expand(cur, false);
             if children.is_empty() {
                 return;
             }
-            let rest = children.split_off(1);
+            let mut rest = children.split_off(1);
             if !rest.is_empty() {
-                let mut dq = self.shared.deques[self.index].lock();
-                for c in rest {
-                    if dq.push_dfe(c) {
-                        self.stats.merges += 1;
-                    }
+                // The right-hand siblings all sit at the same level: merge
+                // them locally first so parking costs one publish instead
+                // of `arity - 1` (same final deque state — the deque would
+                // have merged them anyway, one lock-free op at a time).
+                let mut parked = rest.swap_remove(0);
+                for mut c in rest {
+                    parked.merge(&mut c);
+                    self.stats.merges += 1;
                 }
-                self.stats.observe_deque(dq.block_count(), dq.task_count());
+                if self.mine().push_dfe(parked) {
+                    self.stats.merges += 1;
+                }
+                self.observe_mine();
             }
             cur = children.pop().expect("first child");
         }
@@ -285,8 +318,7 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
                 break;
             }
             // Absorb any of our own leftovers at this level first.
-            let absorbed = self.shared.deques[self.index].lock().take_level(cur.level);
-            if let Some(mut extra) = absorbed {
+            if let Some(mut extra) = self.mine().take_level(cur.level) {
                 cur.merge(&mut extra);
                 self.stats.merges += 1;
                 if cur.len() >= self.cfg.t_restart {
@@ -305,11 +337,10 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
         if cur.len() >= self.cfg.t_restart {
             self.descend(cur);
         } else {
-            let mut dq = self.shared.deques[self.index].lock();
-            if dq.push_restart(cur) {
+            if self.mine().push_restart(cur) {
                 self.stats.merges += 1;
             }
-            self.stats.observe_deque(dq.block_count(), dq.task_count());
+            self.observe_mine();
         }
     }
 }
@@ -398,5 +429,26 @@ mod tests {
         let prog = Fib(22);
         let out = ParRestartIdeal::new(&prog, SchedConfig::restart(4, 128, 32), 4).run();
         assert!(out.stats.steal_attempts > 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_in_outcome() {
+        // The schedule varies run to run (racy steals), the reduction must
+        // not. Exercises the lock-free deque under real contention.
+        let prog = Fib(23);
+        let cfg = SchedConfig::restart(4, 64, 16);
+        let expected = SeqScheduler::new(&prog, cfg).run();
+        for _ in 0..5 {
+            let par = ParRestartIdeal::new(&prog, cfg, 4).run();
+            assert_eq!(par.reducer, expected.reducer);
+            assert_eq!(par.stats.tasks_executed, expected.stats.tasks_executed);
+        }
+    }
+
+    #[test]
+    fn tiny_thresholds_maximise_contention_and_still_complete() {
+        let prog = Fib(18);
+        let out = ParRestartIdeal::new(&prog, SchedConfig::restart(2, 4, 2), 4).run();
+        assert_eq!(out.reducer, 2584);
     }
 }

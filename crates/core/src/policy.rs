@@ -44,6 +44,38 @@ impl PolicyKind {
 ///   `t_bfe ≈ t_dfe` (§4.1), which is the default.
 /// * `t_restart` — restart trigger (`Restart` only): a block smaller than
 ///   this is parked and the deque scanned. `Q ≤ t_restart ≤ t_dfe`.
+///
+/// # Examples
+///
+/// The three builders encode the §3.5 threshold relationships; invalid
+/// combinations panic at construction rather than misbehaving later:
+///
+/// ```
+/// use tb_core::prelude::*;
+///
+/// // Basic (§3.1): BFE until blocks reach t_dfe = 1024, then DFE forever.
+/// let basic = SchedConfig::basic(8, 1024);
+/// assert_eq!(basic.k(), 128.0); // the paper's k = t_dfe / Q
+///
+/// // Re-expansion (§3.2): switch back to BFE below t_bfe. The theory
+/// // recommends t_bfe ≈ t_dfe (§4.1), which the 2-argument form picks.
+/// let reexp = SchedConfig::reexpansion(8, 1024);
+/// assert_eq!(reexp.t_bfe, 1024);
+/// let custom = SchedConfig::reexpansion_with(8, 1024, 256);
+/// assert_eq!(custom.t_bfe, 256);
+///
+/// // Restart (§3.3): park blocks below t_restart and scan; §3.5 wants
+/// // Q ≤ t_restart ≤ t_dfe.
+/// let restart = SchedConfig::restart(8, 1024, 64);
+/// assert_eq!(restart.t_restart, 64);
+///
+/// // Constraint violations are construction-time panics:
+/// assert!(std::panic::catch_unwind(|| SchedConfig::restart(8, 64, 128)).is_err());
+/// ```
+///
+/// A config is inert until handed to a scheduler — see
+/// [`run_policy`](crate::scheduler::run_policy) for driving a program
+/// under each policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Which scheduler family.

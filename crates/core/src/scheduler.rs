@@ -132,6 +132,54 @@ pub(crate) fn default_workers() -> usize {
 /// This is the entry point benchmarks, harness binaries and examples
 /// should use; see [`run_scheduler`] when the choice between the two
 /// parallel restart implementations matters.
+///
+/// # Examples
+///
+/// One minimal program — a full binary tree whose leaves are counted —
+/// driven through every policy, single-core and multicore. The thresholds
+/// come from the [`SchedConfig`] builders; see its docs for the §3.5
+/// semantics of `t_dfe`/`t_bfe`/`t_restart`.
+///
+/// ```
+/// use tb_core::prelude::*;
+/// use tb_runtime::ThreadPool;
+///
+/// /// Tasks are "remaining depth"; a task at depth 0 is a leaf.
+/// struct Tree(u32);
+///
+/// impl BlockProgram for Tree {
+///     type Store = Vec<u32>;
+///     type Reducer = u64;
+///     fn arity(&self) -> usize { 2 }
+///     fn make_root(&self) -> Vec<u32> { vec![self.0] }
+///     fn make_reducer(&self) -> u64 { 0 }
+///     fn merge_reducers(&self, a: &mut u64, b: u64) { *a += b; }
+///     fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+///         for n in block.drain(..) {
+///             if n == 0 { *red += 1 } else {
+///                 out.bucket(0).push(n - 1);
+///                 out.bucket(1).push(n - 1);
+///             }
+///         }
+///     }
+/// }
+///
+/// // Q = 4 lanes; switch to depth-first at 64-task blocks (t_dfe, §3.5),
+/// // re-expand below 32 (t_bfe), restart below 16 (t_restart).
+/// let configs = [
+///     SchedConfig::basic(4, 64),
+///     SchedConfig::reexpansion_with(4, 64, 32),
+///     SchedConfig::restart(4, 64, 16),
+/// ];
+///
+/// for cfg in configs {
+///     // No pool: the sequential engine honours cfg.policy exactly.
+///     assert_eq!(run_policy(&Tree(8), cfg, None).reducer, 1 << 8);
+///     // With a pool: the policy's canonical multicore scheduler.
+///     let pool = ThreadPool::new(2);
+///     assert_eq!(run_policy(&Tree(8), cfg, Some(&pool)).reducer, 1 << 8);
+/// }
+/// ```
 pub fn run_policy<P: BlockProgram>(
     prog: &P,
     cfg: SchedConfig,
@@ -145,6 +193,43 @@ pub fn run_policy<P: BlockProgram>(
 /// note that the pool-based kinds construct an ephemeral machine-sized
 /// pool *per call* when `pool` is `None` — callers timing runs or looping
 /// should create one pool and pass it.
+///
+/// # Examples
+///
+/// All four implementations agree on the reduction; the restart kinds
+/// additionally let you choose between the §6 Cilk-embeddable
+/// simplification and the §3.4 ideal scheduler (lock-free stealable
+/// leveled deques) the theory analyses:
+///
+/// ```
+/// use tb_core::prelude::*;
+/// use tb_runtime::ThreadPool;
+/// # struct Tree(u32);
+/// # impl BlockProgram for Tree {
+/// #     type Store = Vec<u32>;
+/// #     type Reducer = u64;
+/// #     fn arity(&self) -> usize { 2 }
+/// #     fn make_root(&self) -> Vec<u32> { vec![self.0] }
+/// #     fn make_reducer(&self) -> u64 { 0 }
+/// #     fn merge_reducers(&self, a: &mut u64, b: u64) { *a += b; }
+/// #     fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+/// #         for n in block.drain(..) {
+/// #             if n == 0 { *red += 1 } else {
+/// #                 out.bucket(0).push(n - 1);
+/// #                 out.bucket(1).push(n - 1);
+/// #             }
+/// #         }
+/// #     }
+/// # }
+///
+/// // t_restart = 16 (§3.5: park blocks below this and scan the deque).
+/// let cfg = SchedConfig::restart(4, 64, 16);
+/// let pool = ThreadPool::new(2);
+/// for kind in SchedulerKind::ALL {
+///     let out = run_scheduler(kind, &Tree(10), cfg, Some(&pool));
+///     assert_eq!(out.reducer, 1 << 10, "{}", kind.name());
+/// }
+/// ```
 pub fn run_scheduler<P: BlockProgram>(
     kind: SchedulerKind,
     prog: &P,

@@ -13,6 +13,18 @@
 //! [`ThreadPool::install`]) that do not return before one of those two
 //! things has happened.
 //!
+//! On the Chase–Lev deques of [`crate::deque`], a racing thief may make a
+//! *speculative bitwise copy* of a `JobRef` and then lose the claiming CAS,
+//! abandoning the copy without dropping it. That is sound here by
+//! construction: a `JobRef` is two plain words with no drop glue, and only
+//! the CAS winner's copy is ever [executed](JobRef::execute) — the
+//! at-most-once execution contract is enforced by the deque's index
+//! protocol (each index is claimed by exactly one pop/steal), not by move
+//! semantics of the ref itself. Equally, "the owner physically removes the
+//! ref" above means the owner's `pop` *claimed the job's index*: after
+//! that, no thief's CAS on that index can succeed, so no thief can execute
+//! it — stale speculative copies are discarded, never run.
+//!
 //! [`WorkerCtx::join`]: crate::pool::WorkerCtx::join
 //! [`ThreadPool::install`]: crate::pool::ThreadPool::install
 

@@ -1,10 +1,13 @@
 //! # tb-runtime — a Cilk-style child-stealing work-stealing runtime
 //!
 //! The PPoPP'17 task-block schedulers were implemented on MIT Cilk 5.4.6;
-//! this crate is the equivalent substrate, built from scratch on
-//! `crossbeam-deque`: a fixed pool of workers, per-worker LIFO deques with
-//! thieves stealing from the opposite (oldest) end, and a blocking
-//! [`ThreadPool::install`] entry point for external threads.
+//! this crate is the equivalent substrate, built from scratch: a fixed
+//! pool of workers, per-worker lock-free Chase–Lev deques ([`deque`]) with
+//! owners operating LIFO at the bottom and thieves stealing the oldest
+//! entry with a single CAS at the top, plus a lock-free MPMC injector for
+//! the blocking [`ThreadPool::install`] entry point. No lock is taken on
+//! any push/pop/steal; the memory-ordering argument lives in
+//! DESIGN.md §6.
 //!
 //! Primitives:
 //!
@@ -25,6 +28,7 @@
 //! every fork), so steal counts and load-balancing behaviour match; only
 //! which side of the fork waits differs. See DESIGN.md §4.
 
+pub mod deque;
 mod job;
 mod latch;
 mod metrics;

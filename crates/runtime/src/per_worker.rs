@@ -5,6 +5,13 @@
 //! parallel phase. [`PerWorker`] provides exactly that: interior-mutable
 //! slots indexed by [`WorkerCtx::index`], with a runtime re-entrancy guard.
 //!
+//! This is also the accumulation discipline for statistics across the
+//! workspace: `ExecStats` counters live in a `PerWorker` slot (or a plain
+//! per-worker struct) and are merged once at pool sync — never bumped
+//! through shared atomics on the hot path. The pool's own steal counters
+//! follow the same owner-writes/merge-on-read pattern (see
+//! `pool::StealCounters`).
+//!
 //! [`WorkerCtx::index`]: crate::pool::WorkerCtx::index
 
 use std::cell::UnsafeCell;

@@ -1,4 +1,11 @@
 //! The worker pool: threads, deques, stealing, sleeping, and `join`.
+//!
+//! Since PR 2 the per-worker job deques are the hand-rolled Chase–Lev
+//! deques of [`crate::deque`] and the injector is a lock-free MPMC ring:
+//! no scheduling action (push, pop, steal) takes a lock. The only mutex
+//! left in this module guards the *sleep* condvar, which workers touch
+//! exclusively when parking after repeated fruitless steal sweeps — never
+//! on the work-transfer path.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -6,10 +13,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 
+use crate::deque::{Injector, Steal, Stealer, Worker};
 use crate::job::{JobRef, StackJob};
 use crate::latch::{SpinLatch, SyncLatch};
 use crate::metrics::PoolMetrics;
@@ -22,15 +29,37 @@ const SPINS_BEFORE_SLEEP: u32 = 64;
 /// wakeups a latency bug rather than a deadlock.
 const SLEEP_RECHECK: Duration = Duration::from_micros(500);
 
+/// Steal counters owned by one worker. Only that worker writes them (plain
+/// load + store, no RMW), so the hot path costs a private-cache-line write;
+/// [`ThreadPool::metrics`] merges the lines at observation points (pool
+/// sync in the schedulers' `drive`). Other threads read them with Relaxed
+/// loads — each counter is monotone, so a sum of stale values is itself a
+/// valid earlier snapshot.
+#[derive(Default)]
+struct StealCounters {
+    attempts: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl StealCounters {
+    /// Owner-only increment: load + store instead of `fetch_add`, because
+    /// no other thread ever writes this line.
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}
+
 pub(crate) struct Shared {
     injector: Injector<JobRef>,
     stealers: Vec<Stealer<JobRef>>,
+    /// One counter pair per worker, cache-padded so a worker's bumps never
+    /// bounce another worker's line.
+    counters: Vec<CachePadded<StealCounters>>,
     sleep_mutex: Mutex<()>,
     sleep_cv: Condvar,
     sleepers: AtomicUsize,
     shutdown: AtomicBool,
-    steal_attempts: CachePadded<AtomicU64>,
-    steals: CachePadded<AtomicU64>,
 }
 
 impl Shared {
@@ -47,6 +76,18 @@ impl Shared {
             self.sleep_cv.notify_all();
         }
     }
+
+    /// Merge the per-worker counters into one snapshot. Monotone counters
+    /// summed with Relaxed loads: the result is a consistent lower bound,
+    /// exact at quiescent points (pool sync).
+    fn merged_metrics(&self) -> PoolMetrics {
+        let mut m = PoolMetrics::default();
+        for c in &self.counters {
+            m.steal_attempts += c.attempts.load(Ordering::Relaxed);
+            m.steals += c.steals.load(Ordering::Relaxed);
+        }
+        m
+    }
 }
 
 /// A fixed-size pool of work-stealing workers.
@@ -62,17 +103,16 @@ impl ThreadPool {
     /// Spawn a pool of `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
+            counters: (0..threads).map(|_| CachePadded::new(StealCounters::default())).collect(),
             sleep_mutex: Mutex::new(()),
             sleep_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            steal_attempts: CachePadded::new(AtomicU64::new(0)),
-            steals: CachePadded::new(AtomicU64::new(0)),
         });
         let handles = workers
             .into_iter()
@@ -111,12 +151,10 @@ impl ThreadPool {
         unsafe { job.take_result() }
     }
 
-    /// Cumulative steal counters across the pool's lifetime.
+    /// Cumulative steal counters across the pool's lifetime, merged from
+    /// the per-worker counters.
     pub fn metrics(&self) -> PoolMetrics {
-        PoolMetrics {
-            steal_attempts: self.shared.steal_attempts.load(Ordering::Relaxed),
-            steals: self.shared.steals.load(Ordering::Relaxed),
-        }
+        self.shared.merged_metrics()
     }
 }
 
@@ -154,15 +192,22 @@ impl<'a> WorkerCtx<'a> {
         self.shared.stealers.len()
     }
 
-    /// Steal attempts recorded so far (pool-wide).
+    /// Steal attempts recorded so far (pool-wide, merged snapshot).
     pub fn steal_attempts(&self) -> u64 {
-        self.shared.steal_attempts.load(Ordering::Relaxed)
+        self.shared.merged_metrics().steal_attempts
     }
 
-    /// Successful steals recorded so far (pool-wide). The simplified-restart
-    /// scheduler compares snapshots of this to detect intervening steals.
+    /// Successful steals recorded so far (pool-wide, merged snapshot).
+    ///
+    /// The counters are monotone but written with Relaxed stores, so this
+    /// is a conservative lower bound: a *differing* pair of snapshots
+    /// proves a steal happened, while an *equal* pair does not prove the
+    /// absence of one (a just-completed steal's bump may not be visible
+    /// yet). Use it for statistics; the authoritative "did a thief claim
+    /// this specific job?" signal is the tentative-job latch
+    /// ([`WorkerCtx::tentative_scope`]).
     pub fn steals(&self) -> u64 {
-        self.shared.steals.load(Ordering::Relaxed)
+        self.shared.merged_metrics().steals
     }
 
     #[inline]
@@ -194,12 +239,13 @@ impl<'a> WorkerCtx<'a> {
     /// One sweep over the injector and every other worker's deque.
     /// Records a steal attempt; returns a job if one was found.
     pub(crate) fn try_steal(&self) -> Option<JobRef> {
-        self.shared.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let counters = &self.shared.counters[self.index];
+        StealCounters::bump(&counters.attempts);
         // The global injector first: install() roots land there.
         loop {
             match self.shared.injector.steal_batch_and_pop(self.local) {
                 Steal::Success(job) => {
-                    self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    StealCounters::bump(&counters.steals);
                     return Some(job);
                 }
                 Steal::Retry => continue,
@@ -216,7 +262,7 @@ impl<'a> WorkerCtx<'a> {
             loop {
                 match self.shared.stealers[victim].steal() {
                     Steal::Success(job) => {
-                        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                        StealCounters::bump(&counters.steals);
                         return Some(job);
                     }
                     Steal::Retry => continue,

@@ -1,9 +1,22 @@
 //! Stress tests for the work-stealing runtime substrate: deep nesting,
-//! wide fan-out, repeated pool churn, and tentative-spawn storms. These
+//! wide fan-out, repeated pool churn, tentative-spawn storms, and — since
+//! PR 2 — randomized owner-vs-thieves torture of the lock-free deques
+//! (the Chase–Lev job deque and the shared leveled block deque). These
 //! are the conditions Cilk's THE protocol is hardened against; ours must
 //! survive them too.
+//!
+//! The lock-free tests are conservation arguments: every pushed token is
+//! accounted exactly once across owner pops and thief steals (a lost CAS
+//! that still delivered its element, an ABA'd slot, or a double-material-
+//! ized speculative copy would all break the sum or the count). Run them
+//! under `--release` too — optimized codegen reorders more aggressively
+//! and is where ordering bugs actually surface.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use taskblocks::core::{SharedLeveledDeque, TaskBlock};
 use taskblocks::prelude::*;
+use taskblocks::runtime::deque::{Steal, Worker};
 use taskblocks::runtime::Resolved;
 
 #[test]
@@ -102,4 +115,231 @@ fn results_with_heap_payloads_move_correctly() {
     });
     assert_eq!(left.len(), 100);
     assert!(right.contains("stolen"));
+}
+
+/// A tiny deterministic RNG so the stress schedules vary but reproduce.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+#[test]
+fn chase_lev_randomized_owner_vs_thieves_conserves_every_item() {
+    // One owner doing a random push/pop mix, three thieves stealing
+    // continuously. Every item carries its value; at the end the sum and
+    // count over {owner pops, thief steals} must equal what was pushed —
+    // any take-race double-delivery or lost element breaks it.
+    const ITEMS: u64 = 60_000;
+    for seed in 1..=3u64 {
+        let w: Worker<u64> = Worker::new();
+        let stolen_sum = AtomicU64::new(0);
+        let stolen_cnt = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mut popped_sum = 0u64;
+        let mut popped_cnt = 0u64;
+        let mut rng = 0x9E37_79B9_0000_0000u64 | seed;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let st = w.stealer();
+                let (stolen_sum, stolen_cnt, done) = (&stolen_sum, &stolen_cnt, &done);
+                s.spawn(move || loop {
+                    match st.steal() {
+                        Steal::Success(v) => {
+                            stolen_sum.fetch_add(v, Ordering::Relaxed);
+                            stolen_cnt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && st.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut next = 0u64;
+            while next < ITEMS {
+                // Random-length push burst, then a few owner pops.
+                let burst = 1 + xorshift(&mut rng) % 64;
+                for _ in 0..burst {
+                    if next == ITEMS {
+                        break;
+                    }
+                    w.push(next);
+                    next += 1;
+                }
+                let pops = xorshift(&mut rng) % 8;
+                for _ in 0..pops {
+                    if let Some(v) = w.pop() {
+                        popped_sum += v;
+                        popped_cnt += 1;
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                popped_sum += v;
+                popped_cnt += 1;
+            }
+            done.store(true, Ordering::Release);
+        });
+        let total_cnt = popped_cnt + stolen_cnt.load(Ordering::Relaxed);
+        let total_sum = popped_sum + stolen_sum.load(Ordering::Relaxed);
+        assert_eq!(total_cnt, ITEMS, "seed {seed}: item delivered zero or twice");
+        assert_eq!(total_sum, ITEMS * (ITEMS - 1) / 2, "seed {seed}: item value corrupted");
+    }
+}
+
+#[test]
+fn chase_lev_last_element_race_owner_vs_thief() {
+    // The t == b corner: owner pop and thief steal race for a lone item,
+    // thousands of times. Exactly one side must win each round — claims
+    // are counted and value-summed, never made twice. (No per-round value
+    // assertion: the thief may legitimately claim round r+1's element
+    // while still acting on a stale view of round r, so only the
+    // conservation totals are meaningful.)
+    const ROUNDS: usize = 20_000;
+    let w: Worker<usize> = Worker::new();
+    let s = w.stealer();
+    let thief_got = AtomicUsize::new(0);
+    let thief_sum = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let mut owner_got = 0usize;
+    let mut owner_sum = 0usize;
+    std::thread::scope(|scope| {
+        let (thief_got, thief_sum, done) = (&thief_got, &thief_sum, &done);
+        scope.spawn(move || loop {
+            match s.steal() {
+                Steal::Success(v) => {
+                    thief_sum.fetch_add(v, Ordering::Relaxed);
+                    // AcqRel: the owner's wait below synchronizes on this.
+                    thief_got.fetch_add(1, Ordering::AcqRel);
+                }
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => {
+                    if done.load(Ordering::Acquire) && s.is_empty() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        for round in 0..ROUNDS {
+            let before = thief_got.load(Ordering::Acquire);
+            w.push(round);
+            match w.pop() {
+                Some(v) => {
+                    owner_got += 1;
+                    owner_sum += v;
+                }
+                None => {
+                    // Thief must have it (or be about to finish claiming
+                    // it): wait until its counter ticks so every round's
+                    // element is claimed before the next push.
+                    while thief_got.load(Ordering::Acquire) == before {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(owner_got + thief_got.load(Ordering::Relaxed), ROUNDS, "element claimed zero or twice");
+    assert_eq!(
+        owner_sum + thief_sum.load(Ordering::Relaxed),
+        ROUNDS * (ROUNDS - 1) / 2,
+        "element value corrupted or duplicated"
+    );
+}
+
+#[test]
+fn shared_leveled_deque_steal_half_storm_conserves_tasks() {
+    // Owner parks/merges/scans across many levels while thieves strip
+    // whole levels with steal_half; total tasks across owner takes, thief
+    // loot (primary + leftover), and the final drain must match pushes.
+    const ROUNDS: usize = 400;
+    const LEVELS: usize = 70; // crosses a segment boundary (64)
+    for seed in 1..=2u64 {
+        let d: SharedLeveledDeque<Vec<u64>> = SharedLeveledDeque::new();
+        let stolen = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mut rng = 0xDEAD_BEEF_0000_0000u64 | seed;
+        let mut owner_tasks = 0u64;
+        let mut pushed = 0u64;
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (d, stolen, done) = (&d, &stolen, &done);
+                s.spawn(move || loop {
+                    match d.steal_half(8) {
+                        Some(loot) => {
+                            let n = loot.primary.len() + loot.leftover.as_ref().map_or(0, TaskBlock::len);
+                            stolen.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) && d.steal_half(8).is_none() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut merges = 0u64;
+            for _ in 0..ROUNDS {
+                let level = (xorshift(&mut rng) as usize) % LEVELS;
+                let n = 1 + (xorshift(&mut rng) as usize) % 9;
+                pushed += n as u64;
+                if xorshift(&mut rng).is_multiple_of(2) {
+                    d.push_dfe(TaskBlock::new(level, vec![0u64; n]));
+                } else {
+                    d.push_restart(TaskBlock::new(level, vec![0u64; n]));
+                }
+                match xorshift(&mut rng) % 4 {
+                    0 => {
+                        if let Some(b) = d.find_restart_full(12, &mut merges) {
+                            owner_tasks += b.len() as u64;
+                        }
+                    }
+                    1 => {
+                        if let Some(b) = d.take_level(level) {
+                            owner_tasks += b.len() as u64;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        while let Some(loot) = d.steal_half(1) {
+            owner_tasks += (loot.primary.len() + loot.leftover.as_ref().map_or(0, TaskBlock::len)) as u64;
+        }
+        assert_eq!(
+            owner_tasks + stolen.load(Ordering::Relaxed),
+            pushed,
+            "seed {seed}: task lost or duplicated under steal-half"
+        );
+        assert_eq!(d.task_count(), 0, "seed {seed}: counters out of sync at quiescence");
+        assert_eq!(d.block_count(), 0, "seed {seed}: counters out of sync at quiescence");
+    }
+}
+
+#[test]
+fn pool_survives_many_workers_on_lock_free_deques() {
+    // End-to-end: an 8-worker pool (heavily oversubscribed on small CI
+    // boxes) computing a fork-heavy reduction lands on the exact answer.
+    fn sum_range(ctx: &WorkerCtx<'_>, lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 32 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = ctx.join(move |c| sum_range(c, lo, mid), move |c| sum_range(c, mid, hi));
+        a + b
+    }
+    let pool = ThreadPool::new(8);
+    let n = 300_000u64;
+    assert_eq!(pool.install(|ctx| sum_range(ctx, 0, n)), n * (n - 1) / 2);
+    let m = pool.metrics();
+    assert!(m.steal_attempts >= m.steals);
 }
