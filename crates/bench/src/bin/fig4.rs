@@ -33,8 +33,8 @@ fn main() {
             let block = 1usize << log2;
             // Both thresholds track the block size, the theory-recommended
             // setting (k1 ≈ k, k2 ≈ k).
-            let reexp = SchedConfig::reexpansion(b.q(), block);
-            let restart = SchedConfig::restart(b.q(), block, block);
+            let reexp = SchedConfig::reexpansion(args.bench_q(b.q()), block);
+            let restart = SchedConfig::restart(args.bench_q(b.q()), block, block);
             let ux = b.blocked_seq(reexp, Tier::Block).stats.simd_utilization() * 100.0;
             let ur = b.blocked_seq(restart, Tier::Block).stats.simd_utilization() * 100.0;
             sink.row(vec![name.to_string(), "reexp".into(), log2.to_string(), format!("{ux:.2}")]);

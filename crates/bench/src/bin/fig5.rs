@@ -33,8 +33,8 @@ fn main() {
             continue;
         }
         let b = benchmark_by_name(name, args.scale).expect("known benchmark");
-        let reexp = SchedConfig::reexpansion(b.q(), BLOCK);
-        let restart = SchedConfig::restart(b.q(), BLOCK, BLOCK);
+        let reexp = SchedConfig::reexpansion(args.bench_q(b.q()), BLOCK);
+        let restart = SchedConfig::restart(args.bench_q(b.q()), BLOCK, BLOCK);
         let base = {
             let pool = ThreadPool::new(1);
             b.cilk(&pool).stats.wall.as_secs_f64()

@@ -1,0 +1,292 @@
+//! The `service` throughput benchmark: N client threads hammering one
+//! shared `tb_service::Runtime` with a mixed job stream (fib / uts /
+//! nqueens under per-job scheduler kinds), measuring sustained jobs/sec
+//! and closed-loop submit→complete latency (p50/p99), plus one bulk
+//! submission phase exercising the DCAFE-style adaptive chunker.
+//!
+//! Output is a trajectory-schema document (see `trajectory.rs`): the same
+//! pinned grid as the `trajectory` binary — so
+//! `trajectory compare BENCH_PR2.json BENCH_PR3.json` works directly —
+//! plus a `"service"` section:
+//!
+//! ```json
+//! "service": {
+//!   "pool_threads": 4, "clients": 4, "jobs_per_client": 30,
+//!   "max_inflight": 32,
+//!   "jobs_total": 120, "wall_s": 1.5, "jobs_per_sec": 80.0,
+//!   "p50_ms": 30.1, "p99_ms": 95.0,
+//!   "bulk_chunks": 8, "bulk_wall_s": 0.2,
+//!   "backpressure_waits": 3,          // gate hits (expected under load)
+//!   "injector": { "full_waits": 0,    // asserted == 0: submission never
+//!                                     //   spin-blocks on capacity
+//!     "install_waits": 1, "segments_allocated": 3, "segments_recycled": 7 }
+//! }
+//! ```
+//!
+//! Flags: `--clients N` (default 4), `--jobs N` per client (default 25),
+//! `--pool N` workers (default: available parallelism), `--inflight N`
+//! (default 8 × pool), `--scale`, `--tag` (default PR3), `--file PATH`,
+//! `--smoke` (tiny scale, 2 jobs/client, skip the pinned grid, write under
+//! `results/`). Every job's reduction is verified against the workload's
+//! known answer, smoke or not, and the run aborts if the segmented
+//! injector ever reported a capacity wait.
+
+use std::time::Instant;
+
+use tb_bench::traj::{self, percentile, RunRow};
+use tb_bench::HarnessArgs;
+use tb_core::prelude::*;
+use tb_service::{Runtime, RuntimeConfig};
+use tb_suite::jobs::{FibJob, NQueensJob, UtsJob};
+use tb_suite::Scale;
+
+struct ServiceArgs {
+    common: HarnessArgs,
+    clients: usize,
+    jobs_per_client: usize,
+    pool: usize,
+    inflight: Option<usize>,
+    reps: usize,
+    tag: String,
+    /// Was `--tag` given explicitly? Guards committed baselines against
+    /// accidental default-tag overwrites (same rule as `trajectory`).
+    tag_explicit: bool,
+    file: Option<String>,
+    smoke: bool,
+}
+
+impl ServiceArgs {
+    fn parse() -> Self {
+        let mut a = ServiceArgs {
+            common: HarnessArgs::parse(),
+            clients: 4,
+            jobs_per_client: 25,
+            pool: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            inflight: None,
+            reps: 3,
+            tag: "PR3".to_string(),
+            tag_explicit: false,
+            file: None,
+            smoke: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--clients" => {
+                    i += 1;
+                    a.clients = argv[i].parse().expect("--clients N");
+                }
+                "--jobs" => {
+                    i += 1;
+                    a.jobs_per_client = argv[i].parse().expect("--jobs N");
+                }
+                "--pool" => {
+                    i += 1;
+                    a.pool = argv[i].parse().expect("--pool N");
+                }
+                "--inflight" => {
+                    i += 1;
+                    a.inflight = Some(argv[i].parse().expect("--inflight N"));
+                }
+                "--reps" => {
+                    i += 1;
+                    a.reps = argv[i].parse().expect("--reps N");
+                }
+                "--tag" => {
+                    i += 1;
+                    a.tag = argv[i].clone();
+                    a.tag_explicit = true;
+                }
+                "--file" => {
+                    i += 1;
+                    a.file = Some(argv[i].clone());
+                }
+                "--smoke" => a.smoke = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if a.smoke {
+            a.common.scale = Scale::Tiny;
+            a.jobs_per_client = 2;
+            a.clients = a.clients.max(4); // the smoke asserts >= 4 concurrent clients
+            a.reps = 1;
+        }
+        a
+    }
+
+    fn out_path(&self) -> String {
+        if let Some(f) = &self.file {
+            return f.clone();
+        }
+        if self.smoke {
+            std::fs::create_dir_all(&self.common.out_dir).expect("create results dir");
+            return self.common.out_dir.join("BENCH_service_smoke.json").to_string_lossy().into_owned();
+        }
+        let path = format!("BENCH_{}.json", self.tag);
+        assert!(
+            self.tag_explicit || !std::path::Path::new(&path).exists(),
+            "refusing to overwrite existing {path} with the default tag; pass --tag NAME or --file PATH"
+        );
+        path
+    }
+}
+
+/// The mixed stream: every client cycles through these, so one pool serves
+/// basic, re-expansion, restart and sequential jobs simultaneously.
+fn submit_one(rt: &Runtime, scale: Scale, slot: usize) -> (&'static str, tb_service::JobHandle<u64>, u64) {
+    match slot % 4 {
+        0 => {
+            let job = FibJob::new(scale);
+            let want = job.expected();
+            ("fib/basic", rt.submit(job, SchedConfig::basic(16, 1 << 10), SchedulerKind::ReExpansion), want)
+        }
+        1 => {
+            let job = UtsJob::new(scale);
+            let want = job.expected();
+            (
+                "uts/restart",
+                rt.submit(job, SchedConfig::restart(4, 1 << 10, 1 << 8), SchedulerKind::RestartSimplified),
+                want,
+            )
+        }
+        2 => {
+            let job = NQueensJob::new(scale);
+            let want = job.expected();
+            (
+                "nqueens/reexp",
+                rt.submit(job, SchedConfig::reexpansion(16, 1 << 10), SchedulerKind::ReExpansion),
+                want,
+            )
+        }
+        _ => {
+            let job = FibJob { n: FibJob::new(scale).n.saturating_sub(6) };
+            let want = job.expected();
+            ("fib/seq", rt.submit(job, SchedConfig::basic(16, 1 << 10), SchedulerKind::Seq), want)
+        }
+    }
+}
+
+fn main() {
+    let args = ServiceArgs::parse();
+    println!(
+        "service | tag={} scale={} pool={} clients={} jobs/client={} smoke={}\n",
+        args.tag,
+        args.common.scale_name(),
+        args.pool,
+        args.clients,
+        args.jobs_per_client,
+        args.smoke,
+    );
+
+    let rt = Runtime::with_config(RuntimeConfig {
+        threads: args.pool,
+        max_inflight: args.inflight.unwrap_or(args.pool * 8),
+    });
+
+    // ---- closed-loop mixed-stream phase ---------------------------------
+    let scale = args.common.scale;
+    let start = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client| {
+                let rt = rt.clone();
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(args.jobs_per_client);
+                    for i in 0..args.jobs_per_client {
+                        let t0 = Instant::now();
+                        let (mix, handle, want) = submit_one(&rt, scale, client + i);
+                        let got = handle.wait().expect("service job failed");
+                        lats.push(t0.elapsed().as_secs_f64());
+                        assert_eq!(got, want, "{mix}: wrong reduction under concurrent service load");
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let all: Vec<f64> = latencies.into_iter().flatten().collect();
+    let jobs_total = all.len();
+    let jobs_per_sec = jobs_total as f64 / wall_s;
+    let p50_ms = percentile(all.clone(), 50.0) * 1e3;
+    let p99_ms = percentile(all, 99.0) * 1e3;
+    println!(
+        "mixed stream: {jobs_total} jobs in {wall_s:.3}s = {jobs_per_sec:.1} jobs/s \
+         (p50 {p50_ms:.1}ms, p99 {p99_ms:.1}ms)"
+    );
+
+    // ---- bulk phase: adaptive chunking under the same gate --------------
+    let bulk_items: Vec<u32> = (0..args.pool as u32 * 64).collect();
+    let fib_n = FibJob::new(scale).n.saturating_sub(8);
+    let bulk_t0 = Instant::now();
+    let bulk = rt.submit_bulk(
+        bulk_items,
+        SchedConfig::basic(16, 1 << 10),
+        SchedulerKind::ReExpansion,
+        move |chunk: Vec<u32>| FibJob { n: fib_n.max(1) + (chunk.len() % 3) as u8 },
+    );
+    let bulk_chunks = bulk.chunks();
+    let per_chunk = bulk.wait();
+    let bulk_wall_s = bulk_t0.elapsed().as_secs_f64();
+    assert!(per_chunk.iter().all(Result::is_ok), "bulk chunks must all complete");
+    println!("bulk: {bulk_chunks} chunks in {bulk_wall_s:.3}s");
+
+    // ---- the submission-path invariant ----------------------------------
+    let stats = rt.stats();
+    assert_eq!(
+        stats.injector.full_waits, 0,
+        "segmented injector must never spin-block a submission on capacity"
+    );
+    assert_eq!(stats.completed as usize, jobs_total + bulk_chunks);
+    println!(
+        "injector: full_waits=0 install_waits={} segments_allocated={} segments_recycled={} \
+         backpressure_waits={}",
+        stats.injector.install_waits,
+        stats.injector.segments_allocated,
+        stats.injector.segments_recycled,
+        stats.backpressure_waits,
+    );
+
+    // ---- pinned grid (skipped in smoke: `trajectory --smoke` covers it) --
+    let runs: Vec<RunRow> = if args.smoke {
+        Vec::new()
+    } else {
+        println!("\npinned grid (for `trajectory compare`):");
+        traj::run_pinned_grid(scale, args.reps)
+    };
+
+    // ---- emit ------------------------------------------------------------
+    let mut json = traj::render_header(&args.tag, args.common.scale_name(), args.reps, &runs);
+    use std::fmt::Write as _;
+    let _ = writeln!(json, "  \"service\": {{");
+    let _ = writeln!(json, "    \"pool_threads\": {},", args.pool);
+    let _ = writeln!(json, "    \"clients\": {},", args.clients);
+    let _ = writeln!(json, "    \"jobs_per_client\": {},", args.jobs_per_client);
+    let _ = writeln!(json, "    \"max_inflight\": {},", stats.max_inflight);
+    let _ = writeln!(json, "    \"jobs_total\": {jobs_total},");
+    let _ = writeln!(json, "    \"wall_s\": {wall_s:.6},");
+    let _ = writeln!(json, "    \"jobs_per_sec\": {jobs_per_sec:.3},");
+    let _ = writeln!(json, "    \"p50_ms\": {p50_ms:.3},");
+    let _ = writeln!(json, "    \"p99_ms\": {p99_ms:.3},");
+    let _ = writeln!(json, "    \"bulk_chunks\": {bulk_chunks},");
+    let _ = writeln!(json, "    \"bulk_wall_s\": {bulk_wall_s:.6},");
+    let _ = writeln!(json, "    \"backpressure_waits\": {},", stats.backpressure_waits);
+    let _ = writeln!(
+        json,
+        "    \"injector\": {{ \"full_waits\": {}, \"install_waits\": {}, \
+         \"segments_allocated\": {}, \"segments_recycled\": {} }}",
+        stats.injector.full_waits,
+        stats.injector.install_waits,
+        stats.injector.segments_allocated,
+        stats.injector.segments_recycled,
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let path = args.out_path();
+    std::fs::write(&path, json).expect("write service json");
+    println!("\n[service trajectory written to {path}]");
+}

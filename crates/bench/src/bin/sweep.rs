@@ -34,13 +34,13 @@ fn main() {
             let block = 1usize << log2;
             let reexp = b.blocked_par(
                 &pool,
-                SchedConfig::reexpansion(b.q(), block),
+                SchedConfig::reexpansion(args.bench_q(b.q()), block),
                 SchedulerKind::ReExpansion,
                 Tier::Simd,
             );
             let restart = b.blocked_par(
                 &pool,
-                SchedConfig::restart(b.q(), block, block),
+                SchedConfig::restart(args.bench_q(b.q()), block, block),
                 SchedulerKind::RestartSimplified,
                 Tier::Simd,
             );

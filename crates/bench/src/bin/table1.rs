@@ -55,8 +55,8 @@ fn main() {
             continue;
         }
         let (block, rb) = paper_block_sizes(b.name());
-        let reexp = SchedConfig::reexpansion(b.q(), block);
-        let restart = SchedConfig::restart(b.q(), block, rb);
+        let reexp = SchedConfig::reexpansion(args.bench_q(b.q()), block);
+        let restart = SchedConfig::restart(args.bench_q(b.q()), block, rb);
 
         let ts = b.serial();
         let t1 = b.cilk(&pool1);

@@ -39,7 +39,10 @@ fn main() {
             continue;
         }
         let (block, rb) = paper_block_sizes(b.name());
-        let cfgs = [SchedConfig::reexpansion(b.q(), block), SchedConfig::restart(b.q(), block, rb)];
+        let cfgs = [
+            SchedConfig::reexpansion(args.bench_q(b.q()), block),
+            SchedConfig::restart(args.bench_q(b.q()), block, rb),
+        ];
         let kinds = [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified];
         let ts = b.serial().stats.wall.as_secs_f64();
 

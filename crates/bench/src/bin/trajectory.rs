@@ -43,36 +43,46 @@
 //! `SchedConfig::restart` on `ParRestartIdeal`, the §3.4 scheduler whose
 //! substrate this pipeline exists to track.
 //!
-//! Flags: `--scale tiny|small|paper`, `--reps N`, `--tag NAME`,
-//! `--file PATH`, `--smoke` (tiny scale, 1 rep, writes under `results/` so
-//! CI never dirties the tree — a health check, not a measurement).
+//! Since PR 3 each run row also records `"noise"` — the relative spread
+//! `(max - min) / median` over the reps — which the comparator below uses
+//! as the row's recorded noise band. The `service` binary emits the same
+//! schema (pinned grid plus a `"service"` section); both additions are
+//! backward-compatible with `/v1` readers.
+//!
+//! # `trajectory compare A.json B.json`
+//!
+//! Diffs two trajectory documents over their shared pinned-grid cells and
+//! **exits non-zero** when any cell regressed beyond noise: a cell flags
+//! when `wall_B / wall_A > 1 + max(--band, noise_A, noise_B)`, and cells
+//! where both medians sit under `--abs-floor` seconds are skipped (micro
+//! timings measure the OS, not the code). Defaults: `--band 0.15`,
+//! `--abs-floor 0.005`. This is the ROADMAP's trajectory-growth item: the
+//! per-PR gate is `trajectory compare BENCH_PRn-1.json BENCH_PRn.json`.
+//!
+//! Flags (measurement mode): `--scale tiny|small|paper`, `--reps N`,
+//! `--tag NAME`, `--file PATH`, `--smoke` (tiny scale, 1 rep, writes under
+//! `results/` so CI never dirties the tree — a health check, not a
+//! measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, Instant};
 
+use tb_bench::traj::{self, median, parse_json, RunRow, TRAJ_THREADS, T_DFE, T_RESTART};
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
 use tb_core::LeveledDeque;
-use tb_runtime::ThreadPool;
-use tb_suite::uts::Uts;
-use tb_suite::uts_rng::{child_state, uniform};
-use tb_suite::{benchmark_by_name, Scale, SchedulerKind, Tier};
-
-/// The pinned subset: two task-only recursions (one balanced, one wildly
-/// unbalanced), one data-in-task and one task-in-data benchmark.
-const TRAJ_BENCHES: &[&str] = &["fib", "uts", "nqueens", "barneshut"];
-const TRAJ_THREADS: &[usize] = &[1, 2, 4];
-
-/// Pinned thresholds: identical across PRs so trajectory points compare.
-const T_DFE: usize = 1 << 10;
-const T_RESTART: usize = 1 << 8;
+use tb_suite::jobs::{FibJob, UtsJob};
+use tb_suite::Scale;
 
 struct TrajArgs {
     common: HarnessArgs,
     reps: usize,
     tag: String,
+    /// Was `--tag` given explicitly? Guards the committed `BENCH_*.json`
+    /// baselines against accidental default-tag overwrites.
+    tag_explicit: bool,
     file: Option<String>,
     smoke: bool,
     /// Skip the pinned subset and run only the substrate A/B (a quick
@@ -86,6 +96,7 @@ impl TrajArgs {
             common: HarnessArgs::parse(),
             reps: 3,
             tag: "PR2".to_string(),
+            tag_explicit: false,
             file: None,
             smoke: false,
             ab_only: false,
@@ -101,6 +112,7 @@ impl TrajArgs {
                 "--tag" => {
                     i += 1;
                     t.tag = argv[i].clone();
+                    t.tag_explicit = true;
                 }
                 "--file" => {
                     i += 1;
@@ -127,19 +139,16 @@ impl TrajArgs {
             std::fs::create_dir_all(&self.common.out_dir).expect("create results dir");
             return self.common.out_dir.join("BENCH_smoke.json").to_string_lossy().into_owned();
         }
-        format!("BENCH_{}.json", self.tag)
+        let path = format!("BENCH_{}.json", self.tag);
+        // Never silently clobber a committed baseline with the default tag:
+        // the perf history depends on BENCH_PR*.json staying what their PR
+        // measured. An explicit --tag states intent; --file redirects.
+        assert!(
+            self.tag_explicit || !std::path::Path::new(&path).exists(),
+            "refusing to overwrite existing {path} with the default tag; pass --tag NAME or --file PATH"
+        );
+        path
     }
-}
-
-struct RunRow {
-    bench: &'static str,
-    variant: &'static str,
-    threads: usize,
-    wall_s: f64,
-    tasks: u64,
-    supersteps: u64,
-    steals: u64,
-    merges: u64,
 }
 
 struct AbRow {
@@ -158,12 +167,13 @@ struct AbRow {
     mutex_over_lockfree: f64,
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
-}
-
 fn main() {
+    // Subcommand dispatch: `trajectory compare A.json B.json [...]`.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compare") {
+        std::process::exit(run_compare(&argv[1..]));
+    }
+
     let args = TrajArgs::parse();
     println!(
         "trajectory | tag={} scale={} reps={} threads={TRAJ_THREADS:?} t_dfe={T_DFE} t_restart={T_RESTART}\n",
@@ -173,44 +183,8 @@ fn main() {
     );
 
     // ---- pinned subset ---------------------------------------------------
-    let mut runs: Vec<RunRow> = Vec::new();
-    let subset: &[&str] = if args.ab_only { &[] } else { TRAJ_BENCHES };
-    for name in subset {
-        let b = benchmark_by_name(name, args.common.scale).expect("pinned benchmark exists");
-        let basic = SchedConfig::basic(b.q(), T_DFE);
-        let restart = SchedConfig::restart(b.q(), T_DFE, T_RESTART);
-        for &threads in TRAJ_THREADS {
-            let pool = ThreadPool::new(threads);
-            for (variant, cfg, kind) in [
-                ("basic", basic, SchedulerKind::ReExpansion),
-                ("restart", restart, SchedulerKind::RestartIdeal),
-            ] {
-                let mut walls = Vec::with_capacity(args.reps);
-                let mut last = None;
-                for _ in 0..args.reps {
-                    let s = b.blocked_par(&pool, cfg, kind, Tier::Block);
-                    walls.push(s.stats.wall.as_secs_f64());
-                    last = Some(s);
-                }
-                let last = last.expect("at least one rep");
-                let wall_s = median(walls);
-                println!(
-                    "{name:>10} {variant:>8} w={threads} wall={wall_s:>9.4}s tasks={} steals={}",
-                    last.stats.tasks_executed, last.stats.steals
-                );
-                runs.push(RunRow {
-                    bench: name,
-                    variant,
-                    threads,
-                    wall_s,
-                    tasks: last.stats.tasks_executed,
-                    supersteps: last.stats.supersteps,
-                    steals: last.stats.steals,
-                    merges: last.stats.merges,
-                });
-            }
-        }
-    }
+    let runs: Vec<RunRow> =
+        if args.ab_only { Vec::new() } else { traj::run_pinned_grid(args.common.scale, args.reps) };
 
     // ---- substrate A/B: lock-free vs mutex leveled deques ---------------
     // Same program values, same thresholds, same worker count, same run;
@@ -224,9 +198,8 @@ fn main() {
     let ab_inner = if args.smoke { 1 } else { 16 };
     let mut substrate_ab: Vec<AbRow> = Vec::new();
     {
-        let fib = TrajFib { n: tb_suite::fib::Fib::new(args.common.scale).n };
-        let uts = Uts::new(args.common.scale);
-        let uts_prog = TrajUts { u: &uts };
+        let fib = FibJob::new(args.common.scale);
+        let uts_prog = UtsJob::new(args.common.scale);
         let fib_cfg = SchedConfig::restart(16, T_DFE, T_RESTART);
         let uts_cfg = SchedConfig::restart(4, T_DFE, T_RESTART);
         // w=1 isolates the owner path (no thieves, no oversubscription);
@@ -324,31 +297,7 @@ where
 }
 
 fn render_json(args: &TrajArgs, runs: &[RunRow], ab: &[AbRow]) -> String {
-    let created = SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).map_or(0, |d| d.as_secs());
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"taskblocks-trajectory/v1\",");
-    let _ = writeln!(s, "  \"tag\": \"{}\",", args.tag);
-    let _ = writeln!(s, "  \"created_unix\": {created},");
-    let _ = writeln!(
-        s,
-        "  \"host\": {{ \"available_parallelism\": {} }},",
-        std::thread::available_parallelism().map_or(0, usize::from)
-    );
-    let _ = writeln!(s, "  \"scale\": \"{}\",", args.common.scale_name());
-    let _ = writeln!(s, "  \"config\": {{ \"t_dfe\": {T_DFE}, \"t_restart\": {T_RESTART} }},");
-    let _ = writeln!(s, "  \"reps\": {},", args.reps);
-    let _ = writeln!(s, "  \"runs\": [");
-    for (i, r) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{ \"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \
-             \"tasks\": {}, \"supersteps\": {}, \"steals\": {}, \"merges\": {} }}{comma}",
-            r.bench, r.variant, r.threads, r.wall_s, r.tasks, r.supersteps, r.steals, r.merges
-        );
-    }
-    let _ = writeln!(s, "  ],");
+    let mut s = traj::render_header(&args.tag, args.common.scale_name(), args.reps, runs);
     let _ = writeln!(
         s,
         "  \"substrate_ab_note\": \"ratios within ~±0.04 of 1.0 are parity on shared hosts \
@@ -378,80 +327,66 @@ fn render_json(args: &TrajArgs, runs: &[RunRow], ab: &[AbRow]) -> String {
     s
 }
 
-// ---------------------------------------------------------------------------
-// Local blocked programs (identical to the suite's Block-tier programs) so
-// the A/B holds the program constant while swapping substrates.
-// ---------------------------------------------------------------------------
-
-struct TrajFib {
-    n: u8,
-}
-
-impl BlockProgram for TrajFib {
-    type Store = Vec<u8>;
-    type Reducer = u64;
-
-    fn arity(&self) -> usize {
-        2
-    }
-
-    fn make_root(&self) -> Vec<u8> {
-        vec![self.n]
-    }
-
-    fn make_reducer(&self) -> u64 {
-        0
-    }
-
-    fn merge_reducers(&self, a: &mut u64, b: u64) {
-        *a += b;
-    }
-
-    fn expand(&self, block: &mut Vec<u8>, out: &mut BucketSet<Vec<u8>>, red: &mut u64) {
-        for n in block.drain(..) {
-            if n < 2 {
-                *red += u64::from(n);
-            } else {
-                out.bucket(0).push(n - 1);
-                out.bucket(1).push(n - 2);
+/// The `compare` subcommand: diff two trajectory documents; exit status 1
+/// when any shared pinned-grid cell regressed beyond its noise band.
+fn run_compare(argv: &[String]) -> i32 {
+    let mut paths: Vec<String> = Vec::new();
+    let mut band = 0.15f64;
+    let mut abs_floor = 0.005f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--band" => {
+                i += 1;
+                band = argv[i].parse().expect("--band RATIO");
             }
-        }
-    }
-}
-
-struct TrajUts<'u> {
-    u: &'u Uts,
-}
-
-impl BlockProgram for TrajUts<'_> {
-    type Store = Vec<u64>;
-    type Reducer = u64;
-
-    fn arity(&self) -> usize {
-        self.u.m
-    }
-
-    fn make_root(&self) -> Vec<u64> {
-        (0..self.u.b0).map(|i| child_state(self.u.seed, i as u64)).collect()
-    }
-
-    fn make_reducer(&self) -> u64 {
-        0
-    }
-
-    fn merge_reducers(&self, a: &mut u64, b: u64) {
-        *a += b;
-    }
-
-    fn expand(&self, block: &mut Vec<u64>, out: &mut BucketSet<Vec<u64>>, red: &mut u64) {
-        for state in block.drain(..) {
-            *red += 1;
-            if uniform(state) < self.u.q {
-                for i in 0..self.u.m {
-                    out.bucket(i).push(child_state(state, i as u64));
-                }
+            "--abs-floor" => {
+                i += 1;
+                abs_floor = argv[i].parse().expect("--abs-floor SECONDS");
             }
+            _ => paths.push(argv[i].clone()),
         }
+        i += 1;
+    }
+    let [path_a, path_b] = &paths[..] else {
+        eprintln!("usage: trajectory compare A.json B.json [--band R] [--abs-floor S]");
+        return 2;
+    };
+    let load = |path: &str| -> traj::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    };
+    let (a, b) = (load(path_a), load(path_b));
+    let report = traj::compare(&a, &b, band, abs_floor).expect("comparable documents");
+    println!("trajectory compare | {path_a} -> {path_b} | band={band} abs_floor={abs_floor}s\n");
+    for row in &report.rows {
+        let mark = if row.skipped {
+            "  skip"
+        } else if row.regressed {
+            "REGRESS"
+        } else {
+            "    ok"
+        };
+        println!(
+            "{mark} {key:<24} {old:>9.4}s -> {new:>9.4}s ratio={ratio:>6.3} band={band:.3}",
+            key = row.key,
+            old = row.old_wall,
+            new = row.new_wall,
+            ratio = row.ratio,
+            band = row.band,
+        );
+    }
+    println!(
+        "\n{} cells, {} regressions, {} missing in candidate",
+        report.rows.len(),
+        report.regressions,
+        report.missing
+    );
+    if report.regressions > 0 {
+        eprintln!("REGRESSION beyond noise band detected");
+        1
+    } else {
+        0
     }
 }
 

@@ -19,6 +19,8 @@ use std::path::PathBuf;
 
 use tb_suite::Scale;
 
+pub mod traj;
+
 /// Common command-line arguments for the harness binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
@@ -31,11 +33,20 @@ pub struct HarnessArgs {
     pub out_dir: PathBuf,
     /// Restrict to benchmarks whose name is in this list (empty = all).
     pub only: Vec<String>,
+    /// Explicit `Q` override (`--q N`). When absent, [`HarnessArgs::bench_q`]
+    /// scales each benchmark's Table 1 width to the CPU detected at startup.
+    pub q: Option<usize>,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: Scale::Small, workers: 16, out_dir: PathBuf::from("results"), only: Vec::new() }
+        HarnessArgs {
+            scale: Scale::Small,
+            workers: 16,
+            out_dir: PathBuf::from("results"),
+            only: Vec::new(),
+            q: None,
+        }
     }
 }
 
@@ -69,6 +80,10 @@ impl HarnessArgs {
                     i += 1;
                     args.only = argv[i].split(',').map(str::to_string).collect();
                 }
+                "--q" => {
+                    i += 1;
+                    args.q = Some(argv[i].parse().expect("--q N"));
+                }
                 _ => {}
             }
             i += 1;
@@ -79,6 +94,20 @@ impl HarnessArgs {
     /// Does `name` pass the `--only` filter?
     pub fn selected(&self, name: &str) -> bool {
         self.only.is_empty() || self.only.iter().any(|n| n == name)
+    }
+
+    /// The `Q` a harness binary should run a benchmark at: the `--q`
+    /// override when given, otherwise the benchmark's Table 1 width
+    /// (lanes per 128-bit SSE register) scaled to the vector width
+    /// detected on this CPU at startup — `tb_simd::detected_vector_bits`,
+    /// the ROADMAP's SIMD-width autodetection. The scaling preserves the
+    /// per-element-width ratios of the Table 1 caption: a `char` benchmark
+    /// stays 4× wider than an `int` one at every ISA.
+    ///
+    /// The `trajectory`/`service` pinned grid deliberately bypasses this
+    /// (fixed thresholds keep `BENCH_*.json` comparable across hosts).
+    pub fn bench_q(&self, table1_q: usize) -> usize {
+        self.q.unwrap_or_else(|| table1_q * (tb_simd::detected_vector_bits() / 128).max(1))
     }
 
     /// Scale name for file naming.

@@ -1,0 +1,512 @@
+//! Shared plumbing for the benchmark-trajectory pipeline: the pinned
+//! measurement grid, the `BENCH_*.json` rendering helpers, a dependency-free
+//! JSON reader, and the regression comparator behind
+//! `trajectory compare A.json B.json`.
+//!
+//! Two binaries emit trajectory documents — `trajectory` (the per-PR data
+//! point with the substrate A/B) and `service` (the PR 3 throughput
+//! benchmark) — and both embed the *same* pinned grid so any pair of
+//! `BENCH_*.json` files stays comparable regardless of which binary wrote
+//! them. See `trajectory.rs` for the schema.
+
+use std::fmt::Write as _;
+
+use tb_core::prelude::*;
+use tb_runtime::ThreadPool;
+use tb_suite::{benchmark_by_name, Scale, Tier};
+
+/// The pinned subset: two task-only recursions (one balanced, one wildly
+/// unbalanced), one data-in-task and one task-in-data benchmark.
+pub const TRAJ_BENCHES: &[&str] = &["fib", "uts", "nqueens", "barneshut"];
+/// The pinned worker grid.
+pub const TRAJ_THREADS: &[usize] = &[1, 2, 4];
+/// Pinned thresholds: identical across PRs so trajectory points compare.
+/// (Deliberately *not* scaled by `detected_q`: comparability across hosts
+/// beats per-host optimality for the trajectory artifact.)
+pub const T_DFE: usize = 1 << 10;
+/// Pinned restart threshold.
+pub const T_RESTART: usize = 1 << 8;
+
+/// One pinned-grid measurement.
+pub struct RunRow {
+    /// Benchmark name (pinned subset).
+    pub bench: &'static str,
+    /// `basic` or `restart` (see the schema docs in `trajectory.rs`).
+    pub variant: &'static str,
+    /// Worker count.
+    pub threads: usize,
+    /// Median wall-clock seconds over the reps.
+    pub wall_s: f64,
+    /// Relative spread of the reps, `(max - min) / median` — the recorded
+    /// noise band `compare` widens its tolerance by.
+    pub noise: f64,
+    /// Tasks executed (exactness check).
+    pub tasks: u64,
+    /// Supersteps of the final rep.
+    pub supersteps: u64,
+    /// Steals of the final rep.
+    pub steals: u64,
+    /// Restart merges of the final rep.
+    pub merges: u64,
+}
+
+/// Median of a non-empty sample.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Percentile (nearest-rank) of a non-empty sample, `p` in `[0, 100]`.
+pub fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * xs.len() as f64).ceil().max(1.0) as usize;
+    xs[rank.min(xs.len()) - 1]
+}
+
+/// Run the pinned grid (`TRAJ_BENCHES` × `TRAJ_THREADS` × basic/restart) at
+/// `scale` with `reps` repetitions per cell, printing one line per cell.
+pub fn run_pinned_grid(scale: Scale, reps: usize) -> Vec<RunRow> {
+    let mut runs = Vec::new();
+    for name in TRAJ_BENCHES {
+        let b = benchmark_by_name(name, scale).expect("pinned benchmark exists");
+        let basic = SchedConfig::basic(b.q(), T_DFE);
+        let restart = SchedConfig::restart(b.q(), T_DFE, T_RESTART);
+        for &threads in TRAJ_THREADS {
+            let pool = ThreadPool::new(threads);
+            for (variant, cfg, kind) in [
+                ("basic", basic, SchedulerKind::ReExpansion),
+                ("restart", restart, SchedulerKind::RestartIdeal),
+            ] {
+                let mut walls = Vec::with_capacity(reps);
+                let mut last = None;
+                for _ in 0..reps {
+                    let s = b.blocked_par(&pool, cfg, kind, Tier::Block);
+                    walls.push(s.stats.wall.as_secs_f64());
+                    last = Some(s);
+                }
+                let last = last.expect("at least one rep");
+                let wall_s = median(walls.clone());
+                let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = walls.iter().copied().fold(0.0f64, f64::max);
+                let noise = if wall_s > 0.0 { (max - min) / wall_s } else { 0.0 };
+                println!(
+                    "{name:>10} {variant:>8} w={threads} wall={wall_s:>9.4}s noise={noise:>5.3} \
+                     tasks={} steals={}",
+                    last.stats.tasks_executed, last.stats.steals
+                );
+                runs.push(RunRow {
+                    bench: name,
+                    variant,
+                    threads,
+                    wall_s,
+                    noise,
+                    tasks: last.stats.tasks_executed,
+                    supersteps: last.stats.supersteps,
+                    steals: last.stats.steals,
+                    merges: last.stats.merges,
+                });
+            }
+        }
+    }
+    runs
+}
+
+/// Render the shared document header fields (everything up to and
+/// including the `"runs"` array) of a trajectory JSON document.
+pub fn render_header(tag: &str, scale_name: &str, reps: usize, runs: &[RunRow]) -> String {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"taskblocks-trajectory/v1\",");
+    let _ = writeln!(s, "  \"tag\": \"{tag}\",");
+    let _ = writeln!(s, "  \"created_unix\": {created},");
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"available_parallelism\": {} }},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(s, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(s, "  \"config\": {{ \"t_dfe\": {T_DFE}, \"t_restart\": {T_RESTART} }},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \
+             \"noise\": {:.4}, \"tasks\": {}, \"supersteps\": {}, \"steals\": {}, \"merges\": {} \
+             }}{comma}",
+            r.bench, r.variant, r.threads, r.wall_s, r.noise, r.tasks, r.supersteps, r.steals, r.merges
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader (the workspace is offline; serde is not available).
+// Covers the full value grammar our own emitters produce: objects, arrays,
+// strings with simple escapes, f64 numbers, booleans, null.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (f64 carries our timings and counters losslessly enough).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", byte as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?} at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression comparison between two trajectory documents.
+// ---------------------------------------------------------------------------
+
+/// One matched pinned-grid cell in a comparison.
+pub struct CompareRow {
+    /// `bench/variant/threads` key.
+    pub key: String,
+    /// Baseline median wall seconds (file A).
+    pub old_wall: f64,
+    /// Candidate median wall seconds (file B).
+    pub new_wall: f64,
+    /// `new / old`.
+    pub ratio: f64,
+    /// The tolerance applied to this row: the default band widened by the
+    /// larger of the two files' recorded per-row noise.
+    pub band: f64,
+    /// Ratio exceeded `1 + band` (and the absolute-floor guard passed).
+    pub regressed: bool,
+    /// Both walls under the absolute floor — too fast to compare honestly.
+    pub skipped: bool,
+}
+
+/// Comparison of two trajectory documents over their shared pinned cells.
+pub struct CompareReport {
+    /// One row per cell of file A's grid.
+    pub rows: Vec<CompareRow>,
+    /// Cells flagged as regressions.
+    pub regressions: usize,
+    /// Cells present in A but missing from B.
+    pub missing: usize,
+}
+
+fn run_key(run: &Json) -> Option<String> {
+    Some(format!(
+        "{}/{}/w{}",
+        run.get("bench")?.as_str()?,
+        run.get("variant")?.as_str()?,
+        run.get("threads")?.as_f64()? as usize
+    ))
+}
+
+/// Compare the pinned grids of two parsed trajectory documents.
+///
+/// A cell regresses when `new_wall / old_wall > 1 + band_eff`, where
+/// `band_eff = max(band, noise_A, noise_B)` uses the noise recorded in the
+/// files themselves (rows written before the noise field default to the
+/// plain `band`). Cells where *both* medians are below `abs_floor` seconds
+/// are skipped: at micro durations the grid measures the OS scheduler, not
+/// the code under test.
+pub fn compare(a: &Json, b: &Json, band: f64, abs_floor: f64) -> Result<CompareReport, String> {
+    let runs_a = a.get("runs").and_then(Json::as_arr).ok_or("file A has no \"runs\" array")?;
+    let runs_b = b.get("runs").and_then(Json::as_arr).ok_or("file B has no \"runs\" array")?;
+    let mut rows = Vec::new();
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for run_a in runs_a {
+        let key = run_key(run_a).ok_or("malformed run row in file A")?;
+        let Some(run_b) = runs_b.iter().find(|r| run_key(r).as_deref() == Some(key.as_str())) else {
+            missing += 1;
+            continue;
+        };
+        let old_wall = run_a.get("wall_s").and_then(Json::as_f64).ok_or("run without wall_s in A")?;
+        let new_wall = run_b.get("wall_s").and_then(Json::as_f64).ok_or("run without wall_s in B")?;
+        let noise_a = run_a.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
+        let noise_b = run_b.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
+        let row_band = band.max(noise_a).max(noise_b);
+        let ratio = if old_wall > 0.0 { new_wall / old_wall } else { 1.0 };
+        let skipped = old_wall < abs_floor && new_wall < abs_floor;
+        let regressed = !skipped && ratio > 1.0 + row_band;
+        if regressed {
+            regressions += 1;
+        }
+        rows.push(CompareRow { key, old_wall, new_wall, ratio, band: row_band, regressed, skipped });
+    }
+    Ok(CompareReport { rows, regressions, missing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_of_a_trajectory_fragment() {
+        let doc = r#"{ "schema": "taskblocks-trajectory/v1", "reps": 3,
+            "ok": true, "nothing": null, "note": "a \"quoted\" string",
+            "runs": [ { "bench": "fib", "variant": "basic", "threads": 2,
+                        "wall_s": 0.0381, "noise": 0.05 } ] }"#;
+        let v = parse_json(doc).expect("parses");
+        assert_eq!(v.get("reps").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("nothing"), Some(&Json::Null));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a \"quoted\" string"));
+        let runs = v.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(run_key(&runs[0]).as_deref(), Some("fib/basic/w2"));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{}extra").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    fn doc(rows: &[(&str, &str, usize, f64, f64)]) -> Json {
+        let runs: Vec<Json> = rows
+            .iter()
+            .map(|(bench, variant, threads, wall, noise)| {
+                Json::Obj(vec![
+                    ("bench".into(), Json::Str((*bench).into())),
+                    ("variant".into(), Json::Str((*variant).into())),
+                    ("threads".into(), Json::Num(*threads as f64)),
+                    ("wall_s".into(), Json::Num(*wall)),
+                    ("noise".into(), Json::Num(*noise)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("runs".into(), Json::Arr(runs))])
+    }
+
+    #[test]
+    fn compare_flags_only_beyond_band_regressions() {
+        let a = doc(&[("fib", "basic", 1, 0.100, 0.02), ("uts", "restart", 2, 0.100, 0.02)]);
+        let b = doc(&[
+            ("fib", "basic", 1, 0.108, 0.02),   // +8% within 10% band
+            ("uts", "restart", 2, 0.150, 0.02), // +50%: regression
+        ]);
+        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        assert_eq!(report.regressions, 1);
+        assert!(!report.rows[0].regressed);
+        assert!(report.rows[1].regressed);
+        assert_eq!(report.missing, 0);
+    }
+
+    #[test]
+    fn compare_widens_band_with_recorded_noise() {
+        // 25% slower, but the baseline recorded 30% run-to-run noise.
+        let a = doc(&[("fib", "basic", 1, 0.100, 0.30)]);
+        let b = doc(&[("fib", "basic", 1, 0.125, 0.02)]);
+        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        assert_eq!(report.regressions, 0, "recorded noise must widen the band");
+        assert!((report.rows[0].band - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_skips_micro_rows_and_counts_missing() {
+        let a = doc(&[("uts", "basic", 1, 0.002, 0.0), ("fib", "basic", 8, 0.5, 0.0)]);
+        let b = doc(&[("uts", "basic", 1, 0.004, 0.0)]); // 2x but micro; fib/w8 missing
+        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        assert_eq!(report.regressions, 0);
+        assert!(report.rows[0].skipped);
+        assert_eq!(report.missing, 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(xs.clone(), 50.0), 50.0);
+        assert_eq!(percentile(xs.clone(), 99.0), 99.0);
+        assert_eq!(percentile(xs, 100.0), 100.0);
+        assert_eq!(percentile(vec![7.0], 50.0), 7.0);
+    }
+}

@@ -70,6 +70,7 @@
 //! module for the trait behind both.
 
 pub mod block;
+pub mod cancel;
 pub mod deque;
 pub mod par;
 pub mod policy;
@@ -80,20 +81,28 @@ pub mod seq;
 pub mod stats;
 
 pub use block::{TaskBlock, TaskStore};
+pub use cancel::{CancelToken, Cancellable};
 pub use deque::{LeveledDeque, RestartFind, SharedLeveledDeque, StolenLevel};
 pub use policy::{PolicyKind, SchedConfig};
 pub use program::{BlockProgram, BucketSet, RunOutput};
-pub use scheduler::{run_policy, run_scheduler, run_scheduler_on, Scheduler, SchedulerKind};
+pub use scheduler::{
+    run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
+    SchedulerKind,
+};
 pub use seq::{run_depth_first, SeqScheduler};
 pub use stats::ExecStats;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::block::{TaskBlock, TaskStore};
+    pub use crate::cancel::{CancelToken, Cancellable};
     pub use crate::par::{ParReExpansion, ParRestartIdeal, ParRestartSimplified};
     pub use crate::policy::{PolicyKind, SchedConfig};
     pub use crate::program::{BlockProgram, BucketSet, RunOutput};
-    pub use crate::scheduler::{run_policy, run_scheduler, run_scheduler_on, Scheduler, SchedulerKind};
+    pub use crate::scheduler::{
+        run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
+        SchedulerKind,
+    };
     pub use crate::seq::{run_depth_first, SeqScheduler};
     pub use crate::stats::ExecStats;
 }

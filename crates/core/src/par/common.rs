@@ -144,3 +144,36 @@ where
     stats.wall = wall;
     (red, stats)
 }
+
+/// Like [`drive`], but from *inside* the pool: `ctx` is the executing
+/// worker's context and `body` runs directly on it (no `install`, which
+/// must only be called from outside the pool). This is how the service
+/// layer runs a whole scheduler as one pool job — the join-based recursion
+/// inside `body` spreads across workers exactly as it does under `drive`,
+/// and several such jobs can be in flight on one pool concurrently, each
+/// with its own per-worker state.
+///
+/// The steal counters charged to the run are the pool-wide delta over the
+/// body, so concurrent jobs see each other's steals — per-job steal
+/// attribution would need per-job counters the paper's stats don't ask for.
+pub(crate) fn drive_on_ctx<P, B>(
+    prog: &P,
+    cfg: SchedConfig,
+    ctx: &WorkerCtx<'_>,
+    body: B,
+) -> (P::Reducer, ExecStats)
+where
+    P: BlockProgram,
+    B: for<'e> FnOnce(Env<'e, P>, &WorkerCtx<'_>),
+{
+    let state = Env::make_state(prog, &cfg, ctx.num_workers());
+    let before = PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals() };
+    let start = std::time::Instant::now();
+    let env = Env { prog, cfg, state: &state };
+    body(env, ctx);
+    let wall = start.elapsed();
+    let after = PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals() };
+    let (red, mut stats) = collect(prog, state, after.since(&before));
+    stats.wall = wall;
+    (red, stats)
+}

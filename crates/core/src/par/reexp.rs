@@ -32,13 +32,23 @@ impl<'p, P: BlockProgram> ParReExpansion<'p, P> {
     pub fn run(&self, pool: &ThreadPool) -> RunOutput<P::Reducer> {
         let prog = self.prog;
         let cfg = self.cfg;
-        let (reducer, stats) = drive(prog, cfg, pool, |env, ctx| {
-            let root = TaskBlock::new(0, env.prog.make_root());
-            if !root.is_empty() {
-                split_strips(env, ctx, root, blocked_reexp);
-            }
-        });
+        let (reducer, stats) = drive(prog, cfg, pool, root_body);
         RunOutput { reducer, stats }
+    }
+
+    /// Run from inside the pool, on the worker driving `ctx` (the service
+    /// layer's entry point — see `drive_on_ctx`).
+    pub fn run_on(&self, ctx: &WorkerCtx<'_>) -> RunOutput<P::Reducer> {
+        let (reducer, stats) = crate::par::common::drive_on_ctx(self.prog, self.cfg, ctx, root_body);
+        RunOutput { reducer, stats }
+    }
+}
+
+/// Strip-mine the root and hand each strip to the blocked recursion.
+fn root_body<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>) {
+    let root = TaskBlock::new(0, env.prog.make_root());
+    if !root.is_empty() {
+        split_strips(env, ctx, root, blocked_reexp);
     }
 }
 

@@ -146,36 +146,45 @@ impl<'p, P: BlockProgram> ParRestartSimplified<'p, P> {
     pub fn run(&self, pool: &ThreadPool) -> RunOutput<P::Reducer> {
         let prog = self.prog;
         let cfg = self.cfg;
-        let (reducer, stats) = drive(prog, cfg, pool, |env, ctx| {
-            let root = TaskBlock::new(0, env.prog.make_root());
-            if root.is_empty() {
-                return;
-            }
-            // Strip-mine the root in parallel; each strip returns its
-            // leftover restart stack, merged (with overflow re-execution)
-            // up the join tree.
-            let mut rs = strips(env, ctx, root);
-            // Drain the leftovers: repeatedly grow the shallowest parked
-            // block breadth-first until it can re-enter the blocked
-            // recursion (the "execute the top block in BFE mode" rule).
-            while let Some(mut cur) = rs.pop_shallowest() {
-                while !cur.is_empty() && cur.len() < env.cfg.t_restart {
-                    if let Some(mut extra) = rs.take_level(cur.level) {
-                        cur.store.append(&mut extra);
-                        if cur.len() >= env.cfg.t_restart {
-                            break;
-                        }
-                    }
-                    cur = env.execute_bfe(ctx, cur);
-                }
-                if cur.is_empty() {
-                    continue;
-                }
-                let deeper = std::mem::take(&mut rs);
-                rs = blocked_restart(env, ctx, cur, deeper);
-            }
-        });
+        let (reducer, stats) = drive(prog, cfg, pool, root_body);
         RunOutput { reducer, stats }
+    }
+
+    /// Run from inside the pool, on the worker driving `ctx` (the service
+    /// layer's entry point — see `drive_on_ctx`).
+    pub fn run_on(&self, ctx: &WorkerCtx<'_>) -> RunOutput<P::Reducer> {
+        let (reducer, stats) = crate::par::common::drive_on_ctx(self.prog, self.cfg, ctx, root_body);
+        RunOutput { reducer, stats }
+    }
+}
+
+/// Strip-mine the root in parallel; each strip returns its leftover restart
+/// stack, merged (with overflow re-execution) up the join tree, then the
+/// leftovers are drained on this worker.
+fn root_body<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>) {
+    let root = TaskBlock::new(0, env.prog.make_root());
+    if root.is_empty() {
+        return;
+    }
+    let mut rs = strips(env, ctx, root);
+    // Drain the leftovers: repeatedly grow the shallowest parked
+    // block breadth-first until it can re-enter the blocked
+    // recursion (the "execute the top block in BFE mode" rule).
+    while let Some(mut cur) = rs.pop_shallowest() {
+        while !cur.is_empty() && cur.len() < env.cfg.t_restart {
+            if let Some(mut extra) = rs.take_level(cur.level) {
+                cur.store.append(&mut extra);
+                if cur.len() >= env.cfg.t_restart {
+                    break;
+                }
+            }
+            cur = env.execute_bfe(ctx, cur);
+        }
+        if cur.is_empty() {
+            continue;
+        }
+        let deeper = std::mem::take(&mut rs);
+        rs = blocked_restart(env, ctx, cur, deeper);
     }
 }
 

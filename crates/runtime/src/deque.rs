@@ -1,5 +1,6 @@
 //! Hand-rolled lock-free work-stealing structures: a Chase–Lev deque for
-//! the per-worker job queues and a bounded MPMC ring for the injector.
+//! the per-worker job queues. (The pool's injector lives in
+//! [`crate::injector`] — since PR 3 a segmented unbounded MPMC queue.)
 //!
 //! Until PR 2 the pool ran on the `crossbeam-deque` shim, which guards a
 //! `VecDeque` with a mutex — one lock acquisition per push/pop/steal. That
@@ -42,7 +43,7 @@ use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -351,161 +352,6 @@ impl<T: Send> Stealer<T> {
     }
 }
 
-/// A bounded lock-free MPMC queue (Vyukov's array queue) used as the
-/// pool's injector: external threads `push` roots, idle workers `steal`.
-///
-/// Every slot carries a sequence number that encodes, relative to the
-/// producer/consumer cursors, whether the slot is empty, full, or mid-hand-
-/// off; producers and consumers claim slots by CAS on their cursor and then
-/// publish with a Release store of the sequence. The queue is bounded
-/// (injection is the pool's *cold* edge — one push per `install`), and
-/// `push` spin-yields on a full ring rather than growing.
-pub struct Injector<T> {
-    slots: Box<[InjectorSlot<T>]>,
-    /// Bit mask for index wrapping (`capacity - 1`).
-    mask: usize,
-    /// Next slot a producer will claim.
-    head: CachePadded<AtomicUsize>,
-    /// Next slot a consumer will claim.
-    tail: CachePadded<AtomicUsize>,
-}
-
-struct InjectorSlot<T> {
-    /// `== index`: empty and claimable by the producer of `index`;
-    /// `== index + 1`: full and claimable by the consumer of `index`.
-    sequence: AtomicUsize,
-    value: UnsafeCell<MaybeUninit<T>>,
-}
-
-// SAFETY: the sequence protocol hands each slot to exactly one thread at a
-// time; values only move while that hand-off is exclusive.
-unsafe impl<T: Send> Send for Injector<T> {}
-unsafe impl<T: Send> Sync for Injector<T> {}
-
-const INJECTOR_CAP: usize = 256;
-
-impl<T: Send> Default for Injector<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<T: Send> Injector<T> {
-    /// An empty injector with a fixed capacity of 256 slots.
-    pub fn new() -> Self {
-        let slots = (0..INJECTOR_CAP)
-            .map(|i| InjectorSlot {
-                sequence: AtomicUsize::new(i),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
-            })
-            .collect();
-        Injector {
-            slots,
-            mask: INJECTOR_CAP - 1,
-            head: CachePadded::new(AtomicUsize::new(0)),
-            tail: CachePadded::new(AtomicUsize::new(0)),
-        }
-    }
-
-    /// Enqueue `value`. Spin-yields if the ring is momentarily full (256
-    /// in-flight roots would mean 256 concurrent `install`s).
-    pub fn push(&self, value: T) {
-        let mut pos = self.head.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[pos & self.mask];
-            // Acquire: see the consumer's vacating writes before reusing
-            // the slot.
-            let seq = slot.sequence.load(Ordering::Acquire);
-            let diff = seq as isize - pos as isize;
-            if diff == 0 {
-                // Slot empty at our position: claim it.
-                match self.head.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed) {
-                    Ok(_) => {
-                        // SAFETY: winning the CAS gives exclusive slot access.
-                        unsafe { (*slot.value.get()).write(value) };
-                        // Release: publish the value before marking full.
-                        slot.sequence.store(pos + 1, Ordering::Release);
-                        return;
-                    }
-                    Err(now) => pos = now,
-                }
-            } else if diff < 0 {
-                // Ring full: the consumer for `pos - cap` hasn't vacated.
-                std::thread::yield_now();
-                pos = self.head.load(Ordering::Relaxed);
-            } else {
-                // Another producer claimed `pos`; chase the cursor.
-                pos = self.head.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Dequeue the oldest item.
-    pub fn steal(&self) -> Steal<T> {
-        let mut pos = self.tail.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[pos & self.mask];
-            // Acquire: pairs with the producer's Release, making the value
-            // visible before we read it.
-            let seq = slot.sequence.load(Ordering::Acquire);
-            let diff = seq as isize - (pos + 1) as isize;
-            if diff == 0 {
-                match self.tail.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed) {
-                    Ok(_) => {
-                        // SAFETY: winning the CAS gives exclusive slot access.
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
-                        // Release: hand the vacated slot to the producer of
-                        // `pos + capacity`.
-                        slot.sequence.store(pos + self.mask + 1, Ordering::Release);
-                        return Steal::Success(value);
-                    }
-                    Err(now) => pos = now,
-                }
-            } else if diff < 0 {
-                // Slot not yet published at our position: queue empty.
-                return Steal::Empty;
-            } else {
-                pos = self.tail.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Dequeue one item (API parity with `crossbeam_deque`; the batching
-    /// part of the real crate is a throughput optimisation the pool's cold
-    /// injection edge does not need).
-    pub fn steal_batch_and_pop(&self, _dest: &Worker<T>) -> Steal<T> {
-        self.steal()
-    }
-
-    /// True when no items are visible (approximate between operations).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Number of queued items (a snapshot; may be stale immediately).
-    pub fn len(&self) -> usize {
-        let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Relaxed);
-        head.saturating_sub(tail)
-    }
-}
-
-impl<T> Drop for Injector<T> {
-    fn drop(&mut self) {
-        // Drain unconsumed values (exclusive access during drop).
-        let mut pos = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Relaxed);
-        while pos < head {
-            let slot = &self.slots[pos & self.mask];
-            if slot.sequence.load(Ordering::Relaxed) == pos + 1 {
-                // SAFETY: slot holds a published, unconsumed value.
-                unsafe { (*slot.value.get()).assume_init_drop() };
-            }
-            pos += 1;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,69 +524,5 @@ mod tests {
             w2.push(Box::new(i));
         }
         drop(w2);
-    }
-
-    #[test]
-    fn injector_mpmc_roundtrip() {
-        let inj: Injector<u64> = Injector::new();
-        assert_eq!(inj.steal(), Steal::Empty);
-        for i in 0..100 {
-            inj.push(i);
-        }
-        assert_eq!(inj.len(), 100);
-        let mut total = 0;
-        while let Steal::Success(v) = inj.steal() {
-            total += v;
-        }
-        assert_eq!(total, 100 * 99 / 2);
-        assert!(inj.is_empty());
-    }
-
-    #[test]
-    fn injector_concurrent_producers_consumers() {
-        const PER_PRODUCER: u64 = 10_000;
-        const PRODUCERS: u64 = 3;
-        let inj: Injector<u64> = Injector::new();
-        let got = AtomicU64::new(0);
-        let n = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for p in 0..PRODUCERS {
-                let inj = &inj;
-                scope.spawn(move || {
-                    for i in 0..PER_PRODUCER {
-                        inj.push(p * PER_PRODUCER + i);
-                    }
-                });
-            }
-            for _ in 0..2 {
-                let (inj, got, n) = (&inj, &got, &n);
-                scope.spawn(move || loop {
-                    match inj.steal() {
-                        Steal::Success(v) => {
-                            got.fetch_add(v, Ordering::Relaxed);
-                            n.fetch_add(1, Ordering::Relaxed);
-                        }
-                        _ => {
-                            if n.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
-                                break;
-                            }
-                            std::hint::spin_loop();
-                        }
-                    }
-                });
-            }
-        });
-        let total = PRODUCERS * PER_PRODUCER;
-        assert_eq!(n.load(Ordering::Relaxed), total);
-        assert_eq!(got.load(Ordering::Relaxed), (0..total).sum::<u64>());
-    }
-
-    #[test]
-    fn injector_drop_with_pending_items_is_clean() {
-        let inj: Injector<Box<u64>> = Injector::new();
-        for i in 0..50u64 {
-            inj.push(Box::new(i));
-        }
-        drop(inj); // must drop the 50 boxes without leaking
     }
 }

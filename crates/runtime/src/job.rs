@@ -122,3 +122,45 @@ where
         unsafe { Self::execute_erased(self as *const Self as *const (), ctx) }
     }
 }
+
+/// A heap-allocated fire-and-forget job for [`ThreadPool::spawn`]: the
+/// closure owns everything it needs, so there is no latch and no waiting
+/// owner — the box is reconstituted and consumed by whichever worker
+/// executes the ref. Completion signalling (if any) lives inside the
+/// closure; a panic is caught here so a misbehaving job cannot take its
+/// worker thread down with it.
+///
+/// [`ThreadPool::spawn`]: crate::pool::ThreadPool::spawn
+pub(crate) struct HeapJob<F> {
+    f: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce(&WorkerCtx<'_>) + Send + 'static,
+{
+    /// Box `f` and erase it into a `JobRef`. The ref owns the allocation:
+    /// executing it frees the box (and the deque protocol guarantees
+    /// exactly one execution).
+    pub(crate) fn into_job_ref(f: F) -> JobRef {
+        let data = Box::into_raw(Box::new(HeapJob { f }));
+        // SAFETY: the box stays alive until the (unique) execution, which
+        // reconstitutes and drops it.
+        unsafe { JobRef::new(data as *const (), Self::execute_erased) }
+    }
+
+    unsafe fn execute_erased(data: *const (), ctx: &WorkerCtx<'_>) {
+        let this = unsafe { Box::from_raw(data as *mut Self) };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (this.f)(ctx))) {
+            // Spawned jobs have no waiting owner to rethrow into; report and
+            // keep the worker alive. Service-layer jobs catch their own
+            // panics before this backstop and route them to the job handle.
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("tb-runtime: spawned job panicked: {msg}");
+        }
+    }
+}

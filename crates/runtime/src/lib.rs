@@ -4,10 +4,12 @@
 //! this crate is the equivalent substrate, built from scratch: a fixed
 //! pool of workers, per-worker lock-free Chase–Lev deques ([`deque`]) with
 //! owners operating LIFO at the bottom and thieves stealing the oldest
-//! entry with a single CAS at the top, plus a lock-free MPMC injector for
-//! the blocking [`ThreadPool::install`] entry point. No lock is taken on
-//! any push/pop/steal; the memory-ordering argument lives in
-//! DESIGN.md §6.
+//! entry with a single CAS at the top, plus a *segmented unbounded*
+//! lock-free MPMC injector ([`injector`]) feeding both the blocking
+//! [`ThreadPool::install`] entry point and the fire-and-forget
+//! [`ThreadPool::spawn`] used by the `tb-service` front-end. No lock is
+//! taken on any push/pop/steal, and submission never blocks on capacity;
+//! the memory-ordering arguments live in DESIGN.md §6–§7.
 //!
 //! Primitives:
 //!
@@ -29,6 +31,7 @@
 //! which side of the fork waits differs. See DESIGN.md §4.
 
 pub mod deque;
+pub mod injector;
 mod job;
 mod latch;
 mod metrics;
@@ -36,6 +39,7 @@ mod per_worker;
 mod pool;
 mod tentative;
 
+pub use injector::InjectorMetrics;
 pub use metrics::PoolMetrics;
 pub use per_worker::PerWorker;
 pub use pool::{ThreadPool, WorkerCtx};

@@ -1,8 +1,11 @@
 //! The worker pool: threads, deques, stealing, sleeping, and `join`.
 //!
 //! Since PR 2 the per-worker job deques are the hand-rolled Chase–Lev
-//! deques of [`crate::deque`] and the injector is a lock-free MPMC ring:
-//! no scheduling action (push, pop, steal) takes a lock. The only mutex
+//! deques of [`crate::deque`]; since PR 3 the injector is the segmented
+//! unbounded MPMC queue of [`crate::injector`], so external submission
+//! ([`ThreadPool::install`] roots and [`ThreadPool::spawn`] service jobs)
+//! never blocks on capacity. No scheduling action (push, pop, steal)
+//! takes a lock. The only mutex
 //! left in this module guards the *sleep* condvar, which workers touch
 //! exclusively when parking after repeated fruitless steal sweeps — never
 //! on the work-transfer path.
@@ -16,8 +19,9 @@ use std::time::Duration;
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 
-use crate::deque::{Injector, Steal, Stealer, Worker};
-use crate::job::{JobRef, StackJob};
+use crate::deque::{Steal, Stealer, Worker};
+use crate::injector::{Injector, InjectorMetrics};
+use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{SpinLatch, SyncLatch};
 use crate::metrics::PoolMetrics;
 
@@ -151,6 +155,35 @@ impl ThreadPool {
         unsafe { job.take_result() }
     }
 
+    /// Submit a fire-and-forget job: `f` runs on whichever worker picks it
+    /// up, and the caller returns immediately. This is the service-layer
+    /// entry point — unlike [`ThreadPool::install`] it never blocks the
+    /// submitting thread (the injector is unbounded), so completion
+    /// signalling is the closure's own responsibility (see `tb-service`'s
+    /// job handles). A panic inside `f` is caught and reported to stderr;
+    /// the worker survives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&WorkerCtx<'_>) + Send + 'static,
+    {
+        self.shared.injector.push(HeapJob::into_job_ref(f));
+        self.shared.wake_one();
+    }
+
+    /// Jobs currently queued in the injector and not yet claimed by a
+    /// worker (a snapshot; excludes jobs already executing). The service
+    /// layer's adaptive bulk chunking reads this as its queue-depth signal.
+    pub fn pending_jobs(&self) -> usize {
+        self.shared.injector.len()
+    }
+
+    /// Submission-path counters of the segmented injector (capacity waits,
+    /// segment churn). `full_waits` staying at zero is the "submission
+    /// never spin-blocks" invariant the service benchmark asserts.
+    pub fn injector_metrics(&self) -> InjectorMetrics {
+        self.shared.injector.metrics()
+    }
+
     /// Cumulative steal counters across the pool's lifetime, merged from
     /// the per-worker counters.
     pub fn metrics(&self) -> PoolMetrics {
@@ -241,9 +274,9 @@ impl<'a> WorkerCtx<'a> {
     pub(crate) fn try_steal(&self) -> Option<JobRef> {
         let counters = &self.shared.counters[self.index];
         StealCounters::bump(&counters.attempts);
-        // The global injector first: install() roots land there.
+        // The global injector first: install()/spawn() roots land there.
         loop {
-            match self.shared.injector.steal_batch_and_pop(self.local) {
+            match self.shared.injector.steal() {
                 Steal::Success(job) => {
                     StealCounters::bump(&counters.steals);
                     return Some(job);

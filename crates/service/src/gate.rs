@@ -1,0 +1,116 @@
+//! The bounded-inflight backpressure gate.
+//!
+//! The injector is unbounded (that is the point — submission never
+//! spin-blocks), so *something* has to stop a runaway client from queueing
+//! a million jobs and watching p99 latency go to the moon. The gate is that
+//! something: a counting semaphore over *admitted, incomplete* jobs.
+//! [`Runtime::submit`] acquires a slot (blocking the submitting client when
+//! the runtime is saturated — backpressure lands on the client, where it
+//! belongs, not on the pool); job completion releases it. Clients that
+//! would rather shed load than wait use `try_submit`.
+//!
+//! Mutex + condvar is the right tool here: the gate is touched once per
+//! job on the *client* side, never by workers between scheduling actions.
+//!
+//! [`Runtime::submit`]: crate::Runtime::submit
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+pub(crate) struct Gate {
+    max: usize,
+    inflight: Mutex<usize>,
+    cv: Condvar,
+    /// Times a submitter blocked waiting for a slot (the backpressure
+    /// signal the service benchmark reports).
+    blocked: AtomicU64,
+}
+
+impl Gate {
+    pub(crate) fn new(max: usize) -> Self {
+        Gate { max: max.max(1), inflight: Mutex::new(0), cv: Condvar::new(), blocked: AtomicU64::new(0) }
+    }
+
+    /// Block until a slot is free, then take it.
+    pub(crate) fn acquire(&self) {
+        let mut n = self.inflight.lock();
+        if *n >= self.max {
+            self.blocked.fetch_add(1, Ordering::Relaxed);
+            while *n >= self.max {
+                self.cv.wait(&mut n);
+            }
+        }
+        *n += 1;
+    }
+
+    /// Take a slot only if one is free right now.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut n = self.inflight.lock();
+        if *n >= self.max {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Return a slot (called by the completing job).
+    pub(crate) fn release(&self) {
+        let mut n = self.inflight.lock();
+        debug_assert!(*n > 0, "gate release without acquire");
+        *n -= 1;
+        drop(n);
+        self.cv.notify_one();
+    }
+
+    /// Admitted jobs not yet completed.
+    pub(crate) fn inflight(&self) -> usize {
+        *self.inflight.lock()
+    }
+
+    /// Slot capacity.
+    pub(crate) fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Times a submitter blocked on saturation.
+    pub(crate) fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let g = Gate::new(2);
+        g.acquire();
+        g.acquire();
+        assert_eq!(g.inflight(), 2);
+        assert!(!g.try_acquire());
+        g.release();
+        assert!(g.try_acquire());
+        g.release();
+        g.release();
+        assert_eq!(g.inflight(), 0);
+    }
+
+    #[test]
+    fn saturated_acquire_blocks_until_release() {
+        let g = Arc::new(Gate::new(1));
+        g.acquire();
+        let g2 = Arc::clone(&g);
+        let t = std::thread::spawn(move || {
+            g2.acquire(); // blocks until the main thread releases
+            g2.release();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.release();
+        t.join().unwrap();
+        assert_eq!(g.inflight(), 0);
+        assert!(g.blocked() >= 1, "the second acquire must have registered backpressure");
+    }
+}

@@ -1,0 +1,87 @@
+//! # tb-service — a persistent multi-tenant runtime front-end
+//!
+//! The paper's schedulers assume one program, one `install`, one pool
+//! lifetime. This crate is the production-facing layer on top: a
+//! long-lived [`Runtime`] that owns one work-stealing pool and multiplexes
+//! many concurrent clients over it —
+//!
+//! * **job handles** — submit any [`BlockProgram`](tb_core::BlockProgram)
+//!   from any thread and get a [`JobHandle`] back: poll it, block on it, or
+//!   cancel it cooperatively (see `tb_core::cancel`);
+//! * **per-job scheduling** — every job carries its own
+//!   [`SchedConfig`](tb_core::SchedConfig) and
+//!   [`SchedulerKind`](tb_core::SchedulerKind), so basic, re-expansion and
+//!   restart jobs coexist on one pool;
+//! * **bulk submission** — [`Runtime::submit_bulk`] cuts an input slice
+//!   into adaptively sized chunks (per DCAFE: chunk size grows with queue
+//!   depth, never one-task-per-item flooding);
+//! * **backpressure** — a bounded-inflight gate blocks or sheds
+//!   oversubscribing clients while the pool's *segmented unbounded*
+//!   injector (`tb_runtime::injector`) guarantees admitted submissions
+//!   never spin-block.
+//!
+//! The segment lifecycle, the backpressure rule and the worker parking
+//! protocol are documented in DESIGN.md §7.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tb_core::prelude::*;
+//! use tb_service::{Runtime, RuntimeConfig};
+//!
+//! /// Count the leaves of a depth-n binary tree (any BlockProgram works).
+//! struct Tree(u32);
+//! impl BlockProgram for Tree {
+//!     type Store = Vec<u32>;
+//!     type Reducer = u64;
+//!     fn arity(&self) -> usize { 2 }
+//!     fn make_root(&self) -> Vec<u32> { vec![self.0] }
+//!     fn make_reducer(&self) -> u64 { 0 }
+//!     fn merge_reducers(&self, a: &mut u64, b: u64) { *a += b; }
+//!     fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+//!         for n in block.drain(..) {
+//!             if n == 0 { *red += 1 } else {
+//!                 out.bucket(0).push(n - 1);
+//!                 out.bucket(1).push(n - 1);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! // One shared runtime; clients clone it freely.
+//! let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16 });
+//!
+//! // Mixed jobs in flight concurrently, each with its own scheduler.
+//! let a = rt.submit(Tree(10), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+//! let b = rt.submit(Tree(12), SchedConfig::restart(4, 64, 16), SchedulerKind::RestartSimplified);
+//! assert_eq!(a.wait(), Ok(1 << 10));
+//! assert_eq!(b.wait(), Ok(1 << 12));
+//!
+//! // Bulk data-parallel submission: items chunked adaptively, results in
+//! // input order.
+//! let bulk = rt.submit_bulk(
+//!     (0..64u32).map(|_| 4u32).collect::<Vec<_>>(),
+//!     SchedConfig::basic(4, 64),
+//!     SchedulerKind::ReExpansion,
+//!     |chunk: Vec<u32>| Tree(chunk.len() as u32 + 3), // one program per chunk
+//! );
+//! let total: u64 = bulk.wait().into_iter().map(|r| r.unwrap()).sum();
+//! assert!(total > 0);
+//!
+//! // Cancellation is cooperative and drop is detach, not cancel.
+//! let big = rt.submit(Tree(28), SchedConfig::basic(4, 1024), SchedulerKind::ReExpansion);
+//! big.cancel();
+//! let _ = big.wait(); // Err(Cancelled), or Ok(_) if it finished first — never a hang
+//!
+//! // The submission path never spin-blocked on capacity:
+//! assert_eq!(rt.stats().injector.full_waits, 0);
+//! ```
+
+mod bulk;
+mod gate;
+mod handle;
+mod runtime;
+
+pub use bulk::BulkHandle;
+pub use handle::{JobError, JobHandle};
+pub use runtime::{Runtime, RuntimeConfig, ServiceStats};

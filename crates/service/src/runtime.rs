@@ -1,0 +1,295 @@
+//! The long-lived, shared [`Runtime`]: one worker pool, many clients.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tb_core::{run_scheduler_on_ctx, BlockProgram, Cancellable, SchedConfig, SchedulerKind};
+use tb_runtime::{InjectorMetrics, ThreadPool};
+
+use crate::bulk::{adaptive_chunk_len, BulkCore, BulkHandle};
+use crate::gate::Gate;
+use crate::handle::{JobCore, JobError, JobHandle};
+
+/// Construction parameters for a [`Runtime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads in the shared pool. Defaults to the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Backpressure bound: admitted-but-incomplete jobs (scheduler jobs,
+    /// closure jobs and bulk *chunks* all count as one each). Submissions
+    /// beyond this block the submitting client until a slot frees.
+    /// Defaults to `8 × threads` — enough depth to keep every worker fed
+    /// through job-boundary gaps, small enough that queueing delay stays
+    /// bounded by a few job service times.
+    pub max_inflight: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        RuntimeConfig { threads, max_inflight: threads * 8 }
+    }
+}
+
+/// Lifetime counters for a runtime (monotone, Relaxed; exact at quiescence).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs admitted past the gate (including bulk chunks).
+    pub submitted: u64,
+    /// Jobs that completed with a value.
+    pub completed: u64,
+    /// Jobs that finished cancelled.
+    pub cancelled: u64,
+    /// Jobs whose program panicked (contained; see [`JobError::Panicked`]).
+    pub panicked: u64,
+    /// Admitted jobs not yet finished, at snapshot time.
+    pub inflight: usize,
+    /// The gate's slot capacity.
+    pub max_inflight: usize,
+    /// Times a submitter blocked on the gate (backpressure engaged).
+    pub backpressure_waits: u64,
+    /// Submission-path counters of the pool's segmented injector.
+    /// `injector.full_waits == 0` is the "submission never spin-blocks"
+    /// invariant.
+    pub injector: InjectorMetrics,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl Counters {
+    fn finish(&self, gate: &Gate, outcome: &Result<(), JobError>) {
+        match outcome {
+            Ok(()) => self.completed.fetch_add(1, Ordering::Relaxed),
+            Err(JobError::Cancelled) => self.cancelled.fetch_add(1, Ordering::Relaxed),
+            Err(JobError::Panicked) => self.panicked.fetch_add(1, Ordering::Relaxed),
+        };
+        gate.release();
+    }
+}
+
+struct Inner {
+    pool: ThreadPool,
+    // The gate and counters are their own `Arc`s — job closures capture
+    // *these*, never `Inner`, so a worker can never hold the last reference
+    // to the pool it runs on (which would make `ThreadPool::drop` join the
+    // worker's own thread).
+    gate: Arc<Gate>,
+    counters: Arc<Counters>,
+}
+
+/// A persistent, multi-tenant front-end over one work-stealing pool.
+///
+/// Where `ThreadPool::install` is one-program-one-caller-blocks, a
+/// `Runtime` multiplexes many concurrent clients: any thread submits any
+/// [`BlockProgram`] (each with its own [`SchedConfig`] and
+/// [`SchedulerKind`], so basic, re-expansion and restart jobs coexist),
+/// gets back a [`JobHandle`] to poll, block on, or cancel, and the
+/// bounded-inflight gate pushes overload back on submitters instead of
+/// letting queues grow without bound. Cloning is cheap and shares the pool.
+///
+/// See the crate docs for a complete example.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// A runtime with `threads` workers and the default backpressure bound.
+    pub fn new(threads: usize) -> Self {
+        Self::with_config(RuntimeConfig { threads, ..RuntimeConfig::default() })
+    }
+
+    /// A runtime from explicit parameters.
+    pub fn with_config(cfg: RuntimeConfig) -> Self {
+        Runtime {
+            inner: Arc::new(Inner {
+                pool: ThreadPool::new(cfg.threads),
+                gate: Arc::new(Gate::new(cfg.max_inflight)),
+                counters: Arc::new(Counters::default()),
+            }),
+        }
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn threads(&self) -> usize {
+        self.inner.pool.threads()
+    }
+
+    /// Jobs queued in the pool's injector, not yet claimed by a worker.
+    pub fn pending_jobs(&self) -> usize {
+        self.inner.pool.pending_jobs()
+    }
+
+    /// Lifetime counters snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            inflight: self.inner.gate.inflight(),
+            max_inflight: self.inner.gate.max(),
+            backpressure_waits: self.inner.gate.blocked(),
+            injector: self.inner.pool.injector_metrics(),
+        }
+    }
+
+    /// Submit `prog` to run under `kind` with `cfg`, blocking only if the
+    /// runtime is saturated (the backpressure gate). Returns immediately
+    /// with a handle; the run happens on the pool.
+    ///
+    /// Scheduler choice per job: [`SchedulerKind::Seq`],
+    /// [`SchedulerKind::ReExpansion`] and [`SchedulerKind::RestartSimplified`]
+    /// are pool-resident and compose freely;
+    /// [`SchedulerKind::RestartIdeal`] spawns its own dedicated threads per
+    /// job (see `run_scheduler_on_ctx`) and is meant for measurement, not
+    /// service traffic.
+    pub fn submit<P>(&self, prog: P, cfg: SchedConfig, kind: SchedulerKind) -> JobHandle<P::Reducer>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        self.inner.gate.acquire();
+        self.spawn_admitted(prog, cfg, kind)
+    }
+
+    /// Like [`Runtime::submit`], but sheds load instead of blocking: when
+    /// the runtime is saturated the program is handed back unchanged.
+    pub fn try_submit<P>(
+        &self,
+        prog: P,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> Result<JobHandle<P::Reducer>, P>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        if !self.inner.gate.try_acquire() {
+            return Err(prog);
+        }
+        Ok(self.spawn_admitted(prog, cfg, kind))
+    }
+
+    /// Submit a plain closure as a job (no scheduler run): `f` executes on
+    /// one worker; the handle behaves like any job handle. Cancelling
+    /// before a worker picks the job up skips `f` entirely; once `f` is
+    /// running it is not interrupted (closures have no block boundaries to
+    /// cancel at).
+    pub fn submit_fn<R, F>(&self, f: F) -> JobHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.inner.gate.acquire();
+        self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(JobCore::new());
+        let token = core.cancel_token();
+        let (worker_core, gate, counters) =
+            (Arc::clone(&core), Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
+        self.inner.pool.spawn(move |_ctx| {
+            let result = if token.is_cancelled() {
+                Err(JobError::Cancelled)
+            } else {
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(JobError::Panicked),
+                }
+            };
+            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+            worker_core.complete(result);
+        });
+        JobHandle::new(core)
+    }
+
+    /// Bulk data-parallel submission: cut `items` into chunks
+    /// (DCAFE-style adaptive sizing — see [`BulkHandle`] — instead of one
+    /// job per item), build a program for each chunk with `make`, and run
+    /// every chunk as its own gated job. The returned handle aggregates the
+    /// per-chunk reductions in input order.
+    ///
+    /// Chunks pass the same backpressure gate as everything else, one slot
+    /// per chunk, so a huge bulk submission blocks *its own* submitter once
+    /// the runtime saturates rather than starving interactive jobs behind
+    /// an unbounded queue.
+    pub fn submit_bulk<I, P, F>(
+        &self,
+        items: Vec<I>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        make: F,
+    ) -> BulkHandle<P::Reducer>
+    where
+        I: Send + 'static,
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+        F: Fn(Vec<I>) -> P + Send + Sync + 'static,
+    {
+        let total = items.len();
+        let chunk_len = adaptive_chunk_len(total, self.threads(), self.pending_jobs());
+        let chunks = total.div_ceil(chunk_len.max(1));
+        let core = Arc::new(BulkCore::new(chunks));
+        let token = core.cancel_token();
+        let make = Arc::new(make);
+        let mut items = items;
+        for index in 0..chunks {
+            let rest = items.split_off(chunk_len.min(items.len()));
+            let chunk = std::mem::replace(&mut items, rest);
+            self.inner.gate.acquire();
+            self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            let (core, token, make) = (Arc::clone(&core), token.clone(), Arc::clone(&make));
+            let (gate, counters) = (Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
+            self.inner.pool.spawn(move |ctx| {
+                // The chunk-builder runs inside the catch too: a panic in
+                // `make` must route to JobError::Panicked and release the
+                // gate slot, not escape to the pool's backstop.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let prog = Cancellable::new(make(chunk), token.clone());
+                    run_scheduler_on_ctx(kind, &prog, cfg, ctx)
+                }));
+                let result = match outcome {
+                    Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
+                    Ok(out) => Ok(out.reducer),
+                    Err(_) => Err(JobError::Panicked),
+                };
+                counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+                core.complete_chunk(index, result);
+            });
+        }
+        debug_assert!(items.is_empty(), "chunking consumed every item");
+        BulkHandle::new(core, chunks)
+    }
+
+    fn spawn_admitted<P>(&self, prog: P, cfg: SchedConfig, kind: SchedulerKind) -> JobHandle<P::Reducer>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(JobCore::new());
+        let token = core.cancel_token();
+        let (worker_core, gate, counters) =
+            (Arc::clone(&core), Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
+        self.inner.pool.spawn(move |ctx| {
+            let prog = Cancellable::new(prog, token.clone());
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_scheduler_on_ctx(kind, &prog, cfg, ctx)));
+            let result = match outcome {
+                Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
+                Ok(out) => Ok(out.reducer),
+                Err(_) => Err(JobError::Panicked),
+            };
+            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+            worker_core.complete(result);
+        });
+        JobHandle::new(core)
+    }
+}

@@ -1,0 +1,340 @@
+//! Integration tests for the service layer: multi-tenant submission,
+//! cooperative cancellation, handle drop (detach), backpressure, and bulk
+//! chunking — the behaviours a long-lived shared runtime must not get
+//! wrong under concurrent clients.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tb_core::prelude::*;
+use tb_service::{JobError, Runtime, RuntimeConfig};
+
+/// Count the leaves of a depth-n binary tree: 2^n leaves, known answer,
+/// exponential work — ideal for "did it actually run / stop" checks.
+struct Tree(u32);
+
+impl BlockProgram for Tree {
+    type Store = Vec<u32>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn make_root(&self) -> Vec<u32> {
+        vec![self.0]
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+        for n in block.drain(..) {
+            if n == 0 {
+                *red += 1;
+            } else {
+                out.bucket(0).push(n - 1);
+                out.bucket(1).push(n - 1);
+            }
+        }
+    }
+}
+
+/// A tree whose expansion also ticks a shared counter, so tests can observe
+/// whether work kept happening after a cancel/drop.
+struct CountingTree {
+    depth: u32,
+    ticks: Arc<AtomicU64>,
+}
+
+impl BlockProgram for CountingTree {
+    type Store = Vec<u32>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn make_root(&self) -> Vec<u32> {
+        vec![self.depth]
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+        self.ticks.fetch_add(block.len() as u64, Ordering::Relaxed);
+        for n in block.drain(..) {
+            if n == 0 {
+                *red += 1;
+            } else {
+                out.bucket(0).push(n - 1);
+                out.bucket(1).push(n - 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_schedulers_coexist_on_one_pool() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 32 });
+    let mut handles = Vec::new();
+    for round in 0..4u32 {
+        let depth = 8 + round;
+        handles.push((depth, rt.submit(Tree(depth), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion)));
+        handles.push((
+            depth,
+            rt.submit(Tree(depth), SchedConfig::restart(4, 64, 16), SchedulerKind::RestartSimplified),
+        ));
+        handles.push((depth, rt.submit(Tree(depth), SchedConfig::reexpansion(4, 64), SchedulerKind::Seq)));
+    }
+    for (depth, h) in handles {
+        assert_eq!(h.wait(), Ok(1u64 << depth), "depth {depth}");
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.submitted, 12);
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.inflight, 0);
+    assert_eq!(stats.injector.full_waits, 0, "submission must never block on capacity");
+}
+
+#[test]
+fn concurrent_clients_hammer_one_runtime() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    std::thread::scope(|s| {
+        for client in 0..4 {
+            let rt = rt.clone();
+            s.spawn(move || {
+                for i in 0..10u32 {
+                    let depth = 6 + (client + i) % 5;
+                    let kind = if i % 2 == 0 {
+                        SchedulerKind::ReExpansion
+                    } else {
+                        SchedulerKind::RestartSimplified
+                    };
+                    let h = rt.submit(Tree(depth), SchedConfig::restart(4, 32, 8), kind);
+                    assert_eq!(h.wait(), Ok(1u64 << depth));
+                }
+            });
+        }
+    });
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 40);
+    assert_eq!(stats.injector.full_waits, 0);
+}
+
+#[test]
+fn cancellation_stops_expansion_promptly() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let ticks = Arc::new(AtomicU64::new(0));
+    // Depth 40: ~2^40 leaves, would run for hours — cancellation is the
+    // only way this test can finish.
+    let h = rt.submit(
+        CountingTree { depth: 40, ticks: Arc::clone(&ticks) },
+        SchedConfig::basic(4, 256),
+        SchedulerKind::ReExpansion,
+    );
+    // Let it get going, then cancel.
+    while ticks.load(Ordering::Relaxed) < 1000 {
+        std::hint::spin_loop();
+    }
+    h.cancel();
+    let res = h.wait(); // must return quickly, not after 2^40 tasks
+    assert_eq!(res, Err(JobError::Cancelled));
+    let after_cancel = ticks.load(Ordering::Relaxed);
+    // The drain may consume already-materialised blocks but must not keep
+    // expanding: give it a beat and check the counter stopped moving.
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(ticks.load(Ordering::Relaxed), after_cancel, "expansion continued after cancel+wait");
+    assert_eq!(rt.stats().cancelled, 1);
+}
+
+#[test]
+fn dropping_a_handle_mid_run_detaches_without_wedging() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2 });
+    let ticks = Arc::new(AtomicU64::new(0));
+    let h = rt.submit(
+        CountingTree { depth: 18, ticks: Arc::clone(&ticks) },
+        SchedConfig::basic(4, 64),
+        SchedulerKind::ReExpansion,
+    );
+    drop(h); // detach: the run continues and must release its gate slot
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while rt.stats().completed < 1 {
+        assert!(Instant::now() < deadline, "detached job never completed");
+        std::thread::yield_now();
+    }
+    assert_eq!(ticks.load(Ordering::Relaxed), (1u64 << 19) - 1, "detached job ran to completion");
+    assert_eq!(rt.stats().inflight, 0, "gate slot leaked by dropped handle");
+    // The runtime is still fully usable afterwards.
+    let h = rt.submit(Tree(10), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    assert_eq!(h.wait(), Ok(1 << 10));
+}
+
+#[test]
+fn dropping_a_cancelled_handle_is_also_clean() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2 });
+    let ticks = Arc::new(AtomicU64::new(0));
+    let h = rt.submit(
+        CountingTree { depth: 40, ticks: Arc::clone(&ticks) },
+        SchedConfig::basic(4, 256),
+        SchedulerKind::ReExpansion,
+    );
+    while ticks.load(Ordering::Relaxed) < 100 {
+        std::hint::spin_loop();
+    }
+    h.cancel();
+    drop(h);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while rt.stats().cancelled < 1 {
+        assert!(Instant::now() < deadline, "cancelled+dropped job never wound down");
+        std::thread::yield_now();
+    }
+    assert_eq!(rt.stats().inflight, 0);
+}
+
+#[test]
+fn backpressure_blocks_then_releases() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1 });
+    // Fill the single slot with a slow job, then submit another: the
+    // second submit must block until the first completes.
+    let slow = rt.submit(Tree(18), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    let fast = rt.submit(Tree(4), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    assert_eq!(fast.wait(), Ok(16));
+    assert_eq!(slow.wait(), Ok(1 << 18));
+    assert!(rt.stats().backpressure_waits >= 1, "the second submit should have hit the gate");
+}
+
+#[test]
+fn try_submit_sheds_load_when_saturated() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1 });
+    let slow = rt.submit(Tree(20), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    // The slot is taken (the job may already be running, but it has not
+    // completed): try_submit must bounce and return the program.
+    match rt.try_submit(Tree(5), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion) {
+        Err(prog) => assert_eq!(prog.0, 5, "program handed back intact"),
+        Ok(_) => panic!("try_submit admitted past a full gate"),
+    }
+    assert_eq!(slow.wait(), Ok(1 << 20));
+    // Slot free again: admission works.
+    let h = rt
+        .try_submit(Tree(5), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion)
+        .unwrap_or_else(|_| panic!("gate should be free"));
+    assert_eq!(h.wait(), Ok(32));
+}
+
+#[test]
+fn bulk_results_arrive_in_input_order() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    // 100 items, each chunk's program counts leaves of depth = chunk len.
+    let items: Vec<u32> = (0..100).collect();
+    let bulk =
+        rt.submit_bulk(items, SchedConfig::basic(4, 64), SchedulerKind::ReExpansion, |chunk: Vec<u32>| {
+            Tree(chunk.len() as u32)
+        });
+    let chunks = bulk.chunks();
+    assert!(chunks >= 2, "100 items on 2 workers must split");
+    let results = bulk.wait();
+    assert_eq!(results.len(), chunks);
+    let total: u64 = results.iter().map(|r| r.expect("no chunk failed")).sum();
+    // Each chunk of length L contributes 2^L leaves; chunk lengths sum to
+    // 100, and every chunk is non-empty.
+    assert!(total >= 100);
+    assert_eq!(rt.stats().completed as usize, chunks);
+}
+
+#[test]
+fn bulk_cancel_reaches_queued_chunks() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 16 });
+    // Many deep chunks on one worker: cancel after the first ticks arrive;
+    // later chunks must come back Cancelled without doing their full work.
+    let ticks = Arc::new(AtomicU64::new(0));
+    let t2 = Arc::clone(&ticks);
+    let bulk = rt.submit_bulk(
+        (0..64u32).collect::<Vec<_>>(),
+        SchedConfig::basic(4, 64),
+        SchedulerKind::ReExpansion,
+        move |chunk: Vec<u32>| CountingTree { depth: 24 + chunk.len() as u32, ticks: Arc::clone(&t2) },
+    );
+    while ticks.load(Ordering::Relaxed) < 100 {
+        std::hint::spin_loop();
+    }
+    bulk.cancel();
+    let results = bulk.wait(); // must terminate long before 64 × 2^24 tasks
+    assert!(results.contains(&Err(JobError::Cancelled)), "at least the queued chunks observe the cancel");
+}
+
+#[test]
+fn panicking_program_is_contained() {
+    struct Bomb;
+    impl BlockProgram for Bomb {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+        fn arity(&self) -> usize {
+            1
+        }
+        fn make_root(&self) -> Vec<u32> {
+            vec![1]
+        }
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+        fn merge_reducers(&self, _: &mut u64, _: u64) {}
+        fn expand(&self, _: &mut Vec<u32>, _: &mut BucketSet<Vec<u32>>, _: &mut u64) {
+            panic!("bomb");
+        }
+    }
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let h = rt.submit(Bomb, SchedConfig::basic(4, 64), SchedulerKind::Seq);
+    assert_eq!(h.wait(), Err(JobError::Panicked));
+    assert_eq!(rt.stats().panicked, 1);
+    assert_eq!(rt.stats().inflight, 0, "panicked job released its slot");
+    // Pool workers survived; the runtime still serves.
+    let h = rt.submit(Tree(8), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    assert_eq!(h.wait(), Ok(256));
+}
+
+#[test]
+fn closure_jobs_ride_the_same_gate() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let mut handles: Vec<_> = (0..8u64).map(|i| rt.submit_fn(move || i * i)).collect();
+    let sum: u64 = handles.drain(..).map(|h| h.wait().expect("closure job")).sum();
+    assert_eq!(sum, (0..8u64).map(|i| i * i).sum());
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.inflight, 0);
+}
+
+#[test]
+fn panicking_bulk_chunk_builder_is_contained() {
+    // Regression: a panic inside the user-supplied chunk-builder must be
+    // routed to JobError::Panicked like any program panic — not escape the
+    // catch, leak gate slots, and wedge BulkHandle::wait() forever.
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let bulk = rt.submit_bulk(
+        (0..32u32).collect::<Vec<_>>(),
+        SchedConfig::basic(4, 64),
+        SchedulerKind::ReExpansion,
+        |_chunk: Vec<u32>| -> Tree { panic!("builder bomb") },
+    );
+    let results = bulk.wait(); // must complete, not hang
+    assert!(!results.is_empty());
+    assert!(results.iter().all(|r| *r == Err(JobError::Panicked)));
+    let stats = rt.stats();
+    assert_eq!(stats.inflight, 0, "panicked chunks must release their gate slots");
+    assert_eq!(stats.panicked as usize, results.len());
+    // Runtime still serves.
+    let h = rt.submit(Tree(8), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
+    assert_eq!(h.wait(), Ok(256));
+}

@@ -1,7 +1,10 @@
 //! Runtime CPU feature detection and the paper's default SIMD widths.
 
-/// Which x86 vector extensions the running CPU offers (all `false` on other
-/// architectures).
+use std::sync::OnceLock;
+
+/// Which vector extensions the running CPU offers. On x86-64 the SSE/AVX
+/// fields are probed; on AArch64 only `neon`; elsewhere everything is
+/// `false` (scalar fallback).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpuFeatures {
     /// SSE2 (128-bit, baseline on x86-64).
@@ -12,6 +15,8 @@ pub struct CpuFeatures {
     pub avx2: bool,
     /// AVX-512F (512-bit).
     pub avx512f: bool,
+    /// NEON / AdvSIMD (128-bit, AArch64).
+    pub neon: bool,
 }
 
 impl CpuFeatures {
@@ -24,25 +29,37 @@ impl CpuFeatures {
                 sse42: std::arch::is_x86_feature_detected!("sse4.2"),
                 avx2: std::arch::is_x86_feature_detected!("avx2"),
                 avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                neon: false,
             }
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(target_arch = "aarch64")]
+        {
+            CpuFeatures { neon: std::arch::is_aarch64_feature_detected!("neon"), ..CpuFeatures::default() }
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
         {
             CpuFeatures::default()
         }
     }
 
-    /// Widest available vector register, in bits.
+    /// Widest available vector register, in bits. The fallback table:
+    /// AVX-512F → 512, AVX2 → 256, SSE2/NEON → 128, nothing → 64 (scalar
+    /// `u64` pretending to be a vector).
     pub fn vector_bits(&self) -> usize {
         if self.avx512f {
             512
         } else if self.avx2 {
             256
-        } else if self.sse2 {
+        } else if self.sse2 || self.neon {
             128
         } else {
             64
         }
+    }
+
+    /// Lanes of `T` in this CPU's widest vector register (at least 1).
+    pub fn q_for<T>(&self) -> usize {
+        q_for_width::<T>(self.vector_bits())
     }
 }
 
@@ -73,6 +90,30 @@ pub const fn q_for_width<T>(bits: usize) -> usize {
     }
 }
 
+/// The running CPU's widest vector register in bits, probed once at first
+/// use and cached (CPUID is not free; benchmark loops call this per run).
+pub fn detected_vector_bits() -> usize {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    FEATURES.get_or_init(CpuFeatures::detect).vector_bits()
+}
+
+/// `Q` for element type `T` on *this* machine: lanes of `T` in the widest
+/// detected register (AVX-512/AVX2/SSE2 on x86-64, NEON on AArch64), at
+/// least 1. This is the ROADMAP's "SIMD-width autodetection": harness
+/// binaries size their blocks with it by default, with `--q` as the
+/// explicit override.
+///
+/// ```
+/// // Never narrower than the paper's 128-bit baseline assumption of at
+/// // least one lane, and always consistent with the probe:
+/// let q = tb_simd::detected_q::<f32>();
+/// assert!(q >= 1);
+/// assert_eq!(q, tb_simd::CpuFeatures::detect().q_for::<f32>());
+/// ```
+pub fn detected_q<T>() -> usize {
+    q_for_width::<T>(detected_vector_bits())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +133,46 @@ mod tests {
         assert_eq!(q_for_width::<f32>(256), 8);
         assert_eq!(q_for_width::<u8>(512), 64);
         assert_eq!(q_for_width::<u64>(64), 1);
+    }
+
+    #[test]
+    fn fallback_table_is_widest_first() {
+        // Synthesized feature sets walk the whole fallback table without
+        // depending on the host CPU.
+        let none = CpuFeatures::default();
+        assert_eq!(none.vector_bits(), 64);
+        assert_eq!(none.q_for::<u8>(), 8, "scalar fallback still batches a u64's worth");
+        assert_eq!(none.q_for::<f64>(), 1);
+
+        let sse = CpuFeatures { sse2: true, ..CpuFeatures::default() };
+        assert_eq!(sse.vector_bits(), 128);
+        assert_eq!(sse.q_for::<u8>(), 16);
+        assert_eq!(sse.q_for::<f32>(), 4);
+
+        let neon = CpuFeatures { neon: true, ..CpuFeatures::default() };
+        assert_eq!(neon.vector_bits(), 128, "NEON matches the SSE baseline width");
+        assert_eq!(neon.q_for::<i16>(), 8);
+
+        let avx2 = CpuFeatures { sse2: true, avx2: true, ..CpuFeatures::default() };
+        assert_eq!(avx2.vector_bits(), 256);
+        assert_eq!(avx2.q_for::<f32>(), 8);
+
+        let avx512 = CpuFeatures { sse2: true, avx2: true, avx512f: true, ..CpuFeatures::default() };
+        assert_eq!(avx512.vector_bits(), 512);
+        assert_eq!(avx512.q_for::<u8>(), 64);
+
+        // Wider features always win over narrower ones present together.
+        assert!(avx512.vector_bits() > avx2.vector_bits());
+        assert!(avx2.vector_bits() > sse.vector_bits());
+    }
+
+    #[test]
+    fn detected_q_is_cached_and_consistent() {
+        let bits = detected_vector_bits();
+        assert_eq!(bits, detected_vector_bits(), "cached probe is stable");
+        assert!(bits >= 64);
+        assert_eq!(detected_q::<f32>(), q_for_width::<f32>(bits));
+        assert!(detected_q::<[u8; 128]>() >= 1, "oversized elements clamp to one lane");
     }
 
     #[test]

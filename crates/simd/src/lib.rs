@@ -27,6 +27,6 @@ pub mod lanes;
 pub mod soa;
 
 pub use compact::compact_append;
-pub use feature::{default_q, CpuFeatures};
+pub use feature::{default_q, detected_q, detected_vector_bits, q_for_width, CpuFeatures};
 pub use lanes::{Lanes, Mask};
 pub use soa::{SoaVec2, SoaVec3, SoaVec4};

@@ -1,0 +1,213 @@
+//! Suite workloads as *submittable jobs*: owned, `'static`
+//! [`BlockProgram`]s for the `tb-service` front-end.
+//!
+//! The [`Benchmark`](crate::Benchmark) trait drives measured runs through
+//! borrowed program values (`UtsProg<'u>` and friends) — fine for a
+//! harness that blocks on each run, useless for a service that ships the
+//! program to a worker and returns a handle. This module provides the same
+//! computations as self-contained values (parameters copied in, no
+//! borrows), each with a `expected()` answer so service tests and the
+//! throughput benchmark can verify every reduction they get back.
+
+use tb_core::prelude::*;
+
+use crate::bench::Scale;
+use crate::uts_rng::{child_state, uniform};
+
+/// Blocked `fib(n)`: tasks are remaining arguments, reducer sums base cases.
+pub struct FibJob {
+    /// Argument to `fib`.
+    pub n: u8,
+}
+
+impl FibJob {
+    /// Preset input per scale (matches [`crate::fib::Fib::new`]).
+    pub fn new(scale: Scale) -> Self {
+        FibJob { n: crate::fib::Fib::new(scale).n }
+    }
+
+    /// The exact answer, for verifying service results.
+    pub fn expected(&self) -> u64 {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..self.n {
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        a
+    }
+}
+
+impl BlockProgram for FibJob {
+    type Store = Vec<u8>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn make_root(&self) -> Vec<u8> {
+        vec![self.n]
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u8>, out: &mut BucketSet<Vec<u8>>, red: &mut u64) {
+        for n in block.drain(..) {
+            if n < 2 {
+                *red += u64::from(n);
+            } else {
+                out.bucket(0).push(n - 1);
+                out.bucket(1).push(n - 2);
+            }
+        }
+    }
+}
+
+/// Blocked binomial UTS (node count): parameters copied from
+/// [`crate::uts::Uts`], tasks are node random-states.
+pub struct UtsJob {
+    /// Root branching factor.
+    pub b0: usize,
+    /// Non-root branching factor.
+    pub m: usize,
+    /// Probability a node has children.
+    pub q: f64,
+    /// Root random seed.
+    pub seed: u64,
+}
+
+impl UtsJob {
+    /// Preset parameters per scale (matches [`crate::uts::Uts::new`]).
+    pub fn new(scale: Scale) -> Self {
+        let u = crate::uts::Uts::new(scale);
+        UtsJob { b0: u.b0, m: u.m, q: u.q, seed: u.seed }
+    }
+
+    /// The exact node count (serial recount; cheap at tiny/small scales).
+    pub fn expected(&self) -> u64 {
+        crate::uts::uts_serial(&crate::uts::Uts { b0: self.b0, m: self.m, q: self.q, seed: self.seed }).0
+    }
+}
+
+impl BlockProgram for UtsJob {
+    type Store = Vec<u64>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        self.m
+    }
+
+    fn make_root(&self) -> Vec<u64> {
+        (0..self.b0).map(|i| child_state(self.seed, i as u64)).collect()
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Vec<u64>, out: &mut BucketSet<Vec<u64>>, red: &mut u64) {
+        for state in block.drain(..) {
+            *red += 1;
+            if uniform(state) < self.q {
+                for i in 0..self.m {
+                    out.bucket(i).push(child_state(state, i as u64));
+                }
+            }
+        }
+    }
+}
+
+/// Blocked n-queens (solution count): tasks are partial placements.
+pub struct NQueensJob {
+    /// Board size.
+    pub n: u8,
+}
+
+impl NQueensJob {
+    /// Preset board per scale (matches [`crate::nqueens::NQueens::new`]).
+    pub fn new(scale: Scale) -> Self {
+        NQueensJob { n: crate::nqueens::NQueens::new(scale).n }
+    }
+
+    /// The exact solution count (serial recount).
+    pub fn expected(&self) -> u64 {
+        crate::nqueens::nqueens_serial(self.n).0
+    }
+}
+
+impl BlockProgram for NQueensJob {
+    type Store = Vec<(u8, u16, u32, u32)>;
+    type Reducer = u64;
+
+    fn arity(&self) -> usize {
+        self.n as usize
+    }
+
+    fn make_root(&self) -> Self::Store {
+        vec![(0, 0, 0, 0)]
+    }
+
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+
+    fn expand(&self, block: &mut Self::Store, out: &mut BucketSet<Self::Store>, red: &mut u64) {
+        let full = (1u16 << self.n) - 1;
+        for t in block.drain(..) {
+            crate::nqueens::expand_one(full, self.n, t, red, |site, child| {
+                out.bucket(site).push(child);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_runtime::ThreadPool;
+
+    #[test]
+    fn jobs_match_their_expected_answers_under_every_kind() {
+        let pool = ThreadPool::new(2);
+        let fib = FibJob::new(Scale::Tiny);
+        let uts = UtsJob::new(Scale::Tiny);
+        let nq = NQueensJob::new(Scale::Tiny);
+        for kind in SchedulerKind::ALL {
+            let cfg = SchedConfig::restart(4, 64, 16);
+            assert_eq!(run_scheduler(kind, &fib, cfg, Some(&pool)).reducer, fib.expected(), "{kind:?}");
+            assert_eq!(run_scheduler(kind, &uts, cfg, Some(&pool)).reducer, uts.expected(), "{kind:?}");
+            assert_eq!(run_scheduler(kind, &nq, cfg, Some(&pool)).reducer, nq.expected(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn job_presets_mirror_the_benchmark_presets() {
+        assert_eq!(FibJob::new(Scale::Tiny).n, crate::fib::Fib::new(Scale::Tiny).n);
+        let u = crate::uts::Uts::new(Scale::Small);
+        let j = UtsJob::new(Scale::Small);
+        assert_eq!((j.b0, j.m, j.seed), (u.b0, u.m, u.seed));
+        assert_eq!(NQueensJob::new(Scale::Paper).n, crate::nqueens::NQueens::new(Scale::Paper).n);
+    }
+
+    #[test]
+    fn fib_expected_closed_form() {
+        assert_eq!(FibJob { n: 10 }.expected(), 55);
+        assert_eq!(FibJob { n: 20 }.expected(), 6765);
+        assert_eq!(FibJob { n: 0 }.expected(), 0);
+    }
+}

@@ -36,6 +36,7 @@
 //! harness runs in minutes on a laptop.
 
 pub mod bench;
+pub mod jobs;
 pub mod outcome;
 
 pub mod barneshut;

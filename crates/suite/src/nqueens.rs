@@ -110,7 +110,7 @@ fn nqueens_cilk(ctx: &WorkerCtx<'_>, full: u16, cols: u16, d1: u32, d2: u32) -> 
 type Task = (u8, u16, u32, u32); // (row, cols, diag1, diag2)
 
 #[inline]
-fn expand_one(full: u16, n: u8, t: Task, red: &mut u64, mut spawn: impl FnMut(usize, Task)) {
+pub(crate) fn expand_one(full: u16, n: u8, t: Task, red: &mut u64, mut spawn: impl FnMut(usize, Task)) {
     let (row, cols, d1, d2) = t;
     if cols == full {
         *red += 1;

@@ -13,7 +13,10 @@
 //!   framework, sequential and work-stealing schedulers, machine-model
 //!   statistics;
 //! * [`runtime`] (`tb-runtime`) — the Cilk-style child-stealing runtime
-//!   (`join`, tentative spawns, per-worker state);
+//!   (`join`, tentative spawns, per-worker state, the segmented unbounded
+//!   injector);
+//! * [`service`] (`tb-service`) — the persistent multi-tenant front-end:
+//!   one shared pool, job handles, bulk submission, backpressure;
 //! * [`simd`] (`tb-simd`) — portable lanes, struct-of-arrays stores,
 //!   streaming compaction;
 //! * [`model`] (`tb-model`) — explicit computation trees and the Theorem
@@ -66,6 +69,7 @@
 pub use tb_core as core;
 pub use tb_model as model;
 pub use tb_runtime as runtime;
+pub use tb_service as service;
 pub use tb_simd as simd;
 pub use tb_spec as spec;
 pub use tb_suite as suite;
@@ -74,5 +78,6 @@ pub use tb_suite as suite;
 pub mod prelude {
     pub use tb_core::prelude::*;
     pub use tb_runtime::{PerWorker, ThreadPool, WorkerCtx};
-    pub use tb_simd::{compact_append, default_q, Lanes, Mask};
+    pub use tb_service::{JobHandle, Runtime, RuntimeConfig};
+    pub use tb_simd::{compact_append, default_q, detected_q, Lanes, Mask};
 }

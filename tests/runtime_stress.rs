@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use taskblocks::core::{SharedLeveledDeque, TaskBlock};
 use taskblocks::prelude::*;
 use taskblocks::runtime::deque::{Steal, Worker};
+use taskblocks::runtime::injector::Injector;
 use taskblocks::runtime::Resolved;
 
 #[test]
@@ -323,6 +324,94 @@ fn shared_leveled_deque_steal_half_storm_conserves_tasks() {
         assert_eq!(d.task_count(), 0, "seed {seed}: counters out of sync at quiescence");
         assert_eq!(d.block_count(), 0, "seed {seed}: counters out of sync at quiescence");
     }
+}
+
+#[test]
+fn segmented_injector_100k_jobs_from_8_threads_conserves_every_job() {
+    // The PR 3 injector-full regression guard: 100 000 jobs pushed from 8
+    // producer threads through the segmented unbounded injector while 3
+    // consumers drain it. Conservation: every pushed token is delivered
+    // exactly once (count and value-sum both match), and — the property
+    // the segmented design exists for — no producer ever waited on
+    // capacity. Run in debug AND `--release`; optimized codegen reorders
+    // more aggressively and is where the segment hand-off would break.
+    const PRODUCERS: u64 = 8;
+    const PER_PRODUCER: u64 = 12_500; // 8 × 12.5k = 100k jobs
+    const TOTAL: u64 = PRODUCERS * PER_PRODUCER;
+    let inj: Injector<u64> = Injector::new();
+    let got_sum = AtomicU64::new(0);
+    let got_cnt = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let inj = &inj;
+            s.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    inj.push(p * PER_PRODUCER + i);
+                }
+            });
+        }
+        for _ in 0..3 {
+            let (inj, got_sum, got_cnt) = (&inj, &got_sum, &got_cnt);
+            s.spawn(move || loop {
+                match inj.steal() {
+                    Steal::Success(v) => {
+                        got_sum.fetch_add(v, Ordering::Relaxed);
+                        got_cnt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        if got_cnt.load(Ordering::Relaxed) == TOTAL {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(got_cnt.load(Ordering::Relaxed), TOTAL, "job lost or double-delivered");
+    assert_eq!(got_sum.load(Ordering::Relaxed), TOTAL * (TOTAL - 1) / 2, "job payload corrupted");
+    assert!(inj.is_empty());
+    let m = inj.metrics();
+    assert_eq!(m.full_waits, 0, "unbounded injector must never block a submission on capacity");
+    assert!(m.segments_allocated >= 2, "100k jobs crossed many segment boundaries");
+}
+
+#[test]
+fn pool_spawn_100k_fire_and_forget_jobs_all_execute_exactly_once() {
+    // Same conservation argument one layer up: 100k spawn()ed pool jobs
+    // from 8 submitting threads, each bumping a counter and a value sum
+    // exactly once. Exercises the injector under the pool's real consumer
+    // (worker steal sweeps + parking) rather than a synthetic drain loop.
+    const SUBMITTERS: u64 = 8;
+    const PER_SUBMITTER: u64 = 12_500;
+    const TOTAL: u64 = SUBMITTERS * PER_SUBMITTER;
+    let pool = ThreadPool::new(4);
+    let sum = std::sync::Arc::new(AtomicU64::new(0));
+    let cnt = std::sync::Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for p in 0..SUBMITTERS {
+            let (pool, sum, cnt) = (&pool, &sum, &cnt);
+            s.spawn(move || {
+                for i in 0..PER_SUBMITTER {
+                    let v = p * PER_SUBMITTER + i;
+                    let (sum, cnt) = (std::sync::Arc::clone(sum), std::sync::Arc::clone(cnt));
+                    pool.spawn(move |_ctx| {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        cnt.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    // Submissions done; wait for the pool to drain them.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while cnt.load(Ordering::Relaxed) < TOTAL {
+        assert!(std::time::Instant::now() < deadline, "pool wedged draining spawned jobs");
+        std::thread::yield_now();
+    }
+    assert_eq!(cnt.load(Ordering::Relaxed), TOTAL, "spawned job lost or run twice");
+    assert_eq!(sum.load(Ordering::Relaxed), TOTAL * (TOTAL - 1) / 2);
+    assert_eq!(pool.injector_metrics().full_waits, 0);
 }
 
 #[test]
