@@ -43,6 +43,29 @@
 //! `SchedConfig::restart` on `ParRestartIdeal`, the §3.4 scheduler whose
 //! substrate this pipeline exists to track.
 //!
+//! Since PR 4 the document also carries a `"spec_family"` section — the
+//! spec-language pipeline race (`interp` vs `blocked` vs `compiled`
+//! backends over `spec-fib` / `spec-binomial` / `spec-paren` /
+//! `spec-treesum`, basic/restart x {1,2,4} workers):
+//!
+//! ```json
+//! "spec_family": [
+//!   { "bench": "spec-fib", "backend": "compiled", "variant": "basic",
+//!     "threads": 2, "wall_s": 0.040, "noise": 0.03, "tasks": 2692537 }
+//! ]
+//! ```
+//!
+//! `backend` mapping: `interp` is the direct recursive reference
+//! interpreter (always `variant: "serial"`, `threads: 1`); `blocked` is
+//! the AST-walking `BlockedSpec`; `compiled` is `CompiledSpec`, the
+//! PR 4 instruction-stream backend the family exists to track. All three
+//! backends' reductions are asserted equal before a row is recorded;
+//! relative speed is *flagged*, not asserted (a cell where `compiled`
+//! fails to beat `blocked` prints a WARNING line, so measurement runs
+//! stay robust on noisy hosts) — committed `BENCH_*.json` artifacts are
+//! expected to show `compiled` strictly faster on every cell, which is
+//! checked when the artifact is produced.
+//!
 //! Since PR 3 each run row also records `"noise"` — the relative spread
 //! `(max - min) / median` over the reps — which the comparator below uses
 //! as the row's recorded noise band. The `service` binary emits the same
@@ -70,6 +93,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tb_bench::traj::{self, median, parse_json, RunRow, TRAJ_THREADS, T_DFE, T_RESTART};
+
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
 use tb_core::LeveledDeque;
@@ -213,9 +237,19 @@ fn main() {
         }
     }
 
+    // ---- spec family: interpreter vs BlockedSpec vs CompiledSpec ---------
+    // The ROADMAP "spec-language -> scheduler codegen" gate: every row pair
+    // must show the instruction-stream backend beating the AST walk.
+    let spec_rows = if args.ab_only {
+        Vec::new()
+    } else {
+        println!("\nspec family: interpreter vs BlockedSpec vs CompiledSpec");
+        traj::run_spec_family(args.common.scale, args.reps)
+    };
+
     // ---- emit ------------------------------------------------------------
     let path = args.out_path();
-    let json = render_json(&args, &runs, &substrate_ab);
+    let json = render_json(&args, &runs, &spec_rows, &substrate_ab);
     std::fs::write(&path, json).expect("write trajectory json");
     println!("\n[trajectory written to {path}]");
 }
@@ -296,8 +330,9 @@ where
     row
 }
 
-fn render_json(args: &TrajArgs, runs: &[RunRow], ab: &[AbRow]) -> String {
+fn render_json(args: &TrajArgs, runs: &[RunRow], spec_rows: &[traj::SpecRow], ab: &[AbRow]) -> String {
     let mut s = traj::render_header(&args.tag, args.common.scale_name(), args.reps, runs);
+    s.push_str(&traj::render_spec_family(spec_rows));
     let _ = writeln!(
         s,
         "  \"substrate_ab_note\": \"ratios within ~±0.04 of 1.0 are parity on shared hosts \

@@ -146,6 +146,187 @@ pub fn render_header(tag: &str, scale_name: &str, reps: usize, runs: &[RunRow]) 
 }
 
 // ---------------------------------------------------------------------------
+// The `spec` trajectory family: interpreter vs BlockedSpec vs CompiledSpec.
+// ---------------------------------------------------------------------------
+
+/// One spec-family measurement (the `"spec_family"` JSON section).
+pub struct SpecRow {
+    /// Spec benchmark name (`spec-fib`, `spec-binomial`, `spec-paren`,
+    /// `spec-treesum`).
+    pub bench: &'static str,
+    /// Execution backend: `interp` (the recursive reference interpreter),
+    /// `blocked` (AST-walking `BlockedSpec`) or `compiled`
+    /// (instruction-stream `CompiledSpec`).
+    pub backend: &'static str,
+    /// `serial` for the interpreter, else `basic` / `restart` (same
+    /// scheduler mapping as the pinned grid).
+    pub variant: &'static str,
+    /// Worker count (1 for the interpreter).
+    pub threads: usize,
+    /// Median wall-clock seconds over the reps.
+    pub wall_s: f64,
+    /// Relative spread `(max - min) / median` over the reps.
+    pub noise: f64,
+    /// Tasks executed (0 for the interpreter, which has no blocks).
+    pub tasks: u64,
+}
+
+/// The pinned spec-family inputs per scale: big enough that a cell is tens
+/// of milliseconds at `small` (above the comparator's micro floor), small
+/// enough that the reference interpreter stays tractable.
+pub fn spec_cases(scale: Scale) -> Vec<(&'static str, tb_spec::RecursiveSpec, Vec<Vec<i64>>)> {
+    use tb_spec::examples as ex;
+    let (fib_n, bin, paren_n, tree) = match scale {
+        Scale::Tiny => (12, (10, 4), 5, (3, 4)),
+        Scale::Small => (30, (24, 10), 12, (9, 81)),
+        Scale::Paper => (34, (27, 12), 13, (10, 243)),
+    };
+    vec![
+        ("spec-fib", ex::fib_spec(), vec![vec![fib_n]]),
+        ("spec-binomial", ex::binomial_spec(), vec![vec![bin.0, bin.1]]),
+        ("spec-paren", ex::parentheses_spec(paren_n), vec![vec![0, 0]]),
+        ("spec-treesum", ex::treesum_spec(3), ex::treesum_roots(tree.0, tree.1)),
+    ]
+}
+
+fn stats_of(walls: &[f64]) -> (f64, f64) {
+    let wall = median(walls.to_vec());
+    let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = walls.iter().copied().fold(0.0f64, f64::max);
+    (wall, if wall > 0.0 { (max - min) / wall } else { 0.0 })
+}
+
+/// Run the spec family: for every pinned spec program, the reference
+/// interpreter (serial), then `BlockedSpec` vs `CompiledSpec` under
+/// basic/restart × [`TRAJ_THREADS`]. The two blocked backends are
+/// interleaved rep by rep (order counterbalanced) so host drift hits both
+/// equally, and every run's reduction is asserted against the
+/// interpreter's — a timing whose answer is wrong never makes it into the
+/// artifact.
+pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
+    use tb_spec::{interp, BlockedSpec, CompiledSpec};
+    let mut rows = Vec::new();
+    let mut slower_cells: Vec<String> = Vec::new();
+    for (name, spec, calls) in spec_cases(scale) {
+        // Reference semantics + the interpreter row.
+        let mut walls = Vec::with_capacity(reps);
+        let mut want = 0i64;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            want = interp::interpret_data_parallel(&spec, &calls);
+            walls.push(t0.elapsed().as_secs_f64());
+        }
+        let (wall_s, noise) = stats_of(&walls);
+        println!("{name:>14}   interp   serial w=1 wall={wall_s:>9.4}s noise={noise:>5.3}");
+        rows.push(SpecRow {
+            bench: name,
+            backend: "interp",
+            variant: "serial",
+            threads: 1,
+            wall_s,
+            noise,
+            tasks: 0,
+        });
+
+        let blocked = BlockedSpec::with_data_parallel(spec.clone(), calls.clone()).expect("pinned spec");
+        let compiled = CompiledSpec::with_data_parallel(&spec, calls.clone()).expect("pinned spec");
+        let basic = SchedConfig::basic(16, T_DFE);
+        let restart = SchedConfig::restart(16, T_DFE, T_RESTART);
+        for &threads in TRAJ_THREADS {
+            let pool = ThreadPool::new(threads);
+            for (variant, cfg, kind) in [
+                ("basic", basic, SchedulerKind::ReExpansion),
+                ("restart", restart, SchedulerKind::RestartIdeal),
+            ] {
+                let mut bw = Vec::with_capacity(reps);
+                let mut cw = Vec::with_capacity(reps);
+                let mut tasks_b = 0u64;
+                let mut tasks_c = 0u64;
+                for rep in 0..reps {
+                    let mut run_b = |bw: &mut Vec<f64>| {
+                        let out = run_scheduler(kind, &blocked, cfg, Some(&pool));
+                        assert_eq!(out.reducer, want, "{name}/blocked/{variant}/w{threads}");
+                        bw.push(out.stats.wall.as_secs_f64());
+                        tasks_b = out.stats.tasks_executed;
+                    };
+                    let mut run_c = |cw: &mut Vec<f64>| {
+                        let out = run_scheduler(kind, &compiled, cfg, Some(&pool));
+                        assert_eq!(out.reducer, want, "{name}/compiled/{variant}/w{threads}");
+                        cw.push(out.stats.wall.as_secs_f64());
+                        tasks_c = out.stats.tasks_executed;
+                    };
+                    if rep % 2 == 0 {
+                        run_b(&mut bw);
+                        run_c(&mut cw);
+                    } else {
+                        run_c(&mut cw);
+                        run_b(&mut bw);
+                    }
+                }
+                assert_eq!(tasks_b, tasks_c, "backends must expand the same computation tree");
+                let (b_wall, b_noise) = stats_of(&bw);
+                let (c_wall, c_noise) = stats_of(&cw);
+                println!(
+                    "{name:>14} {variant:>8} w={threads} blocked={b_wall:>9.4}s compiled={c_wall:>9.4}s \
+                     speedup={:.2}x",
+                    b_wall / c_wall.max(1e-12)
+                );
+                if c_wall >= b_wall {
+                    slower_cells.push(format!("{name}/{variant}/w{threads}"));
+                }
+                rows.push(SpecRow {
+                    bench: name,
+                    backend: "blocked",
+                    variant,
+                    threads,
+                    wall_s: b_wall,
+                    noise: b_noise,
+                    tasks: tasks_b,
+                });
+                rows.push(SpecRow {
+                    bench: name,
+                    backend: "compiled",
+                    variant,
+                    threads,
+                    wall_s: c_wall,
+                    noise: c_noise,
+                    tasks: tasks_c,
+                });
+            }
+        }
+    }
+    // Correctness is asserted above; speed is *flagged*, not asserted —
+    // a measurement binary must not flake on a noisy host. A committed
+    // BENCH_*.json is expected to show zero flagged cells.
+    if !slower_cells.is_empty() {
+        println!(
+            "WARNING: compiled did not beat blocked on {} cell(s): {}",
+            slower_cells.len(),
+            slower_cells.join(", ")
+        );
+    }
+    rows
+}
+
+/// Render the `"spec_family"` section (everything between the `"runs"`
+/// array and the substrate A/B section).
+pub fn render_spec_family(rows: &[SpecRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"spec_family\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"bench\": \"{}\", \"backend\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
+             \"wall_s\": {:.6}, \"noise\": {:.4}, \"tasks\": {} }}{comma}",
+            r.bench, r.backend, r.variant, r.threads, r.wall_s, r.noise, r.tasks
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    s
+}
+
+// ---------------------------------------------------------------------------
 // A minimal JSON reader (the workspace is offline; serde is not available).
 // Covers the full value grammar our own emitters produce: objects, arrays,
 // strings with simple escapes, f64 numbers, booleans, null.

@@ -84,7 +84,7 @@ pub use block::{TaskBlock, TaskStore};
 pub use cancel::{CancelToken, Cancellable};
 pub use deque::{LeveledDeque, RestartFind, SharedLeveledDeque, StolenLevel};
 pub use policy::{PolicyKind, SchedConfig};
-pub use program::{BlockProgram, BucketSet, RunOutput};
+pub use program::{merge_sum, BlockProgram, BucketSet, ProgramShape, RunOutput};
 pub use scheduler::{
     run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
     SchedulerKind,
@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::cancel::{CancelToken, Cancellable};
     pub use crate::par::{ParReExpansion, ParRestartIdeal, ParRestartSimplified};
     pub use crate::policy::{PolicyKind, SchedConfig};
-    pub use crate::program::{BlockProgram, BucketSet, RunOutput};
+    pub use crate::program::{merge_sum, BlockProgram, BucketSet, ProgramShape, RunOutput};
     pub use crate::scheduler::{
         run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
         SchedulerKind,

@@ -160,6 +160,60 @@ impl<P: BlockProgram + ?Sized> BlockProgram for &P {
     }
 }
 
+/// The shared "front matter" of a [`BlockProgram`]: spawn-site arity plus
+/// the level-0 seed block.
+///
+/// Every program derived from a *description* of a computation — rather
+/// than hand-written against the trait — ends up with the same three
+/// members: a static spawn-site count, a stash of root tasks (one for a
+/// plain recursive call, many for a §5.2 data-parallel `foreach`, which
+/// the engines strip-mine), and a `make_root` that clones the stash per
+/// run. `tb-spec`'s two backends (the AST-walking `BlockedSpec` and the
+/// instruction-stream `CompiledSpec`) both embed a `ProgramShape` instead
+/// of re-implementing that plumbing; anything else that compiles programs
+/// at runtime can do the same.
+#[derive(Debug, Clone)]
+pub struct ProgramShape<S> {
+    arity: usize,
+    roots: S,
+}
+
+impl<S: TaskStore + Clone> ProgramShape<S> {
+    /// A shape with `arity` spawn sites seeding `roots` at level 0.
+    ///
+    /// # Panics
+    /// If `arity` is zero — a recursive program needs at least one spawn
+    /// site (the same invariant [`BucketSet::new`] enforces).
+    pub fn new(arity: usize, roots: S) -> Self {
+        assert!(arity >= 1, "a recursive program needs at least one spawn site");
+        ProgramShape { arity, roots }
+    }
+
+    /// The static spawn-site count ([`BlockProgram::arity`]).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of level-0 tasks (1 for a plain call, the iteration count
+    /// for a data-parallel outer loop).
+    pub fn root_len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// A fresh copy of the seed block ([`BlockProgram::make_root`]).
+    pub fn make_root(&self) -> S {
+        self.roots.clone()
+    }
+}
+
+/// The commutative-sum reducer fold shared by counting/summing programs
+/// ([`BlockProgram::merge_reducers`] for any wrapping-additive reducer).
+#[inline]
+pub fn merge_sum(a: &mut i64, b: i64) {
+    *a = a.wrapping_add(b);
+}
+
 /// Result of running a program under any scheduler in this crate.
 #[derive(Debug, Clone)]
 pub struct RunOutput<R> {
@@ -200,5 +254,28 @@ mod tests {
     #[should_panic]
     fn zero_arity_rejected() {
         let _b: BucketSet<Vec<u8>> = BucketSet::new(0);
+    }
+
+    #[test]
+    fn program_shape_seeds_fresh_roots() {
+        let shape: ProgramShape<Vec<u32>> = ProgramShape::new(3, vec![7, 8]);
+        assert_eq!(shape.arity(), 3);
+        assert_eq!(shape.root_len(), 2);
+        let mut a = shape.make_root();
+        a.push(9);
+        assert_eq!(shape.make_root(), vec![7, 8], "make_root clones, never drains");
+    }
+
+    #[test]
+    #[should_panic]
+    fn program_shape_rejects_zero_arity() {
+        let _s: ProgramShape<Vec<u8>> = ProgramShape::new(0, vec![1]);
+    }
+
+    #[test]
+    fn merge_sum_wraps() {
+        let mut a = i64::MAX;
+        merge_sum(&mut a, 1);
+        assert_eq!(a, i64::MIN);
     }
 }

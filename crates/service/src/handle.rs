@@ -7,7 +7,7 @@ use parking_lot::{Condvar, Mutex};
 use tb_core::CancelToken;
 
 /// Why a job produced no value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
     /// The job's [`CancelToken`] fired before the run finished; the partial
     /// reduction is discarded.
@@ -15,6 +15,18 @@ pub enum JobError {
     /// The program panicked inside the scheduler; the panic was contained
     /// on the worker and surfaced here instead of unwinding the pool.
     Panicked,
+    /// The submission was rejected before any worker ran it — a spec
+    /// source that failed to parse/validate, or root arguments that do not
+    /// match the method. The message is the located diagnostic (for parse
+    /// errors, a caret line pointing into the client's source).
+    Rejected(std::sync::Arc<str>),
+}
+
+impl JobError {
+    /// A [`JobError::Rejected`] from any diagnostic.
+    pub fn rejected(message: impl std::fmt::Display) -> Self {
+        JobError::Rejected(message.to_string().into())
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -22,6 +34,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Panicked => write!(f, "job panicked"),
+            JobError::Rejected(msg) => write!(f, "job rejected: {msg}"),
         }
     }
 }

@@ -18,7 +18,28 @@
 //! * **backpressure** — a bounded-inflight gate blocks or sheds
 //!   oversubscribing clients while the pool's *segmented unbounded*
 //!   injector (`tb_runtime::injector`) guarantees admitted submissions
-//!   never spin-block.
+//!   never spin-block;
+//! * **spec-source jobs** — [`Runtime::submit_spec`] accepts a program the
+//!   service has never seen before as spec-language *source text*: the
+//!   runtime parses, validates and lowers it once (`tb_spec::compile`,
+//!   cached by source), schedules the compiled program under any
+//!   scheduler kind, and surfaces parse/validate failures through the
+//!   handle as [`JobError::Rejected`] caret diagnostics instead of
+//!   panicking a worker.
+//!
+//! ```
+//! use tb_core::prelude::*;
+//! use tb_service::Runtime;
+//!
+//! let rt = Runtime::new(2);
+//! let h = rt.submit_spec(
+//!     "spec fib(n) { base (n < 2) { reduce n; } else { spawn fib(n - 1); spawn fib(n - 2); } }",
+//!     vec![20],
+//!     SchedConfig::restart(8, 1 << 10, 64),
+//!     SchedulerKind::RestartSimplified,
+//! );
+//! assert_eq!(h.wait(), Ok(6765));
+//! ```
 //!
 //! The segment lifecycle, the backpressure rule and the worker parking
 //! protocol are documented in DESIGN.md §7.

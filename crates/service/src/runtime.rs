@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use tb_core::{run_scheduler_on_ctx, BlockProgram, Cancellable, SchedConfig, SchedulerKind};
 use tb_runtime::{InjectorMetrics, ThreadPool};
+use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode};
 
 use crate::bulk::{adaptive_chunk_len, BulkCore, BulkHandle};
 use crate::gate::Gate;
@@ -44,6 +45,13 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs whose program panicked (contained; see [`JobError::Panicked`]).
     pub panicked: u64,
+    /// Spec submissions rejected before reaching a worker (parse/validate
+    /// failures, root-arity mismatches; see [`JobError::Rejected`]).
+    pub rejected: u64,
+    /// Spec sources compiled ([`Runtime::submit_spec`] cache misses).
+    pub spec_compiles: u64,
+    /// Spec submissions served from the compile-once cache.
+    pub spec_cache_hits: u64,
     /// Admitted jobs not yet finished, at snapshot time.
     pub inflight: usize,
     /// The gate's slot capacity.
@@ -62,6 +70,9 @@ struct Counters {
     completed: AtomicU64,
     cancelled: AtomicU64,
     panicked: AtomicU64,
+    rejected: AtomicU64,
+    spec_compiles: AtomicU64,
+    spec_cache_hits: AtomicU64,
 }
 
 impl Counters {
@@ -70,6 +81,10 @@ impl Counters {
             Ok(()) => self.completed.fetch_add(1, Ordering::Relaxed),
             Err(JobError::Cancelled) => self.cancelled.fetch_add(1, Ordering::Relaxed),
             Err(JobError::Panicked) => self.panicked.fetch_add(1, Ordering::Relaxed),
+            // Rejections never reach a worker (no gate slot to release),
+            // so this arm is unreachable from `finish` callers; counted
+            // defensively all the same.
+            Err(JobError::Rejected(_)) => self.rejected.fetch_add(1, Ordering::Relaxed),
         };
         gate.release();
     }
@@ -83,6 +98,12 @@ struct Inner {
     // worker's own thread).
     gate: Arc<Gate>,
     counters: Arc<Counters>,
+    // Compile-once cache for `submit_spec`: source text -> lowered code.
+    // Keyed by the exact source string (no hashing shortcuts: a collision
+    // would silently run the wrong program). Guarded by a plain mutex —
+    // compilation is microseconds and submissions are already a
+    // gate-crossing slow path.
+    spec_cache: parking_lot::Mutex<std::collections::HashMap<Box<str>, Arc<SpecCode>>>,
 }
 
 /// A persistent, multi-tenant front-end over one work-stealing pool.
@@ -114,6 +135,7 @@ impl Runtime {
                 pool: ThreadPool::new(cfg.threads),
                 gate: Arc::new(Gate::new(cfg.max_inflight)),
                 counters: Arc::new(Counters::default()),
+                spec_cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
             }),
         }
     }
@@ -136,6 +158,9 @@ impl Runtime {
             completed: c.completed.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            spec_compiles: c.spec_compiles.load(Ordering::Relaxed),
+            spec_cache_hits: c.spec_cache_hits.load(Ordering::Relaxed),
             inflight: self.inner.gate.inflight(),
             max_inflight: self.inner.gate.max(),
             backpressure_waits: self.inner.gate.blocked(),
@@ -205,9 +230,95 @@ impl Runtime {
                     Err(_) => Err(JobError::Panicked),
                 }
             };
-            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
             worker_core.complete(result);
         });
+        JobHandle::new(core)
+    }
+
+    /// Submit a spec-language program *as source text*: the runtime
+    /// parses, validates and lowers it through [`tb_spec::compile()`] once,
+    /// then schedules the compiled program under `kind` like any other
+    /// job. This is the "work the service has never seen before" path —
+    /// a client ships a program, not a type.
+    ///
+    /// Compilation is cached by source text: resubmitting the same source
+    /// (any args) reuses the lowered instruction stream
+    /// ([`ServiceStats::spec_cache_hits`]).
+    ///
+    /// Errors never panic a worker: a source that fails to parse or
+    /// validate, or a root tuple whose length does not match the method's
+    /// parameter count, completes the returned handle immediately with
+    /// [`JobError::Rejected`] carrying the located diagnostic (for parse
+    /// errors, a caret line into the client's source).
+    pub fn submit_spec(
+        &self,
+        source: &str,
+        args: Vec<i64>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> JobHandle<i64> {
+        self.submit_spec_foreach(source, vec![args], cfg, kind)
+    }
+
+    /// Like [`Runtime::submit_spec`], but over a §5.2 data-parallel
+    /// `foreach`: one level-0 task per argument tuple, strip-mined by the
+    /// scheduler.
+    pub fn submit_spec_foreach(
+        &self,
+        source: &str,
+        calls: Vec<Vec<i64>>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> JobHandle<i64> {
+        let code = match self.compile_cached(source) {
+            Ok(code) => code,
+            Err(diag) => return self.reject(diag),
+        };
+        if let Some(bad) = calls.iter().find(|c| c.len() != code.params()) {
+            return self.reject(format!(
+                "root call supplies {} args, method {} has {} params",
+                bad.len(),
+                code.name(),
+                code.params()
+            ));
+        }
+        self.inner.gate.acquire();
+        self.spawn_admitted(CompiledSpec::from_code(code, &calls), cfg, kind)
+    }
+
+    /// Look up `source` in the compile-once cache, lowering on a miss.
+    /// The diagnostic string on failure is [`JobError::Rejected`] payload.
+    fn compile_cached(&self, source: &str) -> Result<Arc<SpecCode>, String> {
+        /// Bound on distinct cached sources: a client stream of
+        /// trivially-varying programs must not balloon a long-lived
+        /// runtime's memory. Past the cap, new sources compile per
+        /// submission (correct, just uncached); an LRU is the ROADMAP
+        /// follow-up if real tenants ever hit this.
+        const SPEC_CACHE_CAP: usize = 1024;
+        if let Some(code) = self.inner.spec_cache.lock().get(source) {
+            self.inner.counters.spec_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(code));
+        }
+        // Parse/compile outside the lock: a client submitting a huge or
+        // malformed source must not stall other submitters' cache hits.
+        let spec = parse_spec(source).map_err(|e| e.to_string())?;
+        let code = Arc::new(compile(&spec).map_err(|e| e.to_string())?);
+        self.inner.counters.spec_compiles.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.inner.spec_cache.lock();
+        if cache.len() >= SPEC_CACHE_CAP && !cache.contains_key(source) {
+            return Ok(code);
+        }
+        let entry = cache.entry(source.into()).or_insert_with(|| Arc::clone(&code));
+        Ok(Arc::clone(entry))
+    }
+
+    /// A handle pre-completed with [`JobError::Rejected`]; the job never
+    /// existed as far as the gate and the pool are concerned.
+    fn reject<R>(&self, diagnostic: impl std::fmt::Display) -> JobHandle<R> {
+        self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(JobCore::new());
+        core.complete(Err(JobError::rejected(diagnostic)));
         JobHandle::new(core)
     }
 
@@ -261,7 +372,7 @@ impl Runtime {
                     Ok(out) => Ok(out.reducer),
                     Err(_) => Err(JobError::Panicked),
                 };
-                counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+                counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
                 core.complete_chunk(index, result);
             });
         }
@@ -287,7 +398,7 @@ impl Runtime {
                 Ok(out) => Ok(out.reducer),
                 Err(_) => Err(JobError::Panicked),
             };
-            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(|e| *e));
+            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
             worker_core.complete(result);
         });
         JobHandle::new(core)

@@ -247,7 +247,7 @@ fn bulk_results_arrive_in_input_order() {
     assert!(chunks >= 2, "100 items on 2 workers must split");
     let results = bulk.wait();
     assert_eq!(results.len(), chunks);
-    let total: u64 = results.iter().map(|r| r.expect("no chunk failed")).sum();
+    let total: u64 = results.into_iter().map(|r| r.expect("no chunk failed")).sum();
     // Each chunk of length L contributes 2^L leaves; chunk lengths sum to
     // 100, and every chunk is non-empty.
     assert!(total >= 100);
@@ -337,4 +337,116 @@ fn panicking_bulk_chunk_builder_is_contained() {
     // Runtime still serves.
     let h = rt.submit(Tree(8), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
     assert_eq!(h.wait(), Ok(256));
+}
+
+// ---------------------------------------------------------------------------
+// The spec-source submission path: clients ship programs as text.
+// ---------------------------------------------------------------------------
+
+const FIB_SRC: &str = "spec fib(n) {
+  base (n < 2) { reduce n; }
+  else { spawn fib(n - 1); spawn fib(n - 2); }
+}";
+
+#[test]
+fn spec_source_jobs_run_under_every_kind() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    for kind in SchedulerKind::ALL {
+        let h = rt.submit_spec(FIB_SRC, vec![18], SchedConfig::restart(4, 64, 16), kind);
+        assert_eq!(h.wait(), Ok(2584), "{kind:?}");
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.spec_compiles, 1, "compiled once");
+    assert_eq!(stats.spec_cache_hits, 3, "three resubmissions hit the cache");
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn spec_foreach_submission_strip_mines_many_roots() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 8 });
+    let calls: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 10]).collect();
+    // sum of fib(0..=9) cycled 20 times: (fib(11) - 1) * 20
+    let h = rt.submit_spec_foreach(FIB_SRC, calls, SchedConfig::basic(8, 32), SchedulerKind::ReExpansion);
+    assert_eq!(h.wait(), Ok(88 * 20));
+}
+
+#[test]
+fn malformed_spec_source_is_rejected_not_panicked() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let h = rt.submit_spec(
+        "spec f(n) { base (n < 2) { reduce n; } else { spawn g(n - 1); } }",
+        vec![5],
+        SchedConfig::basic(4, 64),
+        SchedulerKind::ReExpansion,
+    );
+    assert!(h.is_finished(), "rejection completes the handle immediately");
+    match h.wait() {
+        Err(JobError::Rejected(msg)) => {
+            assert!(msg.contains("self-recursive"), "diagnostic names the violation: {msg}");
+            assert!(msg.contains('^'), "diagnostic carries the caret line: {msg}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, 0, "rejected specs never occupy a gate slot");
+    assert_eq!(stats.inflight, 0);
+    // The runtime still serves after a rejection.
+    let h = rt.submit_spec(FIB_SRC, vec![10], SchedConfig::basic(4, 64), SchedulerKind::Seq);
+    assert_eq!(h.wait(), Ok(55));
+}
+
+#[test]
+fn wrong_root_arity_is_rejected_with_a_message() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let h = rt.submit_spec(FIB_SRC, vec![10, 3], SchedConfig::basic(4, 64), SchedulerKind::Seq);
+    match h.wait() {
+        Err(JobError::Rejected(msg)) => {
+            assert!(msg.contains("2 args") && msg.contains("1 params"), "{msg}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(rt.stats().rejected, 1);
+}
+
+#[test]
+fn spec_cache_is_shared_across_concurrent_clients() {
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16 });
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let rt = rt.clone();
+            s.spawn(move || {
+                for n in [8i64, 10, 12] {
+                    let h = rt.submit_spec(FIB_SRC, vec![n], SchedConfig::basic(4, 32), SchedulerKind::Seq);
+                    let want = [21, 55, 144][[8, 10, 12].iter().position(|&x| x == n).unwrap()];
+                    assert_eq!(h.wait(), Ok(want));
+                }
+            });
+        }
+    });
+    let stats = rt.stats();
+    assert_eq!(stats.completed, 12);
+    // The source may compile more than once under a racing first miss
+    // (compilation happens outside the lock), but the cache must converge:
+    // compiles + hits account for every submission.
+    assert!(stats.spec_compiles >= 1);
+    assert_eq!(stats.spec_compiles + stats.spec_cache_hits, 12);
+}
+
+#[test]
+fn hostile_spec_source_cannot_kill_the_runtime() {
+    // A pathological source (50k nested parens) must come back as a
+    // Rejected handle — before the parser's nesting limits this aborted
+    // the whole process with a stack overflow.
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let hostile = format!(
+        "spec f(n) {{ base (n < 2) {{ reduce {}n{}; }} else {{ spawn f(n - 1); }} }}",
+        "(".repeat(50_000),
+        ")".repeat(50_000)
+    );
+    let h = rt.submit_spec(&hostile, vec![5], SchedConfig::basic(4, 64), SchedulerKind::Seq);
+    assert!(matches!(h.wait(), Err(JobError::Rejected(_))));
+    // The runtime survives and still serves.
+    let h = rt.submit_spec(FIB_SRC, vec![10], SchedConfig::basic(4, 64), SchedulerKind::Seq);
+    assert_eq!(h.wait(), Ok(55));
 }

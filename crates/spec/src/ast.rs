@@ -113,6 +113,15 @@ pub enum SpecError {
         /// the out-of-range index
         index: usize,
     },
+    /// A structural dimension (parameter count, spawn-site count) exceeds
+    /// what the execution backends support. Parsed sources are bounded
+    /// well below these limits; this guards hand-built ASTs.
+    TooLarge {
+        /// which dimension overflowed
+        what: &'static str,
+        /// the backend limit
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -123,6 +132,9 @@ impl std::fmt::Display for SpecError {
                 write!(f, "spawn supplies {got} args, method has {expected} params")
             }
             SpecError::UnknownParam { index } => write!(f, "parameter index {index} out of range"),
+            SpecError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the backend limit of {limit}")
+            }
         }
     }
 }

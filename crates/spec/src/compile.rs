@@ -1,0 +1,781 @@
+//! The compilation backend: spec → flat register-based instruction stream.
+//!
+//! [`BlockedSpec`](crate::transform::BlockedSpec) proved the §5.3
+//! transformation *generic* — any spec becomes a
+//! [`tb_core::BlockProgram`] — but it pays interpretive
+//! dispatch on the hot path: every `expand` re-walks the `Expr`/`Stmt`
+//! enums, chasing `Box` pointers per operator and re-discovering the
+//! statement structure per task. This module lowers a validated
+//! [`RecursiveSpec`] **once** into a [`SpecCode`]: a dense `Box<[Instr]>`
+//! executed by a flat program-counter loop over a scratch register file.
+//! No tree walk, no pointer chasing, no per-task control-flow discovery —
+//! the same shape a bytecode VM or a JIT front-end would produce.
+//!
+//! Two further choices push [`CompiledSpec`] to native-class throughput:
+//!
+//! * **Constant folding** at lowering time: any operator whose operands
+//!   fold to literals is evaluated during compilation, so e.g. `3 * 4 + n`
+//!   costs one `Add` at run time.
+//! * **A flat task store.** Where `BlockedSpec` heap-allocates one
+//!   `Vec<i64>` per spawned task, [`ArgBlock`] packs every task of a block
+//!   into one contiguous `Vec<i64>` at a fixed stride (the method arity).
+//!   A spawn is a bounds-checked `extend_from_slice`; a block of a million
+//!   tasks is one allocation, not a million.
+//!
+//! The program layout is:
+//!
+//! ```text
+//! 0:              <base_cond>            ; result in r0
+//! c:              JumpIfZero r0 -> ind   ; cond false => inductive case
+//! c+1:            <base statements>      ; reductions only
+//! ...             Halt
+//! ind:            <inductive statements> ; spawns, guards, reductions
+//! ...             Halt
+//! ```
+//!
+//! Spawn sites keep the *syntactic* numbering
+//! [`BlockedSpec`](crate::transform::BlockedSpec) uses (then-
+//! branch sites before else-branch sites), so both backends route children
+//! into identical buckets and the cross-backend differential tests can
+//! compare whole executions, not just final reductions.
+
+use std::sync::Arc;
+
+use tb_core::prelude::*;
+
+use crate::ast::{Expr, RecursiveSpec, SpecError, Stmt};
+
+/// Scratch-register index. Registers are allocated stack-wise per
+/// statement, so even deeply nested expressions stay well inside `u16`.
+type Reg = u16;
+
+/// One instruction of the lowered stream.
+///
+/// `Copy` and small on purpose: the execution loop reads instructions out
+/// of a dense slice, so the whole program for a typical spec fits in a
+/// couple of cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `r[dst] = v`
+    Const {
+        /// destination register
+        dst: Reg,
+        /// the literal
+        v: i64,
+    },
+    /// `r[dst] = params[idx]`
+    Param {
+        /// destination register
+        dst: Reg,
+        /// parameter index
+        idx: Reg,
+    },
+    /// `r[dst] = r[a] + r[b]` (wrapping)
+    Add {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = r[a] - r[b]` (wrapping)
+    Sub {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = r[a] * r[b]` (wrapping)
+    Mul {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] < r[b]) as i64`
+    Lt {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] <= r[b]) as i64`
+    Le {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] == r[b]) as i64`
+    Eq {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] != 0 && r[b] != 0) as i64` (operands are pure, so
+    /// strict evaluation matches the interpreter's short circuit)
+    And {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] != 0 || r[b] != 0) as i64`
+    Or {
+        /// destination register
+        dst: Reg,
+        /// left operand
+        a: Reg,
+        /// right operand
+        b: Reg,
+    },
+    /// `r[dst] = (r[a] == 0) as i64`
+    Not {
+        /// destination register
+        dst: Reg,
+        /// operand
+        a: Reg,
+    },
+    /// `red += r[src]` (wrapping)
+    Reduce {
+        /// register holding the folded value
+        src: Reg,
+    },
+    /// Push `r[args .. args + params]` as a child task of spawn site
+    /// `site`.
+    Spawn {
+        /// syntactic spawn-site index (the bucket)
+        site: Reg,
+        /// first of `params` consecutive argument registers
+        args: Reg,
+    },
+    /// `if r[cond] == 0 { pc = target }`
+    JumpIfZero {
+        /// condition register
+        cond: Reg,
+        /// absolute instruction index
+        target: u32,
+    },
+    /// `pc = target`
+    Jump {
+        /// absolute instruction index
+        target: u32,
+    },
+    /// Task finished.
+    Halt,
+}
+
+/// A spec lowered to executable form: the instruction stream plus the
+/// static facts the scheduler and the service layer need (arity, parameter
+/// count, register-file size).
+///
+/// `SpecCode` is immutable and shared: the service layer caches one
+/// `Arc<SpecCode>` per distinct source text and stamps out a
+/// [`CompiledSpec`] per submission by attaching root calls.
+#[derive(Debug)]
+pub struct SpecCode {
+    name: String,
+    params: usize,
+    arity: usize,
+    regs: usize,
+    code: Box<[Instr]>,
+}
+
+impl SpecCode {
+    /// Method name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter count `k` (the stride of [`ArgBlock`] stores).
+    pub fn params(&self) -> usize {
+        self.params
+    }
+
+    /// Static spawn-site count (the scheduler arity).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Scratch registers one task evaluation needs.
+    pub fn reg_count(&self) -> usize {
+        self.regs
+    }
+
+    /// The lowered instruction stream (tests, disassembly).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// A one-instruction-per-line disassembly (diagnostics and docs).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ =
+            writeln!(s, "; {} /{} params, {} sites, {} regs", self.name, self.params, self.arity, self.regs);
+        for (pc, i) in self.code.iter().enumerate() {
+            let _ = writeln!(s, "{pc:>4}: {i:?}");
+        }
+        s
+    }
+
+    /// Execute the program for one task. `params` are the task's argument
+    /// tuple, `regs` is a scratch file of at least [`SpecCode::reg_count`]
+    /// slots (reused across the tasks of a block).
+    #[inline]
+    fn run_task(&self, params: &[i64], regs: &mut [i64], out: &mut BucketSet<ArgBlock>, red: &mut i64) {
+        let code = &self.code;
+        let mut pc = 0usize;
+        loop {
+            match code[pc] {
+                Instr::Const { dst, v } => regs[dst as usize] = v,
+                Instr::Param { dst, idx } => regs[dst as usize] = params[idx as usize],
+                Instr::Add { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize]);
+                }
+                Instr::Sub { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_sub(regs[b as usize]);
+                }
+                Instr::Mul { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_mul(regs[b as usize]);
+                }
+                Instr::Lt { dst, a, b } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] < regs[b as usize]);
+                }
+                Instr::Le { dst, a, b } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] <= regs[b as usize]);
+                }
+                Instr::Eq { dst, a, b } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] == regs[b as usize]);
+                }
+                Instr::And { dst, a, b } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] != 0 && regs[b as usize] != 0);
+                }
+                Instr::Or { dst, a, b } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] != 0 || regs[b as usize] != 0);
+                }
+                Instr::Not { dst, a } => regs[dst as usize] = i64::from(regs[a as usize] == 0),
+                Instr::Reduce { src } => *red = red.wrapping_add(regs[src as usize]),
+                Instr::Spawn { site, args } => {
+                    let a = args as usize;
+                    out.bucket(site as usize).push_tuple(&regs[a..a + self.params]);
+                }
+                Instr::JumpIfZero { cond, target } => {
+                    if regs[cond as usize] == 0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::Jump { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+                Instr::Halt => return,
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Lower a validated spec to executable form.
+///
+/// Runs [`RecursiveSpec::validate`] first, so the same errors a
+/// [`BlockedSpec`](crate::transform::BlockedSpec) construction would
+/// surface come back here — nothing invalid reaches the instruction
+/// stream.
+pub fn compile(spec: &RecursiveSpec) -> Result<SpecCode, SpecError> {
+    let arity = spec.validate()?;
+    // Structural bounds the u16 instruction operands rely on, checked as
+    // errors (not panics) so no submitted program can unwind a thread.
+    // Parsed sources sit orders of magnitude below both (the parser caps
+    // total nodes); these guard hand-built ASTs.
+    if arity > usize::from(Reg::MAX) {
+        return Err(SpecError::TooLarge { what: "spawn-site count", limit: usize::from(Reg::MAX) });
+    }
+    if spec.params > 4096 {
+        return Err(SpecError::TooLarge { what: "parameter count", limit: 4096 });
+    }
+    let mut lw = Lowerer { code: Vec::new(), regs: 1, site: 0 };
+    lw.expr(&fold(&spec.base_cond), 0);
+    let patch_base = lw.emit(Instr::JumpIfZero { cond: 0, target: 0 });
+    lw.stmts(&spec.base);
+    lw.emit(Instr::Halt);
+    let inductive_entry = lw.code.len() as u32;
+    lw.code[patch_base] = Instr::JumpIfZero { cond: 0, target: inductive_entry };
+    lw.stmts(&spec.inductive);
+    lw.emit(Instr::Halt);
+    Ok(SpecCode {
+        name: spec.name.clone(),
+        params: spec.params,
+        arity,
+        regs: lw.regs,
+        code: lw.code.into_boxed_slice(),
+    })
+}
+
+/// Constant-fold an expression bottom-up: a node all of whose children
+/// folded to literals is evaluated at compile time. (A node with no
+/// `Param` leaves cannot observe the environment, so `eval(&[])` is safe.)
+fn fold(e: &Expr) -> Expr {
+    fn bin(ctor: fn(Box<Expr>, Box<Expr>) -> Expr, a: &Expr, b: &Expr) -> Expr {
+        let (fa, fb) = (fold(a), fold(b));
+        let literal = matches!(fa, Expr::Const(_)) && matches!(fb, Expr::Const(_));
+        let node = ctor(Box::new(fa), Box::new(fb));
+        if literal {
+            Expr::Const(node.eval(&[]))
+        } else {
+            node
+        }
+    }
+    match e {
+        Expr::Const(_) | Expr::Param(_) => e.clone(),
+        Expr::Add(a, b) => bin(Expr::Add, a, b),
+        Expr::Sub(a, b) => bin(Expr::Sub, a, b),
+        Expr::Mul(a, b) => bin(Expr::Mul, a, b),
+        Expr::Lt(a, b) => bin(Expr::Lt, a, b),
+        Expr::Le(a, b) => bin(Expr::Le, a, b),
+        Expr::Eq(a, b) => bin(Expr::Eq, a, b),
+        Expr::And(a, b) => bin(Expr::And, a, b),
+        Expr::Or(a, b) => bin(Expr::Or, a, b),
+        Expr::Not(a) => {
+            let inner = fold(a);
+            if let Expr::Const(v) = inner {
+                Expr::Const(i64::from(v == 0))
+            } else {
+                Expr::Not(Box::new(inner))
+            }
+        }
+    }
+}
+
+struct Lowerer {
+    code: Vec<Instr>,
+    regs: usize,
+    site: usize,
+}
+
+impl Lowerer {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn reg(&mut self, r: usize) -> Reg {
+        self.regs = self.regs.max(r + 1);
+        Reg::try_from(r).expect("spec expression depth exceeds the u16 register file")
+    }
+
+    /// Lower `e` so its value lands in register `base`; registers above
+    /// `base` are scratch (stack-wise allocation, one slot per live
+    /// operand).
+    fn expr(&mut self, e: &Expr, base: usize) {
+        let dst = self.reg(base);
+        match e {
+            Expr::Const(v) => {
+                self.emit(Instr::Const { dst, v: *v });
+            }
+            Expr::Param(i) => {
+                let idx = Reg::try_from(*i).expect("validated param index fits u16");
+                self.emit(Instr::Param { dst, idx });
+            }
+            Expr::Not(a) => {
+                self.expr(a, base);
+                self.emit(Instr::Not { dst, a: dst });
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Eq(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                self.expr(a, base);
+                self.expr(b, base + 1);
+                let rhs = self.reg(base + 1);
+                let instr = match e {
+                    Expr::Add(..) => Instr::Add { dst, a: dst, b: rhs },
+                    Expr::Sub(..) => Instr::Sub { dst, a: dst, b: rhs },
+                    Expr::Mul(..) => Instr::Mul { dst, a: dst, b: rhs },
+                    Expr::Lt(..) => Instr::Lt { dst, a: dst, b: rhs },
+                    Expr::Le(..) => Instr::Le { dst, a: dst, b: rhs },
+                    Expr::Eq(..) => Instr::Eq { dst, a: dst, b: rhs },
+                    Expr::And(..) => Instr::And { dst, a: dst, b: rhs },
+                    Expr::Or(..) => Instr::Or { dst, a: dst, b: rhs },
+                    _ => unreachable!("binary arm"),
+                };
+                self.emit(instr);
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Reduce(e) => {
+                    self.expr(&fold(e), 0);
+                    self.emit(Instr::Reduce { src: 0 });
+                }
+                Stmt::Spawn(args) => {
+                    // Argument i lands in register i; arg j's scratch
+                    // registers sit above j, so earlier args survive.
+                    // (Zero-arg spawns push ArgBlock's padding slot.)
+                    for (i, a) in args.iter().enumerate() {
+                        self.expr(&fold(a), i);
+                    }
+                    let site = Reg::try_from(self.site).expect("spawn-site count fits u16");
+                    self.site += 1;
+                    self.emit(Instr::Spawn { site, args: 0 });
+                }
+                Stmt::If(cond, then_b, else_b) => {
+                    self.expr(&fold(cond), 0);
+                    let patch_else = self.emit(Instr::JumpIfZero { cond: 0, target: 0 });
+                    self.stmts(then_b);
+                    let patch_end = self.emit(Instr::Jump { target: 0 });
+                    let else_entry = self.code.len() as u32;
+                    self.code[patch_else] = Instr::JumpIfZero { cond: 0, target: else_entry };
+                    self.stmts(else_b);
+                    let end = self.code.len() as u32;
+                    self.code[patch_end] = Instr::Jump { target: end };
+                }
+            }
+        }
+    }
+}
+
+/// A dense, fixed-stride store of argument tuples: the compiled backend's
+/// [`TaskStore`].
+///
+/// Every task is `stride` consecutive `i64`s in one flat `Vec` (`stride` =
+/// the method's parameter count, floored at 1 so zero-parameter specs
+/// still occupy a slot). All the bulk operations the scheduler performs —
+/// merge, split, drain — are `memcpy`-class on the flat buffer, and
+/// spawning a child is an `extend_from_slice` instead of a fresh
+/// heap-allocated `Vec<i64>` per task.
+///
+/// A default-constructed block has stride 0 ("unset") and adopts the
+/// stride of the first tuples appended into it — that is what lets
+/// [`BucketSet`]'s `S::default()` buckets work without threading the
+/// parameter count through the scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgBlock {
+    stride: usize,
+    data: Vec<i64>,
+}
+
+impl ArgBlock {
+    /// An empty block whose tasks will be `params`-tuples.
+    pub fn with_params(params: usize) -> Self {
+        ArgBlock { stride: params.max(1), data: Vec::new() }
+    }
+
+    /// Pack `calls` (each of length `params`) into a flat block.
+    pub fn from_tuples(params: usize, calls: &[Vec<i64>]) -> Self {
+        let mut b = ArgBlock::with_params(params);
+        for c in calls {
+            assert_eq!(c.len(), params, "root call arity mismatch");
+            b.push_tuple(c);
+        }
+        b
+    }
+
+    /// Append one task. `args` must match the block's tuple width (an
+    /// empty slice occupies one padding slot, see the type docs).
+    #[inline]
+    pub fn push_tuple(&mut self, args: &[i64]) {
+        let incoming = args.len().max(1);
+        if self.stride == 0 {
+            self.stride = incoming;
+        }
+        debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one ArgBlock");
+        if args.is_empty() {
+            self.data.push(0);
+        } else {
+            self.data.extend_from_slice(args);
+        }
+    }
+
+    /// The task tuples, in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.stride.max(1))
+    }
+}
+
+impl TaskStore for ArgBlock {
+    #[inline]
+    fn len(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    #[inline]
+    fn append(&mut self, other: &mut Self) {
+        if other.data.is_empty() {
+            return;
+        }
+        if self.stride == 0 {
+            self.stride = other.stride;
+        }
+        debug_assert_eq!(self.stride, other.stride, "appending ArgBlocks of different widths");
+        self.data.append(&mut other.data);
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    #[inline]
+    fn split_off(&mut self, at: usize) -> Self {
+        ArgBlock { stride: self.stride, data: self.data.split_off(at * self.stride) }
+    }
+
+    #[inline]
+    fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional * self.stride.max(1));
+    }
+}
+
+/// A spec lowered to an instruction stream and packaged as a
+/// [`BlockProgram`]: the compiled counterpart of
+/// [`BlockedSpec`](crate::transform::BlockedSpec), semantically equivalent
+/// under every scheduler (same spawn-site numbering, same wrapping-sum
+/// reduction), but with the AST walk replaced by [`SpecCode`]'s flat
+/// execution loop and the per-task `Vec<i64>` allocations replaced by
+/// [`ArgBlock`]'s flat stores.
+///
+/// A §5.2 data-parallel `foreach` becomes many level-0 tasks in the root
+/// block ([`CompiledSpec::with_data_parallel`]); the engines strip-mine
+/// oversized roots exactly as they do for `BlockedSpec`.
+pub struct CompiledSpec {
+    code: Arc<SpecCode>,
+    shape: ProgramShape<ArgBlock>,
+}
+
+impl CompiledSpec {
+    /// Compile `spec` for a single root call `f(args)`.
+    pub fn new(spec: &RecursiveSpec, args: Vec<i64>) -> Result<Self, SpecError> {
+        Self::with_data_parallel(spec, vec![args])
+    }
+
+    /// Compile `spec` for a data-parallel outer loop: one root task per
+    /// argument tuple (§5.2's `foreach`).
+    pub fn with_data_parallel(spec: &RecursiveSpec, calls: Vec<Vec<i64>>) -> Result<Self, SpecError> {
+        Ok(Self::from_code(Arc::new(compile(spec)?), &calls))
+    }
+
+    /// Attach root calls to already-compiled code (the service layer's
+    /// compile-once path: one cached `Arc<SpecCode>`, many submissions).
+    ///
+    /// # Panics
+    /// If any root tuple's length differs from the method's parameter
+    /// count. Callers holding unvalidated client input (the service layer)
+    /// must check [`SpecCode::params`] first.
+    pub fn from_code(code: Arc<SpecCode>, calls: &[Vec<i64>]) -> Self {
+        let roots = ArgBlock::from_tuples(code.params(), calls);
+        CompiledSpec { shape: ProgramShape::new(code.arity(), roots), code }
+    }
+
+    /// The compiled code (shareable across submissions).
+    pub fn code(&self) -> &Arc<SpecCode> {
+        &self.code
+    }
+
+    /// The scheduler arity (static spawn-site count).
+    pub fn arity_hint(&self) -> usize {
+        self.shape.arity()
+    }
+}
+
+impl BlockProgram for CompiledSpec {
+    type Store = ArgBlock;
+    type Reducer = i64;
+
+    fn arity(&self) -> usize {
+        self.shape.arity()
+    }
+
+    fn make_root(&self) -> ArgBlock {
+        self.shape.make_root()
+    }
+
+    fn make_reducer(&self) -> i64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut i64, b: i64) {
+        tb_core::merge_sum(a, b);
+    }
+
+    fn expand(&self, block: &mut ArgBlock, out: &mut BucketSet<ArgBlock>, red: &mut i64) {
+        if block.data.is_empty() {
+            return;
+        }
+        let params = self.code.params();
+        let stride = block.stride;
+        debug_assert_eq!(stride, params.max(1), "block width matches the compiled method");
+        // One scratch file per block, reused across its tasks.
+        let mut regs = vec![0i64; self.code.reg_count()];
+        let data = std::mem::take(&mut block.data);
+        for task in data.chunks_exact(stride) {
+            self.code.run_task(&task[..params], &mut regs, out, red);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::interp::{interpret, interpret_data_parallel};
+    use crate::transform::BlockedSpec;
+
+    #[test]
+    fn compiled_fib_matches_interpreter_under_every_policy() {
+        let want = interpret(&examples::fib_spec(), &[16]);
+        for cfg in
+            [SchedConfig::basic(8, 128), SchedConfig::reexpansion(8, 128), SchedConfig::restart(8, 128, 32)]
+        {
+            let prog = CompiledSpec::new(&examples::fib_spec(), vec![16]).unwrap();
+            let out = SeqScheduler::new(&prog, cfg).run();
+            assert_eq!(out.reducer, want, "{:?}", cfg.policy);
+        }
+    }
+
+    #[test]
+    fn compiled_matches_blocked_task_for_task() {
+        // Same computation tree, not just the same answer: identical task
+        // counts prove the spawn-site routing agrees.
+        let spec = examples::parentheses_spec(7);
+        let blocked = BlockedSpec::new(spec.clone(), vec![0, 0]).unwrap();
+        let compiled = CompiledSpec::new(&spec, vec![0, 0]).unwrap();
+        let cfg = SchedConfig::restart(8, 64, 16);
+        let a = SeqScheduler::new(&blocked, cfg).run();
+        let b = SeqScheduler::new(&compiled, cfg).run();
+        assert_eq!(a.reducer, b.reducer);
+        assert_eq!(a.stats.tasks_executed, b.stats.tasks_executed);
+        assert_eq!(a.stats.supersteps, b.stats.supersteps);
+    }
+
+    #[test]
+    fn compiled_guarded_spawns_keep_syntactic_site_numbering() {
+        let spec = examples::parentheses_spec(5);
+        let code = compile(&spec).unwrap();
+        assert_eq!(code.arity(), 2);
+        let sites: Vec<Reg> = code
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Spawn { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites, vec![0, 1], "sites numbered in syntactic order");
+    }
+
+    #[test]
+    fn constant_folding_collapses_literal_subtrees() {
+        use crate::ast::{add, c, lt, p};
+        // (2 + 3) < n  =>  Const(5), Param, Lt
+        let spec = RecursiveSpec {
+            name: "f".into(),
+            params: 1,
+            base_cond: lt(add(c(2), c(3)), p(0)),
+            base: vec![Stmt::Reduce(c(1))],
+            inductive: vec![Stmt::Spawn(vec![add(p(0), c(1))])],
+        };
+        let code = compile(&spec).unwrap();
+        assert!(
+            code.instrs().iter().any(|i| matches!(i, Instr::Const { v: 5, .. })),
+            "folded 2+3 into a literal:\n{}",
+            code.disassemble()
+        );
+        assert_eq!(code.instrs().iter().filter(|i| matches!(i, Instr::Add { .. })).count(), 1);
+    }
+
+    #[test]
+    fn data_parallel_roots_strip_mine() {
+        let spec = examples::fib_spec();
+        let calls: Vec<Vec<i64>> = (0..500).map(|i| vec![i % 12]).collect();
+        let want = interpret_data_parallel(&spec, &calls);
+        let prog = CompiledSpec::with_data_parallel(&spec, calls).unwrap();
+        let out = SeqScheduler::new(&prog, SchedConfig::restart(8, 64, 16)).run();
+        assert_eq!(out.reducer, want);
+    }
+
+    #[test]
+    fn compiled_runs_under_work_stealing() {
+        let spec = examples::binomial_spec();
+        let want = interpret(&spec, &[18, 7]);
+        let prog = CompiledSpec::new(&spec, vec![18, 7]).unwrap();
+        let pool = tb_runtime::ThreadPool::new(3);
+        for kind in
+            [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
+        {
+            let out = run_scheduler(kind, &prog, SchedConfig::restart(8, 256, 64), Some(&pool));
+            assert_eq!(out.reducer, want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn shared_code_stamps_out_many_submissions() {
+        let code = Arc::new(compile(&examples::fib_spec()).unwrap());
+        let a = CompiledSpec::from_code(Arc::clone(&code), &[vec![10]]);
+        let b = CompiledSpec::from_code(Arc::clone(&code), &[vec![12]]);
+        assert_eq!(SeqScheduler::new(&a, SchedConfig::basic(4, 32)).run().reducer, 55);
+        assert_eq!(SeqScheduler::new(&b, SchedConfig::basic(4, 32)).run().reducer, 144);
+        assert!(Arc::ptr_eq(a.code(), b.code()));
+    }
+
+    #[test]
+    fn argblock_store_contract() {
+        let mut a = ArgBlock::from_tuples(2, &[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(TaskStore::len(&a), 3);
+        let tail = TaskStore::split_off(&mut a, 1);
+        assert_eq!(TaskStore::len(&a), 1);
+        assert_eq!(TaskStore::len(&tail), 2);
+        assert_eq!(tail.tuples().next(), Some(&[3i64, 4][..]));
+
+        // Default buckets adopt the stride of the first append.
+        let mut dflt = ArgBlock::default();
+        assert_eq!(TaskStore::len(&dflt), 0);
+        let mut other = ArgBlock::from_tuples(2, &[vec![7, 8]]);
+        TaskStore::append(&mut dflt, &mut other);
+        assert_eq!(TaskStore::len(&dflt), 1);
+        assert!(other.data.is_empty());
+
+        dflt.push_tuple(&[9, 10]);
+        assert_eq!(TaskStore::len(&dflt), 2);
+        TaskStore::clear(&mut dflt);
+        assert_eq!(TaskStore::len(&dflt), 0);
+    }
+
+    #[test]
+    fn zero_param_specs_still_execute() {
+        // A 0-parameter spec is degenerate but expressible from the AST;
+        // the 1-slot padding keeps the flat store counting tasks.
+        let spec = RecursiveSpec {
+            name: "unit".into(),
+            params: 0,
+            base_cond: Expr::Const(1),
+            base: vec![Stmt::Reduce(Expr::Const(7))],
+            inductive: vec![],
+        };
+        let prog = CompiledSpec::new(&spec, vec![]).unwrap();
+        let out = SeqScheduler::new(&prog, SchedConfig::basic(4, 32)).run();
+        assert_eq!(out.reducer, 7);
+    }
+}

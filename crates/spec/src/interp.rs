@@ -15,9 +15,9 @@ pub fn interpret(spec: &RecursiveSpec, args: &[i64]) -> i64 {
 /// Interpret a data-parallel loop over many initial argument tuples
 /// (§5.2's `foreach (d : data) f(d, …)`).
 pub fn interpret_data_parallel(spec: &RecursiveSpec, calls: &[Vec<i64>]) -> i64 {
-    let mut acc = 0;
+    let mut acc = 0i64;
     for args in calls {
-        acc += interpret(spec, args);
+        acc = acc.wrapping_add(interpret(spec, args));
     }
     acc
 }
@@ -33,7 +33,10 @@ fn run_call(spec: &RecursiveSpec, params: &[i64], acc: &mut i64) {
 fn run_stmts(spec: &RecursiveSpec, stmts: &[Stmt], params: &[i64], acc: &mut i64) {
     for s in stmts {
         match s {
-            Stmt::Reduce(e) => *acc += e.eval(params),
+            // Wrapping, like Expr::eval: all three backends (interpreter,
+            // BlockedSpec, CompiledSpec) share one total semantics, so the
+            // differential tests hold on any input.
+            Stmt::Reduce(e) => *acc = acc.wrapping_add(e.eval(params)),
             Stmt::Spawn(args) => {
                 let child: Vec<i64> = args.iter().map(|a| a.eval(params)).collect();
                 run_call(spec, &child, acc);

@@ -23,16 +23,29 @@
 //!   with the data-parallel outer loop strip-mined into the root block —
 //!   after which *every* scheduler in `tb-core` (BFE/DFE blocking,
 //!   re-expansion, restart, work stealing) applies unchanged;
-//! * [`examples`] — fib, binomial and parentheses written in the
-//!   language, used by the cross-validation tests.
+//! * [`compile`](mod@compile) — the native-speed backend: the same validated AST
+//!   lowered once to a flat register-based instruction stream
+//!   ([`SpecCode`]) executed over flat fixed-stride task stores
+//!   ([`compile::ArgBlock`]) — no AST walk and no per-task allocation on
+//!   the `expand` hot path;
+//! * [`examples`] — fib, binomial, parentheses and the §5.2 `foreach`
+//!   k-ary tree sum written in the language, used by the cross-validation
+//!   tests.
+//!
+//! The three execution routes — [`interpret`], [`BlockedSpec`],
+//! [`CompiledSpec`] — are semantically interchangeable (wrapping-`i64`
+//! reductions, syntactic spawn-site numbering); the differential property
+//! tests in the workspace root hold them to that.
 
 pub mod ast;
+pub mod compile;
 pub mod examples;
 pub mod interp;
 pub mod parse;
 pub mod transform;
 
 pub use ast::{Expr, RecursiveSpec, SpecError, Stmt};
+pub use compile::{compile, CompiledSpec, SpecCode};
 pub use interp::interpret;
-pub use parse::parse_spec;
+pub use parse::{parse_spec, ParseError};
 pub use transform::BlockedSpec;

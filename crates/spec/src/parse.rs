@@ -18,18 +18,71 @@
 
 use crate::ast::{Expr, RecursiveSpec, Stmt};
 
-/// Parse errors with a character offset.
+/// A parse (or post-parse validation) error, located in the source.
+///
+/// Errors carry the byte offset of the offending token plus, once
+/// [`parse_spec`] has located them against the source, the 1-based
+/// line/column and the text of the offending line — so the `Display`
+/// rendering is a caret diagnostic a service client can act on:
+///
+/// ```text
+/// parse error at line 2, column 27 (byte 44): expected ";", got Some(Ident("spawn"))
+///   |   else { spawn fib(n - 1) spawn fib(n - 2); }
+///   |                           ^
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
-    /// Byte offset in the source.
+    /// Byte offset in the source (clamped to its length).
     pub at: usize,
+    /// 1-based line of `at` (0 until located against the source).
+    pub line: usize,
+    /// 1-based column of `at` in characters (0 until located).
+    pub col: usize,
+    /// The full text of the offending line (empty until located).
+    pub line_text: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, at: usize) -> Self {
+        ParseError { message: message.into(), at, line: 0, col: 0, line_text: String::new() }
+    }
+
+    /// Fill in line/column/line-text from the source the error came from.
+    /// Idempotent; [`parse_spec`] applies it to every error it returns.
+    pub fn locate(mut self, src: &str) -> Self {
+        let at = self.at.min(src.len());
+        self.at = at;
+        let line_start = src[..at].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[at..].find('\n').map_or(src.len(), |i| at + i);
+        self.line = src[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+        self.col = src[line_start..at].chars().count() + 1;
+        self.line_text = src[line_start..line_end].to_string();
+        self
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.at, self.message)
+        if self.line == 0 {
+            return write!(f, "parse error at byte {}: {}", self.at, self.message);
+        }
+        write!(
+            f,
+            "parse error at line {}, column {} (byte {}): {}",
+            self.line, self.col, self.at, self.message
+        )?;
+        if !self.line_text.is_empty() {
+            let caret_pad: String = self
+                .line_text
+                .chars()
+                .take(self.col - 1)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            write!(f, "\n  |  {}\n  |  {caret_pad}^", self.line_text)?;
+        }
+        Ok(())
     }
 }
 
@@ -76,8 +129,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             while i < b.len() && (b[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let v: i64 =
-                src[start..i].parse().map_err(|_| ParseError { message: "bad int".into(), at: start })?;
+            let v: i64 = src[start..i].parse().map_err(|_| ParseError::new("bad int", start))?;
             toks.push((Tok::Int(v), start));
             continue;
         }
@@ -95,7 +147,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 toks.push((Tok::Sym(s), i));
                 i += 1;
             }
-            None => return Err(ParseError { message: format!("unexpected character {c:?}"), at: i }),
+            None => return Err(ParseError::new(format!("unexpected character {c:?}"), i)),
         }
     }
     Ok(toks)
@@ -117,27 +169,26 @@ impl Lexer {
     }
 
     fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
+        let at = self.at();
         match self.next() {
             Some(Tok::Sym(got)) if got == s => Ok(()),
-            other => Err(ParseError { message: format!("expected {s:?}, got {other:?}"), at: self.at() }),
+            other => Err(ParseError::new(format!("expected {s:?}, got {other:?}"), at)),
         }
     }
 
     fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        let at = self.at();
         match self.next() {
             Some(Tok::Ident(got)) if got == kw => Ok(()),
-            other => {
-                Err(ParseError { message: format!("expected keyword {kw}, got {other:?}"), at: self.at() })
-            }
+            other => Err(ParseError::new(format!("expected keyword {kw}, got {other:?}"), at)),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let at = self.at();
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => {
-                Err(ParseError { message: format!("expected identifier, got {other:?}"), at: self.at() })
-            }
+            other => Err(ParseError::new(format!("expected identifier, got {other:?}"), at)),
         }
     }
 
@@ -151,20 +202,66 @@ impl Lexer {
     }
 }
 
+/// Recursion cap for nested constructs (parenthesised expressions, `!`/`-`
+/// chains, nested `if` blocks). Specs are small programs; the cap exists so
+/// a pathological *submitted source* is rejected instead of overflowing the
+/// parsing thread's stack — `tb-service` turns the error into a
+/// `Rejected` handle, so a malicious client cannot abort the process.
+/// Sized for the *smallest* stack a caller may parse on (2 MiB spawned
+/// threads, unoptimized builds with fat frames); real specs nest < 10.
+const MAX_NESTING: usize = 64;
+
+/// Cap on operator and statement nodes per source. Left-associated chains
+/// (`1+1+1+…`)
+/// build arbitrarily *deep* trees without parse recursion, and every later
+/// pass (validation, folding, lowering, `Drop`) recurses over that depth —
+/// so total tree size must be bounded too, comfortably inside any thread's
+/// stack — including 2 MiB spawned threads running unoptimized builds,
+/// where recursive `drop_in_place` frames are fattest.
+const MAX_EXPR_NODES: usize = 1_000;
+
 struct Parser {
     lx: Lexer,
     params: Vec<String>,
     name: String,
+    depth: usize,
+    nodes: usize,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(ParseError::new(
+                format!("nesting exceeds the spec-language limit of {MAX_NESTING}"),
+                self.lx.at(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn grew(&mut self) -> Result<(), ParseError> {
+        self.nodes += 1;
+        if self.nodes > MAX_EXPR_NODES {
+            return Err(ParseError::new(
+                format!("source exceeds the spec-language limit of {MAX_EXPR_NODES} nodes"),
+                self.lx.at(),
+            ));
+        }
+        Ok(())
+    }
+
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.enter()?;
+        let e = self.or_expr();
+        self.depth -= 1;
+        e
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.and_expr()?;
         while self.lx.eat_sym("||") {
+            self.grew()?;
             e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
         }
         Ok(e)
@@ -173,6 +270,7 @@ impl Parser {
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.cmp_expr()?;
         while self.lx.eat_sym("&&") {
+            self.grew()?;
             e = Expr::And(Box::new(e), Box::new(self.cmp_expr()?));
         }
         Ok(e)
@@ -181,12 +279,15 @@ impl Parser {
     fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
         let e = self.sum_expr()?;
         if self.lx.eat_sym("<") {
+            self.grew()?;
             return Ok(Expr::Lt(Box::new(e), Box::new(self.sum_expr()?)));
         }
         if self.lx.eat_sym("<=") {
+            self.grew()?;
             return Ok(Expr::Le(Box::new(e), Box::new(self.sum_expr()?)));
         }
         if self.lx.eat_sym("==") {
+            self.grew()?;
             return Ok(Expr::Eq(Box::new(e), Box::new(self.sum_expr()?)));
         }
         Ok(e)
@@ -196,8 +297,10 @@ impl Parser {
         let mut e = self.prod_expr()?;
         loop {
             if self.lx.eat_sym("+") {
+                self.grew()?;
                 e = Expr::Add(Box::new(e), Box::new(self.prod_expr()?));
             } else if self.lx.eat_sym("-") {
+                self.grew()?;
                 e = Expr::Sub(Box::new(e), Box::new(self.prod_expr()?));
             } else {
                 return Ok(e);
@@ -208,6 +311,7 @@ impl Parser {
     fn prod_expr(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.unary_expr()?;
         while self.lx.eat_sym("*") {
+            self.grew()?;
             e = Expr::Mul(Box::new(e), Box::new(self.unary_expr()?));
         }
         Ok(e)
@@ -215,10 +319,18 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
         if self.lx.eat_sym("!") {
-            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+            self.enter()?;
+            self.grew()?;
+            let e = self.unary_expr().map(|e| Expr::Not(Box::new(e)));
+            self.depth -= 1;
+            return e;
         }
         if self.lx.eat_sym("-") {
-            return Ok(Expr::Sub(Box::new(Expr::Const(0)), Box::new(self.unary_expr()?)));
+            self.enter()?;
+            self.grew()?;
+            let e = self.unary_expr().map(|e| Expr::Sub(Box::new(Expr::Const(0)), Box::new(e)));
+            self.depth -= 1;
+            return e;
         }
         self.atom()
     }
@@ -229,18 +341,25 @@ impl Parser {
             Some(Tok::Int(v)) => Ok(Expr::Const(v)),
             Some(Tok::Ident(name)) => match self.params.iter().position(|p| *p == name) {
                 Some(i) => Ok(Expr::Param(i)),
-                None => Err(ParseError { message: format!("unknown parameter {name}"), at }),
+                None => Err(ParseError::new(format!("unknown parameter {name}"), at)),
             },
             Some(Tok::Sym("(")) => {
                 let e = self.expr()?;
                 self.lx.expect_sym(")")?;
                 Ok(e)
             }
-            other => Err(ParseError { message: format!("expected expression, got {other:?}"), at }),
+            other => Err(ParseError::new(format!("expected expression, got {other:?}"), at)),
         }
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.enter()?;
+        let b = self.block_body();
+        self.depth -= 1;
+        b
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
         self.lx.expect_sym("{")?;
         let mut stmts = Vec::new();
         loop {
@@ -250,19 +369,22 @@ impl Parser {
                     return Ok(stmts);
                 }
                 Some(Tok::Ident(kw)) if kw == "reduce" => {
+                    self.grew()?;
                     self.lx.next();
                     let e = self.expr()?;
                     self.lx.expect_sym(";")?;
                     stmts.push(Stmt::Reduce(e));
                 }
                 Some(Tok::Ident(kw)) if kw == "spawn" => {
+                    self.grew()?;
                     self.lx.next();
+                    let callee_at = self.lx.at();
                     let callee = self.lx.expect_ident()?;
                     if callee != self.name {
-                        return Err(ParseError {
-                            message: format!("only self-recursive spawns allowed, got {callee}"),
-                            at: self.lx.at(),
-                        });
+                        return Err(ParseError::new(
+                            format!("only self-recursive spawns allowed, got {callee}"),
+                            callee_at,
+                        ));
                     }
                     self.lx.expect_sym("(")?;
                     let mut args = vec![self.expr()?];
@@ -274,6 +396,7 @@ impl Parser {
                     stmts.push(Stmt::Spawn(args));
                 }
                 Some(Tok::Ident(kw)) if kw == "if" => {
+                    self.grew()?;
                     self.lx.next();
                     self.lx.expect_sym("(")?;
                     let cond = self.expr()?;
@@ -288,18 +411,20 @@ impl Parser {
                     stmts.push(Stmt::If(cond, then_b, else_b));
                 }
                 other => {
-                    return Err(ParseError {
-                        message: format!("expected statement, got {other:?}"),
-                        at: self.lx.at(),
-                    })
+                    return Err(ParseError::new(format!("expected statement, got {other:?}"), self.lx.at()))
                 }
             }
         }
     }
 }
 
-/// Parse a single `spec` definition.
+/// Parse a single `spec` definition. Errors come back located against
+/// `src` (line, column, offending line) — see [`ParseError`].
 pub fn parse_spec(src: &str) -> Result<RecursiveSpec, ParseError> {
+    parse_spec_inner(src).map_err(|e| e.locate(src))
+}
+
+fn parse_spec_inner(src: &str) -> Result<RecursiveSpec, ParseError> {
     let toks = lex(src)?;
     let mut lx = Lexer { toks, pos: 0 };
     lx.expect_kw("spec")?;
@@ -307,11 +432,14 @@ pub fn parse_spec(src: &str) -> Result<RecursiveSpec, ParseError> {
     lx.expect_sym("(")?;
     let mut params = vec![lx.expect_ident()?];
     while lx.eat_sym(",") {
+        if params.len() >= 255 {
+            return Err(ParseError::new("more than 255 parameters", lx.at()));
+        }
         params.push(lx.expect_ident()?);
     }
     lx.expect_sym(")")?;
     lx.expect_sym("{")?;
-    let mut p = Parser { lx, params, name: name.clone() };
+    let mut p = Parser { lx, params, name: name.clone(), depth: 0, nodes: 0 };
     p.lx.expect_kw("base")?;
     p.lx.expect_sym("(")?;
     let base_cond = p.expr()?;
@@ -321,7 +449,7 @@ pub fn parse_spec(src: &str) -> Result<RecursiveSpec, ParseError> {
     let inductive = p.block()?;
     p.lx.expect_sym("}")?;
     let spec = RecursiveSpec { name, params: p.params.len(), base_cond, base, inductive };
-    spec.validate().map_err(|e| ParseError { message: e.to_string(), at: 0 })?;
+    spec.validate().map_err(|e| ParseError::new(e.to_string(), 0))?;
     Ok(spec)
 }
 
@@ -370,6 +498,130 @@ mod tests {
         let err =
             parse_spec("spec f(n) { base (m < 1) { reduce 1; } else { spawn f(n - 1); } }").unwrap_err();
         assert!(err.message.contains("unknown parameter"));
+    }
+
+    #[test]
+    fn errors_are_located_with_a_caret_line() {
+        let src =
+            "spec fib(n) {\n  base (n < 2) { reduce n; }\n  else { spawn fib(n - 1) spawn fib(n - 2); }\n}";
+        let err = parse_spec(src).unwrap_err();
+        // The missing ';' is discovered at the second `spawn` on line 3.
+        assert_eq!(err.line, 3);
+        assert_eq!(&src[err.at..err.at + 5], "spawn");
+        assert_eq!(err.col, 27);
+        let shown = err.to_string();
+        assert!(shown.contains("line 3, column 27"), "{shown}");
+        let lines: Vec<&str> = shown.lines().collect();
+        assert_eq!(lines[1], "  |    else { spawn fib(n - 1) spawn fib(n - 2); }");
+        assert_eq!(lines[2].chars().filter(|&c| c == '^').count(), 1);
+        assert_eq!(lines[2].find('^'), lines[1].find("spawn fib(n - 2)"), "caret under the offender");
+    }
+
+    #[test]
+    fn unknown_parameter_points_at_the_identifier() {
+        let err = parse_spec("spec f(n) {\n  base (m < 1) { reduce 1; }\n  else { spawn f(n - 1); }\n}")
+            .unwrap_err();
+        assert_eq!((err.line, err.col), (2, 9));
+        assert!(err.to_string().contains('^'));
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_a_stack_overflow() {
+        // Deep parenthesis nesting recurses through atom() -> expr();
+        // unbounded it aborts the process, which a service accepting
+        // untrusted source cannot allow.
+        let deep = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce {}n{}; }} else {{ spawn f(n - 1); }} }}",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = parse_spec(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+
+        // Unary chains recurse through unary_expr() directly.
+        let minus = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce {}1; }} else {{ spawn f(n - 1); }} }}",
+            "-".repeat(50_000)
+        );
+        let err = parse_spec(&minus).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+
+        // Left-associated chains build deep trees *without* parse
+        // recursion — every later recursive pass (validate, fold, Drop)
+        // would blow up instead, so total size is capped too.
+        let chain = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce {}1; }} else {{ spawn f(n - 1); }} }}",
+            "1 + ".repeat(50_000)
+        );
+        let err = parse_spec(&chain).unwrap_err();
+        assert!(err.message.contains("nodes"), "{}", err.message);
+
+        // Deep if-nesting recurses through block().
+        let blocks = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce 1; }} else {{ {} spawn f(n - 1); {} }} }}",
+            "if (n < 9) {".repeat(50_000),
+            "}".repeat(50_000)
+        );
+        let err = parse_spec(&blocks).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    #[test]
+    fn statement_floods_and_param_floods_are_rejected() {
+        // Zero-operator statements used to be free under the node budget,
+        // letting a 70k-spawn source through parse/validate and into the
+        // compiler's u16 spawn-site operand (a panic, i.e. a thread
+        // unwind on the service path). Statements now count as nodes.
+        let flood = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce 1; }} else {{ {} }} }}",
+            "spawn f(n);".repeat(70_000)
+        );
+        let err = parse_spec(&flood).unwrap_err();
+        assert!(err.message.contains("nodes"), "{}", err.message);
+
+        let many: Vec<String> = (0..300).map(|i| format!("p{i}")).collect();
+        let params_flood = format!(
+            "spec f({}) {{ base (p0 < 2) {{ reduce 1; }} else {{ spawn f({}); }} }}",
+            many.join(", "),
+            many.join(", ")
+        );
+        let err = parse_spec(&params_flood).unwrap_err();
+        assert!(err.message.contains("parameters"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_hand_built_specs_compile_to_errors_not_panics() {
+        use crate::ast::SpecError;
+        // The compiler's structural bounds surface as errors even for ASTs
+        // that never went through the parser.
+        let spec = RecursiveSpec {
+            name: "wide".into(),
+            params: 1,
+            base_cond: Expr::Lt(Box::new(Expr::Param(0)), Box::new(Expr::Const(1))),
+            base: vec![Stmt::Reduce(Expr::Const(1))],
+            inductive: (0..70_000)
+                .map(|_| Stmt::Spawn(vec![Expr::Sub(Box::new(Expr::Param(0)), Box::new(Expr::Const(1)))]))
+                .collect(),
+        };
+        assert!(matches!(crate::compile::compile(&spec), Err(SpecError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn reasonable_programs_stay_under_the_limits() {
+        // A genuinely big (but sane) expression parses fine.
+        let big = format!(
+            "spec f(n) {{ base (n < 2) {{ reduce {}1; }} else {{ spawn f(n - 1); }} }}",
+            "1 + ".repeat(400)
+        );
+        let spec = parse_spec(&big).unwrap();
+        assert_eq!(interpret(&spec, &[0]), 401);
+    }
+
+    #[test]
+    fn error_at_end_of_input_clamps_location() {
+        let err = parse_spec("spec f(n) { base (n < 1) { reduce 1; }").unwrap_err();
+        assert!(err.at <= "spec f(n) { base (n < 1) { reduce 1; }".len());
+        assert!(err.line >= 1, "located even when the token stream ran out");
     }
 
     #[test]

@@ -16,10 +16,13 @@ use crate::ast::{RecursiveSpec, Stmt};
 
 /// A spec compiled to the blocked form: implements [`BlockProgram`], so it
 /// runs under every scheduler in `tb-core`.
+///
+/// This backend interprets the AST inside `expand`; see
+/// [`CompiledSpec`](crate::compile::CompiledSpec) for the backend that
+/// lowers the same spec to a flat instruction stream first.
 pub struct BlockedSpec {
     spec: RecursiveSpec,
-    roots: Vec<Vec<i64>>,
-    arity: usize,
+    shape: ProgramShape<Vec<Vec<i64>>>,
 }
 
 impl BlockedSpec {
@@ -38,12 +41,12 @@ impl BlockedSpec {
         for call in &calls {
             assert_eq!(call.len(), spec.params, "root call arity mismatch");
         }
-        Ok(BlockedSpec { spec, roots: calls, arity })
+        Ok(BlockedSpec { shape: ProgramShape::new(arity, calls), spec })
     }
 
     /// The scheduler arity (static spawn-site count).
     pub fn arity_hint(&self) -> usize {
-        self.arity
+        self.shape.arity()
     }
 
     fn run_stmts(
@@ -56,7 +59,7 @@ impl BlockedSpec {
     ) {
         for s in stmts {
             match s {
-                Stmt::Reduce(e) => *red += e.eval(params),
+                Stmt::Reduce(e) => *red = red.wrapping_add(e.eval(params)),
                 Stmt::Spawn(args) => {
                     let child: Vec<i64> = args.iter().map(|a| a.eval(params)).collect();
                     out.bucket(*site).push(child);
@@ -95,11 +98,11 @@ impl BlockProgram for BlockedSpec {
     type Reducer = i64;
 
     fn arity(&self) -> usize {
-        self.arity
+        self.shape.arity()
     }
 
     fn make_root(&self) -> Self::Store {
-        self.roots.clone()
+        self.shape.make_root()
     }
 
     fn make_reducer(&self) -> i64 {
@@ -107,7 +110,7 @@ impl BlockProgram for BlockedSpec {
     }
 
     fn merge_reducers(&self, a: &mut i64, b: i64) {
-        *a += b;
+        tb_core::merge_sum(a, b);
     }
 
     fn expand(&self, block: &mut Self::Store, out: &mut BucketSet<Self::Store>, red: &mut i64) {

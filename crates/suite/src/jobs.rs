@@ -176,6 +176,114 @@ impl BlockProgram for NQueensJob {
     }
 }
 
+/// A compiled spec-language program as a submittable job: `tb-spec` source
+/// lowered through [`tb_spec::compile()`] to a native-speed
+/// [`BlockProgram`], with a known answer for service verification.
+///
+/// Inputs are scaled down relative to the native Table 1 presets because
+/// `expected()` recounts through the reference interpreter — the point of
+/// these jobs is exercising the compiled pipeline under service load, not
+/// paper-scale measurement (that is the `spec` trajectory family's job).
+pub struct SpecJob {
+    prog: tb_spec::CompiledSpec,
+    name: &'static str,
+    spec: tb_spec::RecursiveSpec,
+    calls: Vec<Vec<i64>>,
+}
+
+impl SpecJob {
+    fn build(name: &'static str, spec: tb_spec::RecursiveSpec, calls: Vec<Vec<i64>>) -> Self {
+        let prog =
+            tb_spec::CompiledSpec::with_data_parallel(&spec, calls.clone()).expect("example specs validate");
+        SpecJob { prog, name, spec, calls }
+    }
+
+    /// Compiled `fib(n)` at a per-scale input.
+    pub fn fib(scale: Scale) -> Self {
+        let n = match scale {
+            Scale::Tiny => 16,
+            Scale::Small => 24,
+            Scale::Paper => 30,
+        };
+        Self::build("spec-fib", tb_spec::examples::fib_spec(), vec![vec![n]])
+    }
+
+    /// Compiled Pascal-recursion `binomial(n, k)`.
+    pub fn binomial(scale: Scale) -> Self {
+        let (n, k) = match scale {
+            Scale::Tiny => (12, 5),
+            Scale::Small => (20, 9),
+            Scale::Paper => (26, 11),
+        };
+        Self::build("spec-binomial", tb_spec::examples::binomial_spec(), vec![vec![n, k]])
+    }
+
+    /// Compiled balanced-parentheses counter (guarded spawns).
+    pub fn parentheses(scale: Scale) -> Self {
+        let n = match scale {
+            Scale::Tiny => 6,
+            Scale::Small => 10,
+            Scale::Paper => 13,
+        };
+        Self::build("spec-paren", tb_spec::examples::parentheses_spec(n), vec![vec![0, 0]])
+    }
+
+    /// Compiled ternary tree sum over a §5.2 `foreach`: many level-0
+    /// roots, strip-mined by the engines.
+    pub fn treesum(scale: Scale) -> Self {
+        let (depth, roots) = match scale {
+            Scale::Tiny => (4, 8),
+            Scale::Small => (7, 32),
+            Scale::Paper => (9, 128),
+        };
+        Self::build(
+            "spec-treesum",
+            tb_spec::examples::treesum_spec(3),
+            tb_spec::examples::treesum_roots(depth, roots),
+        )
+    }
+
+    /// All four spec jobs at `scale` (harness iteration).
+    pub fn all(scale: Scale) -> Vec<SpecJob> {
+        vec![Self::fib(scale), Self::binomial(scale), Self::parentheses(scale), Self::treesum(scale)]
+    }
+
+    /// Job name (`spec-fib`, `spec-binomial`, …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The spec source-of-truth answer (reference-interpreter recount).
+    pub fn expected(&self) -> i64 {
+        tb_spec::interp::interpret_data_parallel(&self.spec, &self.calls)
+    }
+}
+
+impl BlockProgram for SpecJob {
+    type Store = tb_spec::compile::ArgBlock;
+    type Reducer = i64;
+
+    fn arity(&self) -> usize {
+        self.prog.arity()
+    }
+
+    fn make_root(&self) -> Self::Store {
+        self.prog.make_root()
+    }
+
+    fn make_reducer(&self) -> i64 {
+        0
+    }
+
+    fn merge_reducers(&self, a: &mut i64, b: i64) {
+        self.prog.merge_reducers(a, b);
+    }
+
+    fn expand(&self, block: &mut Self::Store, out: &mut BucketSet<Self::Store>, red: &mut i64) {
+        self.prog.expand(block, out, red);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +310,29 @@ mod tests {
         let j = UtsJob::new(Scale::Small);
         assert_eq!((j.b0, j.m, j.seed), (u.b0, u.m, u.seed));
         assert_eq!(NQueensJob::new(Scale::Paper).n, crate::nqueens::NQueens::new(Scale::Paper).n);
+    }
+
+    #[test]
+    fn spec_jobs_match_their_expected_answers_under_every_kind() {
+        let pool = ThreadPool::new(2);
+        for job in SpecJob::all(Scale::Tiny) {
+            let want = job.expected();
+            for kind in SchedulerKind::ALL {
+                let cfg = SchedConfig::restart(4, 64, 16);
+                let got = run_scheduler(kind, &job, cfg, Some(&pool)).reducer;
+                assert_eq!(got, want, "{} under {kind:?}", job.name());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_job_answers_cross_check() {
+        assert_eq!(SpecJob::fib(Scale::Tiny).expected(), 987); // fib(16)
+        assert_eq!(SpecJob::binomial(Scale::Tiny).expected(), 792); // C(12,5)
+        assert_eq!(SpecJob::parentheses(Scale::Tiny).expected(), 132); // Catalan(6)
+        let t = SpecJob::treesum(Scale::Tiny);
+        assert_eq!(t.expected(), tb_spec::examples::treesum_expected(3, 4, 8));
+        assert_eq!(t.arity(), 3, "treesum is the non-binary fan-out job");
     }
 
     #[test]

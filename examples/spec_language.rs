@@ -8,7 +8,7 @@
 //! ```
 
 use taskblocks::prelude::*;
-use taskblocks::spec::{interpret, parse_spec, BlockedSpec};
+use taskblocks::spec::{compile, interpret, parse_spec, BlockedSpec, CompiledSpec};
 
 fn main() {
     let source = "spec paren(open, close) {
@@ -43,6 +43,16 @@ fn main() {
         assert_eq!(out.reducer, reference);
     }
 
+    // The compilation backend: the same spec lowered once to a flat
+    // register-based instruction stream, executed over flat task stores.
+    let code = compile(&spec).expect("valid spec");
+    println!("\ncompiled to {} instructions over {} registers:", code.instrs().len(), code.reg_count());
+    print!("{}", code.disassemble());
+    let fast = CompiledSpec::new(&spec, vec![0, 0]).expect("valid spec");
+    let out = run_policy(&fast, SchedConfig::restart(16, 1 << 10, 128), None);
+    println!("compiled restart -> {}   ({} tasks)", out.reducer, out.stats.tasks_executed);
+    assert_eq!(out.reducer, reference);
+
     // §5.2: a data-parallel foreach over initial calls, one task per
     // iteration, strip-mined by the scheduler.
     let calls: Vec<Vec<i64>> = (0..2000).map(|i| vec![i % 8, 0]).collect();
@@ -50,4 +60,29 @@ fn main() {
     let pool = ThreadPool::new(std::thread::available_parallelism().map_or(2, usize::from));
     let out = run_policy(&dp, SchedConfig::restart(16, 1 << 9, 64), Some(&pool));
     println!("\nforeach over 2000 partial prefixes, work-stealing restart: {}", out.reducer);
+
+    // The service loop: ship *source text* to a shared runtime — parsed,
+    // validated, compiled once (cached), scheduled; bad programs come back
+    // as located diagnostics instead of worker panics.
+    let rt = Runtime::new(2);
+    let h = rt.submit_spec(
+        source,
+        vec![0, 0],
+        SchedConfig::restart(16, 1 << 10, 128),
+        SchedulerKind::RestartSimplified,
+    );
+    println!("\ntb-service submit_spec -> {:?}", h.wait());
+    let bad = rt.submit_spec(
+        "spec f(n) { base (n < 2) { reduce m; } else { spawn f(n - 1); } }",
+        vec![5],
+        SchedConfig::basic(4, 64),
+        SchedulerKind::Seq,
+    );
+    println!(
+        "and a rejected source:\n{}",
+        match bad.wait() {
+            Err(taskblocks::service::JobError::Rejected(msg)) => msg.to_string(),
+            other => format!("unexpected: {other:?}"),
+        }
+    );
 }

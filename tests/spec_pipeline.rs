@@ -1,8 +1,9 @@
 //! The §5 pipeline end to end: text → AST → interpreter semantics →
-//! blocking transformation → every scheduler → native implementation.
+//! blocking transformation → instruction lowering → every scheduler →
+//! native implementation → the service front-end.
 
 use taskblocks::prelude::*;
-use taskblocks::spec::{examples, interpret, parse_spec, BlockedSpec};
+use taskblocks::spec::{examples, interpret, parse_spec, BlockedSpec, CompiledSpec};
 use taskblocks::suite::fib::fib_serial;
 use taskblocks::suite::parentheses::parentheses_serial;
 
@@ -53,6 +54,54 @@ fn data_parallel_specs_run_under_work_stealing() {
         let out = run_policy(&prog, SchedConfig::restart(16, 128, 32), Some(&pool));
         assert_eq!(out.reducer, want);
     }
+}
+
+#[test]
+fn compiled_spec_matches_native_under_all_policies() {
+    let spec = examples::parentheses_spec(8);
+    let native = parentheses_serial(8).0;
+    for cfg in [
+        SchedConfig::basic(16, 256),
+        SchedConfig::reexpansion(16, 256),
+        SchedConfig::restart(16, 256, 64),
+        SchedConfig::restart(16, 8, 8),
+    ] {
+        let prog = CompiledSpec::new(&spec, vec![0, 0]).unwrap();
+        let out = run_policy(&prog, cfg, None);
+        assert_eq!(out.reducer as u64, native, "{:?}", cfg.policy);
+    }
+}
+
+#[test]
+fn compiled_spec_task_counts_match_native_tree() {
+    let prog = CompiledSpec::new(&examples::fib_spec(), vec![15]).unwrap();
+    let out = run_policy(&prog, SchedConfig::reexpansion(16, 128), None);
+    assert_eq!(out.stats.tasks_executed, fib_serial(15).1);
+}
+
+#[test]
+fn spec_source_through_the_service_front_end() {
+    // The full PR 4 loop: a client ships source text to a shared Runtime,
+    // which parses, lowers and schedules it — then reuses the cached code
+    // for a foreach resubmission under a different scheduler kind.
+    let rt = Runtime::new(3);
+    let h = rt.submit_spec(
+        examples::TREESUM_SOURCE,
+        vec![6, 0],
+        SchedConfig::restart(8, 64, 16),
+        SchedulerKind::RestartSimplified,
+    );
+    assert_eq!(h.wait(), Ok(examples::treesum_expected(3, 6, 1)));
+
+    let calls = examples::treesum_roots(5, 24);
+    let want = examples::treesum_expected(3, 5, 24);
+    let h = rt.submit_spec_foreach(
+        examples::TREESUM_SOURCE,
+        calls,
+        SchedConfig::basic(8, 32),
+        SchedulerKind::ReExpansion,
+    );
+    assert_eq!(h.wait(), Ok(want));
 }
 
 #[test]
