@@ -44,27 +44,32 @@
 //! substrate this pipeline exists to track.
 //!
 //! Since PR 4 the document also carries a `"spec_family"` section — the
-//! spec-language pipeline race (`interp` vs `blocked` vs `compiled`
-//! backends over `spec-fib` / `spec-binomial` / `spec-paren` /
-//! `spec-treesum`, basic/restart x {1,2,4} workers):
+//! spec-language pipeline race (`interp` vs `blocked` vs `compiled` vs,
+//! since PR 5, `compiled_simd` backends over `spec-fib` / `spec-binomial`
+//! / `spec-paren` / `spec-treesum`, basic/restart x {1,2,4} workers):
 //!
 //! ```json
 //! "spec_family": [
-//!   { "bench": "spec-fib", "backend": "compiled", "variant": "basic",
-//!     "threads": 2, "wall_s": 0.040, "noise": 0.03, "tasks": 2692537 }
+//!   { "bench": "spec-fib", "backend": "compiled_simd", "variant": "basic",
+//!     "threads": 2, "wall_s": 0.030, "noise": 0.03, "tasks": 2692537,
+//!     "q": 8 }
 //! ]
 //! ```
 //!
 //! `backend` mapping: `interp` is the direct recursive reference
 //! interpreter (always `variant: "serial"`, `threads: 1`); `blocked` is
 //! the AST-walking `BlockedSpec`; `compiled` is `CompiledSpec`, the
-//! PR 4 instruction-stream backend the family exists to track. All three
-//! backends' reductions are asserted equal before a row is recorded;
-//! relative speed is *flagged*, not asserted (a cell where `compiled`
-//! fails to beat `blocked` prints a WARNING line, so measurement runs
-//! stay robust on noisy hosts) — committed `BENCH_*.json` artifacts are
-//! expected to show `compiled` strictly faster on every cell, which is
-//! checked when the artifact is produced.
+//! PR 4 instruction-stream backend; `compiled_simd` is `VectorSpec`, the
+//! PR 5 masked `Q`-lane vector tier over the same instruction stream
+//! (`"q"` records the detected lane width it executed at; scalar rows
+//! carry `"q": 1`). All backends' reductions are asserted equal — and the
+//! three blocked backends' task counts identical — before a row is
+//! recorded; relative speed is *flagged*, not asserted (a cell where
+//! `compiled` fails to beat `blocked`, or where `compiled_simd` fails to
+//! match `compiled` on the straight-line-heavy fib/binomial cells, prints
+//! a WARNING line, so measurement runs stay robust on noisy hosts) —
+//! committed `BENCH_*.json` artifacts are expected to show zero flagged
+//! cells, which is checked when the artifact is produced.
 //!
 //! Since PR 3 each run row also records `"noise"` — the relative spread
 //! `(max - min) / median` over the reps — which the comparator below uses

@@ -155,8 +155,9 @@ pub struct SpecRow {
     /// `spec-treesum`).
     pub bench: &'static str,
     /// Execution backend: `interp` (the recursive reference interpreter),
-    /// `blocked` (AST-walking `BlockedSpec`) or `compiled`
-    /// (instruction-stream `CompiledSpec`).
+    /// `blocked` (AST-walking `BlockedSpec`), `compiled`
+    /// (instruction-stream `CompiledSpec`) or `compiled_simd` (the masked
+    /// `Q`-lane `VectorSpec` tier over the same instruction stream).
     pub backend: &'static str,
     /// `serial` for the interpreter, else `basic` / `restart` (same
     /// scheduler mapping as the pinned grid).
@@ -169,6 +170,9 @@ pub struct SpecRow {
     pub noise: f64,
     /// Tasks executed (0 for the interpreter, which has no blocks).
     pub tasks: u64,
+    /// Execution lane width: the detected `Q` for `compiled_simd`, 1 for
+    /// every scalar backend.
+    pub q: usize,
 }
 
 /// The pinned spec-family inputs per scale: big enough that a cell is tens
@@ -197,16 +201,19 @@ fn stats_of(walls: &[f64]) -> (f64, f64) {
 }
 
 /// Run the spec family: for every pinned spec program, the reference
-/// interpreter (serial), then `BlockedSpec` vs `CompiledSpec` under
-/// basic/restart × [`TRAJ_THREADS`]. The two blocked backends are
-/// interleaved rep by rep (order counterbalanced) so host drift hits both
-/// equally, and every run's reduction is asserted against the
+/// interpreter (serial), then `BlockedSpec` vs `CompiledSpec` vs
+/// `VectorSpec` (the `compiled_simd` column, at the host's detected lane
+/// width) under basic/restart × [`TRAJ_THREADS`]. The three blocked
+/// backends are interleaved rep by rep (order rotated) so host drift hits
+/// all of them equally, and every run's reduction is asserted against the
 /// interpreter's — a timing whose answer is wrong never makes it into the
 /// artifact.
 pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
-    use tb_spec::{interp, BlockedSpec, CompiledSpec};
+    use tb_spec::{detected_lane_width, interp, BlockedSpec, CompiledSpec, VectorSpec};
+    let lane_q = detected_lane_width();
     let mut rows = Vec::new();
     let mut slower_cells: Vec<String> = Vec::new();
+    let mut simd_slower_cells: Vec<String> = Vec::new();
     for (name, spec, calls) in spec_cases(scale) {
         // Reference semantics + the interpreter row.
         let mut walls = Vec::with_capacity(reps);
@@ -226,10 +233,14 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
             wall_s,
             noise,
             tasks: 0,
+            q: 1,
         });
 
         let blocked = BlockedSpec::with_data_parallel(spec.clone(), calls.clone()).expect("pinned spec");
         let compiled = CompiledSpec::with_data_parallel(&spec, calls.clone()).expect("pinned spec");
+        // The vector tier shares the scalar tier's lowered code: the race
+        // is pure execution strategy, not a recompilation.
+        let simd = VectorSpec::from_code(std::sync::Arc::clone(compiled.code()), &calls);
         let basic = SchedConfig::basic(16, T_DFE);
         let restart = SchedConfig::restart(16, T_DFE, T_RESTART);
         for &threads in TRAJ_THREADS {
@@ -240,8 +251,10 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
             ] {
                 let mut bw = Vec::with_capacity(reps);
                 let mut cw = Vec::with_capacity(reps);
+                let mut sw = Vec::with_capacity(reps);
                 let mut tasks_b = 0u64;
                 let mut tasks_c = 0u64;
+                let mut tasks_s = 0u64;
                 for rep in 0..reps {
                     let mut run_b = |bw: &mut Vec<f64>| {
                         let out = run_scheduler(kind, &blocked, cfg, Some(&pool));
@@ -255,24 +268,52 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                         cw.push(out.stats.wall.as_secs_f64());
                         tasks_c = out.stats.tasks_executed;
                     };
-                    if rep % 2 == 0 {
-                        run_b(&mut bw);
-                        run_c(&mut cw);
-                    } else {
-                        run_c(&mut cw);
-                        run_b(&mut bw);
+                    let mut run_s = |sw: &mut Vec<f64>| {
+                        let out = run_scheduler(kind, &simd, cfg, Some(&pool));
+                        assert_eq!(out.reducer, want, "{name}/compiled_simd/{variant}/w{threads}");
+                        sw.push(out.stats.wall.as_secs_f64());
+                        tasks_s = out.stats.tasks_executed;
+                    };
+                    // Rotate the order per rep so position effects cancel
+                    // across the three backends instead of biasing one.
+                    match rep % 3 {
+                        0 => {
+                            run_b(&mut bw);
+                            run_c(&mut cw);
+                            run_s(&mut sw);
+                        }
+                        1 => {
+                            run_c(&mut cw);
+                            run_s(&mut sw);
+                            run_b(&mut bw);
+                        }
+                        _ => {
+                            run_s(&mut sw);
+                            run_b(&mut bw);
+                            run_c(&mut cw);
+                        }
                     }
                 }
                 assert_eq!(tasks_b, tasks_c, "backends must expand the same computation tree");
+                assert_eq!(tasks_c, tasks_s, "vector tier must expand the same computation tree");
                 let (b_wall, b_noise) = stats_of(&bw);
                 let (c_wall, c_noise) = stats_of(&cw);
+                let (s_wall, s_noise) = stats_of(&sw);
                 println!(
                     "{name:>14} {variant:>8} w={threads} blocked={b_wall:>9.4}s compiled={c_wall:>9.4}s \
-                     speedup={:.2}x",
-                    b_wall / c_wall.max(1e-12)
+                     simd={s_wall:>9.4}s speedup={:.2}x simd-speedup={:.2}x",
+                    b_wall / c_wall.max(1e-12),
+                    c_wall / s_wall.max(1e-12)
                 );
                 if c_wall >= b_wall {
                     slower_cells.push(format!("{name}/{variant}/w{threads}"));
+                }
+                // The vector tier is expected to pay off where the
+                // instruction stream is straight-line-heavy (fib,
+                // binomial: unguarded spawns, simple bases); the guarded/
+                // divergent cells are informational.
+                if matches!(name, "spec-fib" | "spec-binomial") && s_wall > c_wall {
+                    simd_slower_cells.push(format!("{name}/{variant}/w{threads}"));
                 }
                 rows.push(SpecRow {
                     bench: name,
@@ -282,6 +323,7 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                     wall_s: b_wall,
                     noise: b_noise,
                     tasks: tasks_b,
+                    q: 1,
                 });
                 rows.push(SpecRow {
                     bench: name,
@@ -291,6 +333,17 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                     wall_s: c_wall,
                     noise: c_noise,
                     tasks: tasks_c,
+                    q: 1,
+                });
+                rows.push(SpecRow {
+                    bench: name,
+                    backend: "compiled_simd",
+                    variant,
+                    threads,
+                    wall_s: s_wall,
+                    noise: s_noise,
+                    tasks: tasks_s,
+                    q: lane_q,
                 });
             }
         }
@@ -303,6 +356,13 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
             "WARNING: compiled did not beat blocked on {} cell(s): {}",
             slower_cells.len(),
             slower_cells.join(", ")
+        );
+    }
+    if !simd_slower_cells.is_empty() {
+        println!(
+            "WARNING: compiled_simd (q={lane_q}) did not match compiled on {} straight-line cell(s): {}",
+            simd_slower_cells.len(),
+            simd_slower_cells.join(", ")
         );
     }
     rows
@@ -318,8 +378,8 @@ pub fn render_spec_family(rows: &[SpecRow]) -> String {
         let _ = writeln!(
             s,
             "    {{ \"bench\": \"{}\", \"backend\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
-             \"wall_s\": {:.6}, \"noise\": {:.4}, \"tasks\": {} }}{comma}",
-            r.bench, r.backend, r.variant, r.threads, r.wall_s, r.noise, r.tasks
+             \"wall_s\": {:.6}, \"noise\": {:.4}, \"tasks\": {}, \"q\": {} }}{comma}",
+            r.bench, r.backend, r.variant, r.threads, r.wall_s, r.noise, r.tasks, r.q
         );
     }
     let _ = writeln!(s, "  ],");

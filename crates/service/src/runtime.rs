@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use tb_core::{run_scheduler_on_ctx, BlockProgram, Cancellable, SchedConfig, SchedulerKind};
 use tb_runtime::{InjectorMetrics, ThreadPool};
-use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode};
+use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode, SpecTier, VectorSpec};
 
 use crate::bulk::{adaptive_chunk_len, BulkCore, BulkHandle};
 use crate::gate::Gate;
@@ -103,7 +103,56 @@ struct Inner {
     // would silently run the wrong program). Guarded by a plain mutex —
     // compilation is microseconds and submissions are already a
     // gate-crossing slow path.
-    spec_cache: parking_lot::Mutex<std::collections::HashMap<Box<str>, Arc<SpecCode>>>,
+    spec_cache: parking_lot::Mutex<SpecCache>,
+}
+
+/// Bound on distinct cached sources: a client stream of trivially-varying
+/// programs must not balloon a long-lived runtime's memory. At the cap the
+/// least-recently-*used* entry is evicted, so a hot program survives any
+/// number of cold one-shot submissions around it (the ROADMAP "spec-cache
+/// eviction" item; per-client quotas remain future work).
+const SPEC_CACHE_CAP: usize = 1024;
+
+/// A true-LRU compile cache: every hit restamps its entry with a monotone
+/// tick, and insertion past [`SPEC_CACHE_CAP`] evicts the entry with the
+/// oldest stamp. The O(cap) eviction scan only runs on a cold-source
+/// insert *at* capacity — off the hit path, and microseconds against the
+/// compile that preceded it.
+#[derive(Default)]
+struct SpecCache {
+    map: std::collections::HashMap<Box<str>, (Arc<SpecCode>, u64)>,
+    tick: u64,
+}
+
+impl SpecCache {
+    fn get(&mut self, source: &str) -> Option<Arc<SpecCode>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(source).map(|(code, stamp)| {
+            *stamp = tick;
+            Arc::clone(code)
+        })
+    }
+
+    /// Insert freshly compiled `code`, returning the `Arc` submissions
+    /// should run: the incumbent if another submitter raced us compiling
+    /// the same source (so every handle shares one `Arc`), else `code`.
+    fn insert(&mut self, source: &str, code: Arc<SpecCode>) -> Arc<SpecCode> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((cached, stamp)) = self.map.get_mut(source) {
+            *stamp = tick;
+            return Arc::clone(cached);
+        }
+        if self.map.len() >= SPEC_CACHE_CAP {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(source.into(), (Arc::clone(&code), tick));
+        code
+    }
 }
 
 /// A persistent, multi-tenant front-end over one work-stealing pool.
@@ -135,7 +184,7 @@ impl Runtime {
                 pool: ThreadPool::new(cfg.threads),
                 gate: Arc::new(Gate::new(cfg.max_inflight)),
                 counters: Arc::new(Counters::default()),
-                spec_cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                spec_cache: parking_lot::Mutex::new(SpecCache::default()),
             }),
         }
     }
@@ -251,6 +300,10 @@ impl Runtime {
     /// parameter count, completes the returned handle immediately with
     /// [`JobError::Rejected`] carrying the located diagnostic (for parse
     /// errors, a caret line into the client's source).
+    /// Execution tier: [`SpecTier::Auto`] picks the vector tier at the
+    /// host's detected lane width (`tb_spec::detected_lane_width`) and the
+    /// scalar tier on SIMD-less hosts — safe because the tiers are
+    /// bit-identical; [`Runtime::submit_spec_tier`] pins one explicitly.
     pub fn submit_spec(
         &self,
         source: &str,
@@ -258,18 +311,44 @@ impl Runtime {
         cfg: SchedConfig,
         kind: SchedulerKind,
     ) -> JobHandle<i64> {
-        self.submit_spec_foreach(source, vec![args], cfg, kind)
+        self.submit_spec_foreach_tier(source, vec![args], cfg, kind, SpecTier::Auto)
+    }
+
+    /// Like [`Runtime::submit_spec`] with an explicit execution tier
+    /// (scalar instruction loop vs `Q`-lane masked vector execution).
+    pub fn submit_spec_tier(
+        &self,
+        source: &str,
+        args: Vec<i64>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: SpecTier,
+    ) -> JobHandle<i64> {
+        self.submit_spec_foreach_tier(source, vec![args], cfg, kind, tier)
     }
 
     /// Like [`Runtime::submit_spec`], but over a §5.2 data-parallel
     /// `foreach`: one level-0 task per argument tuple, strip-mined by the
-    /// scheduler.
+    /// scheduler. Runs at the [`SpecTier::Auto`] execution tier.
     pub fn submit_spec_foreach(
         &self,
         source: &str,
         calls: Vec<Vec<i64>>,
         cfg: SchedConfig,
         kind: SchedulerKind,
+    ) -> JobHandle<i64> {
+        self.submit_spec_foreach_tier(source, calls, cfg, kind, SpecTier::Auto)
+    }
+
+    /// Like [`Runtime::submit_spec_foreach`] with an explicit execution
+    /// tier.
+    pub fn submit_spec_foreach_tier(
+        &self,
+        source: &str,
+        calls: Vec<Vec<i64>>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: SpecTier,
     ) -> JobHandle<i64> {
         let code = match self.compile_cached(source) {
             Ok(code) => code,
@@ -284,33 +363,25 @@ impl Runtime {
             ));
         }
         self.inner.gate.acquire();
-        self.spawn_admitted(CompiledSpec::from_code(code, &calls), cfg, kind)
+        match tier.lane_width() {
+            0 | 1 => self.spawn_admitted(CompiledSpec::from_code(code, &calls), cfg, kind),
+            q => self.spawn_admitted(VectorSpec::from_code_with_width(code, &calls, q), cfg, kind),
+        }
     }
 
-    /// Look up `source` in the compile-once cache, lowering on a miss.
+    /// Look up `source` in the compile-once LRU cache, lowering on a miss.
     /// The diagnostic string on failure is [`JobError::Rejected`] payload.
     fn compile_cached(&self, source: &str) -> Result<Arc<SpecCode>, String> {
-        /// Bound on distinct cached sources: a client stream of
-        /// trivially-varying programs must not balloon a long-lived
-        /// runtime's memory. Past the cap, new sources compile per
-        /// submission (correct, just uncached); an LRU is the ROADMAP
-        /// follow-up if real tenants ever hit this.
-        const SPEC_CACHE_CAP: usize = 1024;
         if let Some(code) = self.inner.spec_cache.lock().get(source) {
             self.inner.counters.spec_cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(code));
+            return Ok(code);
         }
         // Parse/compile outside the lock: a client submitting a huge or
         // malformed source must not stall other submitters' cache hits.
         let spec = parse_spec(source).map_err(|e| e.to_string())?;
         let code = Arc::new(compile(&spec).map_err(|e| e.to_string())?);
         self.inner.counters.spec_compiles.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.inner.spec_cache.lock();
-        if cache.len() >= SPEC_CACHE_CAP && !cache.contains_key(source) {
-            return Ok(code);
-        }
-        let entry = cache.entry(source.into()).or_insert_with(|| Arc::clone(&code));
-        Ok(Arc::clone(entry))
+        Ok(self.inner.spec_cache.lock().insert(source, code))
     }
 
     /// A handle pre-completed with [`JobError::Rejected`]; the job never

@@ -223,6 +223,51 @@ macro_rules! float_lanes {
 float_lanes!(f32);
 float_lanes!(f64);
 
+macro_rules! int_lanes {
+    ($t:ty) => {
+        impl<const N: usize> Lanes<$t, N> {
+            /// Lanewise wrapping addition (two's-complement, never panics).
+            #[inline]
+            pub fn wrapping_add(self, rhs: Self) -> Self {
+                self.zip_map(rhs, <$t>::wrapping_add)
+            }
+
+            /// Lanewise wrapping subtraction.
+            #[inline]
+            pub fn wrapping_sub(self, rhs: Self) -> Self {
+                self.zip_map(rhs, <$t>::wrapping_sub)
+            }
+
+            /// Lanewise wrapping multiplication.
+            #[inline]
+            pub fn wrapping_mul(self, rhs: Self) -> Self {
+                self.zip_map(rhs, <$t>::wrapping_mul)
+            }
+
+            /// Horizontal wrapping sum in lane order (lane 0 first) — the
+            /// order a scalar loop over the lanes would accumulate in, so
+            /// wrapping reductions stay bit-identical to scalar execution.
+            #[inline]
+            pub fn wrapping_reduce_add(self) -> $t {
+                let mut acc = self.0[0];
+                for &v in &self.0[1..] {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            }
+
+            /// Lanewise `!= 0` (the truthiness test for 0/1 logic lanes).
+            #[inline]
+            pub fn nonzero(self) -> Mask<N> {
+                self.zip_cmp(Self::splat(0), |a, _| a != 0)
+            }
+        }
+    };
+}
+
+int_lanes!(i32);
+int_lanes!(i64);
+
 impl<const N: usize> Mask<N> {
     /// All lanes false.
     #[inline]
@@ -295,6 +340,14 @@ impl<const N: usize> Mask<N> {
             *o |= r;
         }
         Mask(out)
+    }
+
+    /// The mask as 0/1 `i64` lanes — the materialization step for
+    /// languages whose booleans are integers (a comparison result that is
+    /// stored, added, or multiplied rather than immediately branched on).
+    #[inline]
+    pub fn to_lanes_i64(self) -> Lanes<i64, N> {
+        Lanes(std::array::from_fn(|i| i64::from(self.0[i])))
     }
 }
 
@@ -370,6 +423,30 @@ mod tests {
         let mut out = [0u8; 4];
         l.write_to(&mut out);
         assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wrapping_int_ops_never_panic() {
+        let a = Lanes::<i64, 4>([i64::MAX, 1, -5, 0]);
+        let b = Lanes::splat(1i64);
+        assert_eq!(a.wrapping_add(b).0, [i64::MIN, 2, -4, 1]);
+        assert_eq!(a.wrapping_sub(b).0, [i64::MAX - 1, 0, -6, -1]);
+        let c = Lanes::<i64, 4>([i64::MAX, 3, -2, 7]);
+        assert_eq!(c.wrapping_mul(Lanes::splat(2)).0, [-2, 6, -4, 14]);
+        // Horizontal sum wraps and accumulates in lane order.
+        let d = Lanes::<i64, 4>([i64::MAX, 1, 2, 3]);
+        assert_eq!(d.wrapping_reduce_add(), i64::MAX.wrapping_add(1).wrapping_add(2).wrapping_add(3));
+        let e = Lanes::<i32, 4>([i32::MAX, 1, 0, 0]);
+        assert_eq!(e.wrapping_reduce_add(), i32::MIN);
+    }
+
+    #[test]
+    fn nonzero_and_to_lanes_i64() {
+        let a = Lanes::<i64, 4>([0, 7, -1, 0]);
+        let m = a.nonzero();
+        assert_eq!(m.0, [false, true, true, false]);
+        assert_eq!(m.to_lanes_i64().0, [0, 1, 1, 0]);
+        assert_eq!(m.not().to_lanes_i64().0, [1, 0, 0, 1]);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 use std::sync::Arc;
 
 use tb_core::prelude::*;
+use tb_simd::{compact_append, Lanes, Mask};
 
 use crate::ast::{Expr, RecursiveSpec, SpecError, Stmt};
 
@@ -179,6 +180,57 @@ pub enum Instr {
     Halt,
 }
 
+impl Instr {
+    /// Every instruction mnemonic, in the order the variants are declared.
+    ///
+    /// `docs/SPEC.md`'s instruction-set table is cross-checked against this
+    /// list by a test, so the reference cannot silently drift from the
+    /// enum: adding a variant forces [`Instr::mnemonic`]'s exhaustive match
+    /// (a compile error), whose test forces this list, whose doc-sync test
+    /// forces the table.
+    pub const MNEMONICS: &'static [&'static str] = &[
+        "Const",
+        "Param",
+        "Add",
+        "Sub",
+        "Mul",
+        "Lt",
+        "Le",
+        "Eq",
+        "And",
+        "Or",
+        "Not",
+        "Reduce",
+        "Spawn",
+        "JumpIfZero",
+        "Jump",
+        "Halt",
+    ];
+
+    /// The variant's mnemonic (the name used by [`SpecCode::disassemble`]
+    /// and the `docs/SPEC.md` instruction table).
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Const { .. } => "Const",
+            Instr::Param { .. } => "Param",
+            Instr::Add { .. } => "Add",
+            Instr::Sub { .. } => "Sub",
+            Instr::Mul { .. } => "Mul",
+            Instr::Lt { .. } => "Lt",
+            Instr::Le { .. } => "Le",
+            Instr::Eq { .. } => "Eq",
+            Instr::And { .. } => "And",
+            Instr::Or { .. } => "Or",
+            Instr::Not { .. } => "Not",
+            Instr::Reduce { .. } => "Reduce",
+            Instr::Spawn { .. } => "Spawn",
+            Instr::JumpIfZero { .. } => "JumpIfZero",
+            Instr::Jump { .. } => "Jump",
+            Instr::Halt => "Halt",
+        }
+    }
+}
+
 /// A spec lowered to executable form: the instruction stream plus the
 /// static facts the scheduler and the service layer need (arity, parameter
 /// count, register-file size).
@@ -235,9 +287,16 @@ impl SpecCode {
 
     /// Execute the program for one task. `params` are the task's argument
     /// tuple, `regs` is a scratch file of at least [`SpecCode::reg_count`]
-    /// slots (reused across the tasks of a block).
+    /// slots (reused across the tasks of a block). The vector tier
+    /// (`crate::simd_exec`) calls this for the ragged remainder of a block.
     #[inline]
-    fn run_task(&self, params: &[i64], regs: &mut [i64], out: &mut BucketSet<ArgBlock>, red: &mut i64) {
+    pub(crate) fn run_task(
+        &self,
+        params: &[i64],
+        regs: &mut [i64],
+        out: &mut BucketSet<ArgBlock>,
+        red: &mut i64,
+    ) {
         let code = &self.code;
         let mut pc = 0usize;
         loop {
@@ -297,6 +356,20 @@ impl SpecCode {
 /// [`BlockedSpec`](crate::transform::BlockedSpec) construction would
 /// surface come back here — nothing invalid reaches the instruction
 /// stream.
+///
+/// ```
+/// let spec = tb_spec::parse_spec(
+///     "spec fib(n) { base (n < 2) { reduce n; } else { spawn fib(n - 1); spawn fib(n - 2); } }",
+/// )
+/// .unwrap();
+/// let code = tb_spec::compile(&spec).unwrap();
+/// assert_eq!((code.name(), code.params(), code.arity()), ("fib", 1, 2));
+/// // The stream ends in the inductive case's Halt and contains one Spawn
+/// // per syntactic spawn site:
+/// use tb_spec::compile::Instr;
+/// assert_eq!(code.instrs().last(), Some(&Instr::Halt));
+/// assert_eq!(code.instrs().iter().filter(|i| matches!(i, Instr::Spawn { .. })).count(), 2);
+/// ```
 pub fn compile(spec: &RecursiveSpec) -> Result<SpecCode, SpecError> {
     let arity = spec.validate()?;
     // Structural bounds the u16 instruction operands rely on, checked as
@@ -318,6 +391,19 @@ pub fn compile(spec: &RecursiveSpec) -> Result<SpecCode, SpecError> {
     lw.code[patch_base] = Instr::JumpIfZero { cond: 0, target: inductive_entry };
     lw.stmts(&spec.inductive);
     lw.emit(Instr::Halt);
+    // Control flow is strictly forward: the base-cond jump targets the
+    // inductive entry ahead of it, and `If` lowering backpatches both its
+    // jumps to later addresses. The vector tier's single linear sweep
+    // (`SpecCode::run_tasks_q`) relies on this for termination and
+    // reconvergence, so the invariant is checked at the only place code is
+    // produced.
+    debug_assert!(
+        lw.code.iter().enumerate().all(|(pc, i)| match i {
+            Instr::JumpIfZero { target, .. } | Instr::Jump { target } => *target as usize > pc,
+            _ => true,
+        }),
+        "lowering emitted a non-forward jump"
+    );
     Ok(SpecCode {
         name: spec.name.clone(),
         params: spec.params,
@@ -473,8 +559,8 @@ impl Lowerer {
 /// parameter count through the scheduler.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ArgBlock {
-    stride: usize,
-    data: Vec<i64>,
+    pub(crate) stride: usize,
+    pub(crate) data: Vec<i64>,
 }
 
 impl ArgBlock {
@@ -510,8 +596,66 @@ impl ArgBlock {
     }
 
     /// The task tuples, in insertion order.
+    ///
+    /// ```
+    /// use tb_spec::compile::ArgBlock;
+    /// let b = ArgBlock::from_tuples(2, &[vec![1, 2], vec![3, 4]]);
+    /// let rows: Vec<&[i64]> = b.tuples().collect();
+    /// assert_eq!(rows, vec![&[1i64, 2][..], &[3, 4]]);
+    /// ```
     pub fn tuples(&self) -> impl Iterator<Item = &[i64]> {
         self.data.chunks_exact(self.stride.max(1))
+    }
+
+    /// Append one task per *set lane*: column `j` of `cols` holds argument
+    /// `j` for `Q` candidate tasks, and lane `l`'s tuple
+    /// `(cols[0][l], …, cols[k-1][l])` is appended iff `mask` lane `l` is
+    /// true, in lane order. This is the vector tier's spawn path — the
+    /// §6 streaming-compaction step that turns a masked spawn decision
+    /// into a dense store. Single-column blocks (one-parameter methods,
+    /// the common recursive case) go through
+    /// [`tb_simd::compact_append`]; wider tuples interleave the columns
+    /// row-major, matching [`ArgBlock::push_tuple`]'s layout exactly.
+    ///
+    /// An empty `cols` (zero-parameter methods) appends the 1-slot padding
+    /// [`ArgBlock::push_tuple`] documents.
+    ///
+    /// ```
+    /// use tb_simd::{Lanes, Mask};
+    /// use tb_spec::compile::ArgBlock;
+    /// let mut b = ArgBlock::with_params(2);
+    /// let cols = [Lanes::<i64, 4>([1, 2, 3, 4]), Lanes([10, 20, 30, 40])];
+    /// b.push_lane_tuples(&cols, &Mask([true, false, true, false]));
+    /// let rows: Vec<&[i64]> = b.tuples().collect();
+    /// assert_eq!(rows, vec![&[1i64, 10][..], &[3, 30]]);
+    /// ```
+    pub fn push_lane_tuples<const Q: usize>(&mut self, cols: &[Lanes<i64, Q>], mask: &Mask<Q>) {
+        let incoming = cols.len().max(1);
+        if self.stride == 0 {
+            self.stride = incoming;
+        }
+        debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one ArgBlock");
+        match cols {
+            [] => {
+                for &m in &mask.0 {
+                    if m {
+                        self.data.push(0);
+                    }
+                }
+            }
+            [col] => {
+                compact_append(&mut self.data, col, mask);
+            }
+            _ => {
+                for l in 0..Q {
+                    if mask.0[l] {
+                        for c in cols {
+                            self.data.push(c.lane(l));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -567,6 +711,13 @@ pub struct CompiledSpec {
 
 impl CompiledSpec {
     /// Compile `spec` for a single root call `f(args)`.
+    ///
+    /// ```
+    /// use tb_core::prelude::*;
+    /// let prog = tb_spec::CompiledSpec::new(&tb_spec::examples::fib_spec(), vec![20]).unwrap();
+    /// let out = SeqScheduler::new(&prog, SchedConfig::basic(8, 128)).run();
+    /// assert_eq!(out.reducer, 6765);
+    /// ```
     pub fn new(spec: &RecursiveSpec, args: Vec<i64>) -> Result<Self, SpecError> {
         Self::with_data_parallel(spec, vec![args])
     }
@@ -624,15 +775,9 @@ impl BlockProgram for CompiledSpec {
         if block.data.is_empty() {
             return;
         }
-        let params = self.code.params();
-        let stride = block.stride;
-        debug_assert_eq!(stride, params.max(1), "block width matches the compiled method");
-        // One scratch file per block, reused across its tasks.
-        let mut regs = vec![0i64; self.code.reg_count()];
+        debug_assert_eq!(block.stride, self.code.params().max(1), "block width matches the compiled method");
         let data = std::mem::take(&mut block.data);
-        for task in data.chunks_exact(stride) {
-            self.code.run_task(&task[..params], &mut regs, out, red);
-        }
+        crate::simd_exec::run_scalar(&self.code, &data, out, red);
     }
 }
 
@@ -761,6 +906,59 @@ mod tests {
         assert_eq!(TaskStore::len(&dflt), 2);
         TaskStore::clear(&mut dflt);
         assert_eq!(TaskStore::len(&dflt), 0);
+    }
+
+    #[test]
+    fn mnemonics_cover_every_variant_exactly_once() {
+        // One sample per variant. `Instr::mnemonic`'s exhaustive match is
+        // the compile-time tripwire for new variants; this test forces
+        // `MNEMONICS` to follow, and `tests/doc_sync.rs` forces the
+        // docs/SPEC.md table to follow that.
+        let samples = [
+            Instr::Const { dst: 0, v: 0 },
+            Instr::Param { dst: 0, idx: 0 },
+            Instr::Add { dst: 0, a: 0, b: 0 },
+            Instr::Sub { dst: 0, a: 0, b: 0 },
+            Instr::Mul { dst: 0, a: 0, b: 0 },
+            Instr::Lt { dst: 0, a: 0, b: 0 },
+            Instr::Le { dst: 0, a: 0, b: 0 },
+            Instr::Eq { dst: 0, a: 0, b: 0 },
+            Instr::And { dst: 0, a: 0, b: 0 },
+            Instr::Or { dst: 0, a: 0, b: 0 },
+            Instr::Not { dst: 0, a: 0 },
+            Instr::Reduce { src: 0 },
+            Instr::Spawn { site: 0, args: 0 },
+            Instr::JumpIfZero { cond: 0, target: 0 },
+            Instr::Jump { target: 0 },
+            Instr::Halt,
+        ];
+        assert_eq!(samples.len(), Instr::MNEMONICS.len(), "a variant is missing from MNEMONICS");
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.mnemonic(), Instr::MNEMONICS[i], "MNEMONICS order matches declaration order");
+        }
+        let mut sorted = Instr::MNEMONICS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), Instr::MNEMONICS.len(), "duplicate mnemonic");
+    }
+
+    #[test]
+    fn lowered_control_flow_is_strictly_forward() {
+        // The vector tier's linear sweep depends on this (see simd_exec);
+        // check it on the example specs, including nested guards.
+        for spec in [
+            examples::fib_spec(),
+            examples::binomial_spec(),
+            examples::parentheses_spec(6),
+            examples::treesum_spec(3),
+        ] {
+            let code = compile(&spec).unwrap();
+            for (pc, i) in code.instrs().iter().enumerate() {
+                if let Instr::JumpIfZero { target, .. } | Instr::Jump { target } = i {
+                    assert!(*target as usize > pc, "{}: backward jump at {pc}", spec.name);
+                }
+            }
+        }
     }
 
     #[test]

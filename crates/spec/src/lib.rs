@@ -28,24 +28,39 @@
 //!   ([`SpecCode`]) executed over flat fixed-stride task stores
 //!   ([`compile::ArgBlock`]) — no AST walk and no per-task allocation on
 //!   the `expand` hot path;
+//! * [`simd_exec`] — the vector tier over the same instruction stream:
+//!   [`SpecCode::run_tasks_q`] executes `Q` tasks in lockstep with
+//!   registers widened to `tb_simd::Lanes<i64, Q>` columns and divergent
+//!   control flow masked per lane, packaged as [`VectorSpec`] with the
+//!   ragged remainder peeled scalar-wise;
 //! * [`examples`] — fib, binomial, parentheses and the §5.2 `foreach`
 //!   k-ary tree sum written in the language, used by the cross-validation
 //!   tests.
 //!
-//! The three execution routes — [`interpret`], [`BlockedSpec`],
-//! [`CompiledSpec`] — are semantically interchangeable (wrapping-`i64`
-//! reductions, syntactic spawn-site numbering); the differential property
-//! tests in the workspace root hold them to that.
+//! The four execution routes — [`interpret`], [`BlockedSpec`],
+//! [`CompiledSpec`], [`VectorSpec`] — are semantically interchangeable
+//! (wrapping-`i64` reductions, syntactic spawn-site numbering, identical
+//! task trees); the differential property tests in the workspace root
+//! hold them to that.
+//!
+//! The language itself — grammar, parser caps, the full instruction set,
+//! a worked lowering example, and the scalar-vs-vector execution model —
+//! is documented in `docs/SPEC.md` at the repository root, whose
+//! instruction table is test-checked against [`compile::Instr`].
+
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod compile;
 pub mod examples;
 pub mod interp;
 pub mod parse;
+pub mod simd_exec;
 pub mod transform;
 
 pub use ast::{Expr, RecursiveSpec, SpecError, Stmt};
 pub use compile::{compile, CompiledSpec, SpecCode};
 pub use interp::interpret;
 pub use parse::{parse_spec, ParseError};
+pub use simd_exec::{detected_lane_width, SpecTier, VectorSpec};
 pub use transform::BlockedSpec;

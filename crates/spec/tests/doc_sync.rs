@@ -1,0 +1,69 @@
+//! Keeps `docs/SPEC.md` honest against the code it documents.
+//!
+//! The reference's instruction-set table is delimited by
+//! `<!-- instr-table-begin -->` / `<!-- instr-table-end -->` markers and
+//! must contain exactly one row per [`Instr`] variant. The chain that
+//! makes drift impossible: adding a variant breaks `Instr::mnemonic`'s
+//! exhaustive match (compile error) → updating it without updating
+//! `Instr::MNEMONICS` fails the unit test in `compile.rs` → updating the
+//! list without updating the doc fails *this* test, which CI runs with
+//! the rest of the workspace tests.
+
+use tb_spec::compile::Instr;
+
+fn spec_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SPEC.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn instr_table(doc: &str) -> &str {
+    let begin = doc.find("<!-- instr-table-begin -->").expect("docs/SPEC.md has the table begin marker");
+    let end = doc.find("<!-- instr-table-end -->").expect("docs/SPEC.md has the table end marker");
+    assert!(begin < end, "table markers out of order");
+    &doc[begin..end]
+}
+
+#[test]
+fn spec_md_instruction_table_matches_the_instr_enum() {
+    let doc = spec_md();
+    let table = instr_table(&doc);
+    // One row per variant, keyed by the backticked mnemonic in the first
+    // column. Counting occurrences (not just presence) catches a renamed
+    // variant whose old row lingers.
+    for m in Instr::MNEMONICS {
+        let key = format!("| `{m}` |");
+        let count = table.matches(&key).count();
+        assert_eq!(count, 1, "docs/SPEC.md instruction table must document `{m}` exactly once");
+    }
+    // No extra rows: table body lines are exactly the variants plus the
+    // header and its separator.
+    let body_rows = table.lines().filter(|l| l.trim_start().starts_with("| `")).count();
+    assert_eq!(
+        body_rows,
+        Instr::MNEMONICS.len(),
+        "docs/SPEC.md instruction table has rows for instructions that no longer exist"
+    );
+}
+
+#[test]
+fn spec_md_documents_the_parser_caps_it_promises() {
+    // The caps table is part of the service's contract with clients
+    // (what gets Rejected); keep the numbers in the doc aligned with the
+    // parser's actual limits, which these literals mirror.
+    let doc = spec_md();
+    for cap in ["| 64 |", "| 1000 |", "| 255 |"] {
+        assert!(doc.contains(cap), "docs/SPEC.md caps table lost the {cap} row");
+    }
+    // And the hostile-source caps really are what the parser enforces.
+    let deep = format!(
+        "spec f(n) {{ base (n < 2) {{ reduce {}n{}; }} else {{ spawn f(n - 1); }} }}",
+        "(".repeat(100),
+        ")".repeat(100)
+    );
+    assert!(tb_spec::parse_spec(&deep).unwrap_err().message.contains("64"));
+    let chain = format!(
+        "spec f(n) {{ base (n < 2) {{ reduce {}1; }} else {{ spawn f(n - 1); }} }}",
+        "1 + ".repeat(2_000)
+    );
+    assert!(tb_spec::parse_spec(&chain).unwrap_err().message.contains("1000"));
+}

@@ -184,18 +184,42 @@ impl BlockProgram for NQueensJob {
 /// `expected()` recounts through the reference interpreter — the point of
 /// these jobs is exercising the compiled pipeline under service load, not
 /// paper-scale measurement (that is the `spec` trajectory family's job).
+///
+/// Each job runs the scalar [`tb_spec::CompiledSpec`] tier by default;
+/// [`SpecJob::vectorized`] rebuilds it over the `Q`-lane masked
+/// [`tb_spec::VectorSpec`] tier (same lowered code, bit-identical
+/// results), so service tests and the throughput benchmark can drive both
+/// execution tiers through one job type.
 pub struct SpecJob {
-    prog: tb_spec::CompiledSpec,
+    prog: SpecProg,
     name: &'static str,
     spec: tb_spec::RecursiveSpec,
     calls: Vec<Vec<i64>>,
+}
+
+/// Which execution tier a [`SpecJob`] expands through.
+enum SpecProg {
+    Scalar(tb_spec::CompiledSpec),
+    Simd(tb_spec::VectorSpec),
 }
 
 impl SpecJob {
     fn build(name: &'static str, spec: tb_spec::RecursiveSpec, calls: Vec<Vec<i64>>) -> Self {
         let prog =
             tb_spec::CompiledSpec::with_data_parallel(&spec, calls.clone()).expect("example specs validate");
-        SpecJob { prog, name, spec, calls }
+        SpecJob { prog: SpecProg::Scalar(prog), name, spec, calls }
+    }
+
+    /// The same computation re-tiered onto the masked vector interpreter
+    /// at the host's detected lane width (`-simd` name suffix). The
+    /// lowered instruction stream is shared, not recompiled.
+    pub fn vectorized(self) -> Self {
+        let code = match &self.prog {
+            SpecProg::Scalar(p) => std::sync::Arc::clone(p.code()),
+            SpecProg::Simd(p) => std::sync::Arc::clone(p.code()),
+        };
+        let prog = SpecProg::Simd(tb_spec::VectorSpec::from_code(code, &self.calls));
+        SpecJob { prog, name: simd_name(self.name), spec: self.spec, calls: self.calls }
     }
 
     /// Compiled `fib(n)` at a per-scale input.
@@ -248,9 +272,24 @@ impl SpecJob {
         vec![Self::fib(scale), Self::binomial(scale), Self::parentheses(scale), Self::treesum(scale)]
     }
 
-    /// Job name (`spec-fib`, `spec-binomial`, …).
+    /// All four spec jobs re-tiered onto the vector interpreter
+    /// ([`SpecJob::vectorized`]).
+    pub fn all_simd(scale: Scale) -> Vec<SpecJob> {
+        Self::all(scale).into_iter().map(SpecJob::vectorized).collect()
+    }
+
+    /// Job name (`spec-fib`, `spec-binomial`, …; vectorized jobs carry a
+    /// `-simd` suffix).
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The lane width this job expands at (1 for the scalar tier).
+    pub fn lane_width(&self) -> usize {
+        match &self.prog {
+            SpecProg::Scalar(_) => 1,
+            SpecProg::Simd(p) => p.lane_width(),
+        }
     }
 
     /// The spec source-of-truth answer (reference-interpreter recount).
@@ -259,16 +298,34 @@ impl SpecJob {
     }
 }
 
+/// `spec-x` → `spec-x-simd` (static names so [`SpecJob::name`] stays
+/// allocation-free; unknown names keep their scalar label).
+fn simd_name(name: &'static str) -> &'static str {
+    match name {
+        "spec-fib" => "spec-fib-simd",
+        "spec-binomial" => "spec-binomial-simd",
+        "spec-paren" => "spec-paren-simd",
+        "spec-treesum" => "spec-treesum-simd",
+        other => other,
+    }
+}
+
 impl BlockProgram for SpecJob {
     type Store = tb_spec::compile::ArgBlock;
     type Reducer = i64;
 
     fn arity(&self) -> usize {
-        self.prog.arity()
+        match &self.prog {
+            SpecProg::Scalar(p) => p.arity(),
+            SpecProg::Simd(p) => p.arity(),
+        }
     }
 
     fn make_root(&self) -> Self::Store {
-        self.prog.make_root()
+        match &self.prog {
+            SpecProg::Scalar(p) => p.make_root(),
+            SpecProg::Simd(p) => p.make_root(),
+        }
     }
 
     fn make_reducer(&self) -> i64 {
@@ -276,11 +333,14 @@ impl BlockProgram for SpecJob {
     }
 
     fn merge_reducers(&self, a: &mut i64, b: i64) {
-        self.prog.merge_reducers(a, b);
+        tb_core::merge_sum(a, b);
     }
 
     fn expand(&self, block: &mut Self::Store, out: &mut BucketSet<Self::Store>, red: &mut i64) {
-        self.prog.expand(block, out, red);
+        match &self.prog {
+            SpecProg::Scalar(p) => p.expand(block, out, red),
+            SpecProg::Simd(p) => p.expand(block, out, red),
+        }
     }
 }
 
@@ -323,6 +383,35 @@ mod tests {
                 assert_eq!(got, want, "{} under {kind:?}", job.name());
             }
         }
+    }
+
+    #[test]
+    fn vectorized_spec_jobs_match_their_expected_answers_under_every_kind() {
+        let pool = ThreadPool::new(2);
+        for job in SpecJob::all_simd(Scale::Tiny) {
+            assert!(job.name().ends_with("-simd"), "{}", job.name());
+            assert!(job.lane_width() >= 1);
+            let want = job.expected();
+            for kind in SchedulerKind::ALL {
+                let cfg = SchedConfig::restart(4, 64, 16);
+                let got = run_scheduler(kind, &job, cfg, Some(&pool)).reducer;
+                assert_eq!(got, want, "{} under {kind:?}", job.name());
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_jobs_share_the_scalar_lowering_and_tree() {
+        // Re-tiering must not recompile or change the computation: same
+        // task counts under the sequential scheduler, same answer.
+        let scalar = SpecJob::parentheses(Scale::Tiny);
+        let cfg = SchedConfig::restart(4, 32, 8);
+        let a = run_scheduler(SchedulerKind::Seq, &scalar, cfg, None);
+        let vector = scalar.vectorized();
+        let b = run_scheduler(SchedulerKind::Seq, &vector, cfg, None);
+        assert_eq!(a.reducer, b.reducer);
+        assert_eq!(a.stats.tasks_executed, b.stats.tasks_executed);
+        assert_eq!(vector.name(), "spec-paren-simd");
     }
 
     #[test]

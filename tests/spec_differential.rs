@@ -1,9 +1,11 @@
 //! The differential property test over the spec-language pipeline: random
-//! *valid* specs, executed through all three backends — the recursive
-//! reference interpreter, the AST-walking `BlockedSpec` and the
-//! instruction-stream `CompiledSpec` — under all four schedulers at
+//! *valid* specs, executed through all four backends — the recursive
+//! reference interpreter, the AST-walking `BlockedSpec`, the
+//! instruction-stream `CompiledSpec` and the masked-lane `VectorSpec`
+//! (`compiled_simd`, exercised at every monomorphized width 2/4/8, not
+//! just the host's detected one) — under all four schedulers at
 //! 1/2/4 workers. Every route must produce the identical (wrapping-`i64`)
-//! reduction, and the two blocked backends must expand the identical
+//! reduction, and the blocked backends must expand the identical
 //! computation tree (same task count), not merely agree on the answer.
 //!
 //! Termination of generated specs is by construction: parameter 0 is
@@ -14,7 +16,7 @@
 
 use proptest::prelude::*;
 use taskblocks::prelude::*;
-use taskblocks::spec::{interpret, BlockedSpec, CompiledSpec, Expr, RecursiveSpec, Stmt};
+use taskblocks::spec::{interpret, BlockedSpec, CompiledSpec, Expr, RecursiveSpec, Stmt, VectorSpec};
 
 /// A splitmix64 stream: all structural choices derive from one drawn seed,
 /// so failing cases reproduce from the printed seed alone.
@@ -124,9 +126,10 @@ fn gen_spec(seed: u64) -> (RecursiveSpec, Vec<i64>) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// interpreter == BlockedSpec == CompiledSpec, all four schedulers,
-    /// 1/2/4 workers, with thresholds small enough to exercise restart
-    /// parking and strip mining.
+    /// interpreter == BlockedSpec == CompiledSpec == VectorSpec, all four
+    /// schedulers, 1/2/4 workers, with thresholds small enough to exercise
+    /// restart parking and strip mining (and, for the vector tier, ragged
+    /// remainder peels at every width).
     #[test]
     fn backends_agree_on_random_specs(seed in any::<u64>()) {
         let (spec, root) = gen_spec(seed);
@@ -145,6 +148,22 @@ proptest! {
         prop_assert_eq!(b_seq.stats.tasks_executed, c_seq.stats.tasks_executed,
             "backends expanded different trees");
 
+        // The vector tier at every monomorphized width: bit-identical
+        // reduction AND the identical computation tree (same task count,
+        // same supersteps — the buckets must match block for block).
+        let code = std::sync::Arc::clone(compiled.code());
+        for q in [2usize, 4, 8] {
+            let simd = VectorSpec::from_code_with_width(
+                std::sync::Arc::clone(&code), std::slice::from_ref(&root), q);
+            let s_seq = run_scheduler(SchedulerKind::Seq, &simd, cfg, None);
+            prop_assert_eq!(s_seq.reducer, want, "simd/seq q={} vs interpreter", q);
+            prop_assert_eq!(s_seq.stats.tasks_executed, c_seq.stats.tasks_executed,
+                "vector tier (q={}) expanded a different tree", q);
+            prop_assert_eq!(s_seq.stats.supersteps, c_seq.stats.supersteps,
+                "vector tier (q={}) took different supersteps", q);
+        }
+        let simd = VectorSpec::from_code_with_width(code, std::slice::from_ref(&root), 4);
+
         for threads in [1usize, 2, 4] {
             let pool = ThreadPool::new(threads);
             for kind in SchedulerKind::ALL {
@@ -152,6 +171,8 @@ proptest! {
                 prop_assert_eq!(got, want, "blocked under {:?} w={}", kind, threads);
                 let got = run_scheduler(kind, &compiled, cfg, Some(&pool)).reducer;
                 prop_assert_eq!(got, want, "compiled under {:?} w={}", kind, threads);
+                let got = run_scheduler(kind, &simd, cfg, Some(&pool)).reducer;
+                prop_assert_eq!(got, want, "compiled_simd under {:?} w={}", kind, threads);
             }
         }
     }
@@ -168,7 +189,12 @@ proptest! {
         let want = taskblocks::spec::interp::interpret_data_parallel(&spec, &calls);
 
         let blocked = BlockedSpec::with_data_parallel(spec.clone(), calls.clone()).unwrap();
-        let compiled = CompiledSpec::with_data_parallel(&spec, calls).unwrap();
+        let compiled = CompiledSpec::with_data_parallel(&spec, calls.clone()).unwrap();
+        // A root count that is rarely a multiple of the lane width makes
+        // the foreach case exercise the vector tier's remainder peel on
+        // the strip-mined root blocks themselves.
+        let simd = VectorSpec::from_code_with_width(
+            std::sync::Arc::clone(compiled.code()), &calls, 4);
         // t_dfe of 8 far below the root count forces strip mining.
         let cfg = SchedConfig::restart(4, 8, 4);
         let pool = ThreadPool::new(3);
@@ -177,6 +203,8 @@ proptest! {
                 "blocked foreach under {:?}", kind);
             prop_assert_eq!(run_scheduler(kind, &compiled, cfg, Some(&pool)).reducer, want,
                 "compiled foreach under {:?}", kind);
+            prop_assert_eq!(run_scheduler(kind, &simd, cfg, Some(&pool)).reducer, want,
+                "compiled_simd foreach under {:?}", kind);
         }
     }
 }
