@@ -52,7 +52,7 @@
 //! "spec_family": [
 //!   { "bench": "spec-fib", "backend": "compiled_simd", "variant": "basic",
 //!     "threads": 2, "wall_s": 0.030, "noise": 0.03, "tasks": 2692537,
-//!     "q": 8 }
+//!     "q": 8, "layout": "col" }
 //! ]
 //! ```
 //!
@@ -62,14 +62,23 @@
 //! PR 4 instruction-stream backend; `compiled_simd` is `VectorSpec`, the
 //! PR 5 masked `Q`-lane vector tier over the same instruction stream
 //! (`"q"` records the detected lane width it executed at; scalar rows
-//! carry `"q": 1`). All backends' reductions are asserted equal — and the
-//! three blocked backends' task counts identical — before a row is
-//! recorded; relative speed is *flagged*, not asserted (a cell where
-//! `compiled` fails to beat `blocked`, or where `compiled_simd` fails to
-//! match `compiled` on the straight-line-heavy fib/binomial cells, prints
-//! a WARNING line, so measurement runs stay robust on noisy hosts) —
-//! committed `BENCH_*.json` artifacts are expected to show zero flagged
-//! cells, which is checked when the artifact is produced.
+//! carry `"q": 1`). Since PR 6 each row also records `"layout"` — the
+//! task-store layout it was measured over: `"col"` is the default
+//! column-major `ArgBlock` (one dense `Vec<i64>` per parameter), `"row"`
+//! the row-major `RowArgBlock` reference kept as the AoS side of the
+//! layout A/B (recorded for the `compiled`/`compiled_simd` backends only,
+//! over the *identical* instruction stream, selected at measurement time
+//! with `--layout row|col|both`). Rows from pre-PR-6 artifacts carry no
+//! layout field and compare as `"col"` — they measured the then-only
+//! store along the same default pipeline. All backends' reductions are
+//! asserted equal — and the blocked backends' task counts identical —
+//! before a row is recorded; relative speed is *flagged*, not asserted
+//! (a cell where `compiled` fails to beat `blocked`, or where
+//! `compiled_simd` fails to match `compiled` on the straight-line-heavy
+//! fib/binomial cells, prints a WARNING line, so measurement runs stay
+//! robust on noisy hosts) — committed `BENCH_*.json` artifacts are
+//! expected to show zero flagged cells, which is checked when the
+//! artifact is produced.
 //!
 //! Since PR 3 each run row also records `"noise"` — the relative spread
 //! `(max - min) / median` over the reps — which the comparator below uses
@@ -79,18 +88,35 @@
 //!
 //! # `trajectory compare A.json B.json`
 //!
-//! Diffs two trajectory documents over their shared pinned-grid cells and
-//! **exits non-zero** when any cell regressed beyond noise: a cell flags
-//! when `wall_B / wall_A > 1 + max(--band, noise_A, noise_B)`, and cells
-//! where both medians sit under `--abs-floor` seconds are skipped (micro
-//! timings measure the OS, not the code). Defaults: `--band 0.15`,
-//! `--abs-floor 0.005`. This is the ROADMAP's trajectory-growth item: the
-//! per-PR gate is `trajectory compare BENCH_PRn-1.json BENCH_PRn.json`.
+//! Diffs two trajectory documents over their shared pinned-grid cells —
+//! and, since PR 6, their shared `spec_family` cells (matched on
+//! bench/backend/variant/threads/layout, enforcing like the pinned grid)
+//! — and **exits non-zero** when any cell regressed beyond noise: a cell
+//! flags when `wall_B / wall_A > 1 + max(band, noise_A, noise_B)`, where
+//! `band` is `--band` for pinned cells and `--spec-band` (defaulting to
+//! `--band`) for spec-family cells, and cells where both medians sit
+//! under `--abs-floor` seconds are skipped (micro timings measure the OS,
+//! not the code). Defaults: `--band 0.15`, `--abs-floor 0.005`. This is
+//! the ROADMAP's trajectory-growth item: the per-PR gate is
+//! `trajectory compare BENCH_PRn-1.json BENCH_PRn.json`.
+//!
+//! # `trajectory gate BENCH.json`
+//!
+//! Checks a single artifact's *internal* vector-tier invariant: for every
+//! `--bench` (default `spec-fib` and `spec-binomial`), on every
+//! (variant, threads) cell measured over the column-major store, the
+//! `compiled_simd` wall must beat the `compiled` wall by at least
+//! `--min-simd-gain` (default 1.5). Scalar and vector walls in one
+//! artifact come from the same process on the same host seconds, so this
+//! ratio survives the cross-session host drift that makes absolute
+//! artifact-vs-artifact scalar walls incomparable (see README, "reading
+//! the trajectory"); CI enforces it on the committed `BENCH_PR6.json`.
 //!
 //! Flags (measurement mode): `--scale tiny|small|paper`, `--reps N`,
-//! `--tag NAME`, `--file PATH`, `--smoke` (tiny scale, 1 rep, writes under
-//! `results/` so CI never dirties the tree — a health check, not a
-//! measurement).
+//! `--tag NAME`, `--file PATH`, `--layout row|col|both` (spec-family
+//! store layout; committed artifacts use `both`), `--smoke` (tiny scale,
+//! 1 rep, writes under `results/` so CI never dirties the tree — a health
+//! check, not a measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -117,6 +143,10 @@ struct TrajArgs {
     /// Skip the pinned subset and run only the substrate A/B (a quick
     /// check while iterating on the deques; not for committed artifacts).
     ab_only: bool,
+    /// Which task-store layout(s) the spec family measures (`--layout
+    /// row|col|both`). Committed artifacts use `both` — the AoS-vs-SoA
+    /// A/B; `row`/`col` are for iterating on one side.
+    layout: traj::SpecLayout,
 }
 
 impl TrajArgs {
@@ -129,6 +159,7 @@ impl TrajArgs {
             file: None,
             smoke: false,
             ab_only: false,
+            layout: traj::SpecLayout::Both,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -149,6 +180,15 @@ impl TrajArgs {
                 }
                 "--smoke" => t.smoke = true,
                 "--ab-only" => t.ab_only = true,
+                "--layout" => {
+                    i += 1;
+                    t.layout = match argv[i].as_str() {
+                        "row" => traj::SpecLayout::Row,
+                        "col" => traj::SpecLayout::Col,
+                        "both" => traj::SpecLayout::Both,
+                        other => panic!("--layout row|col|both, got {other:?}"),
+                    };
+                }
                 _ => {}
             }
             i += 1;
@@ -197,10 +237,14 @@ struct AbRow {
 }
 
 fn main() {
-    // Subcommand dispatch: `trajectory compare A.json B.json [...]`.
+    // Subcommand dispatch: `trajectory compare A.json B.json [...]` /
+    // `trajectory gate BENCH.json [...]`.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("compare") {
         std::process::exit(run_compare(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("gate") {
+        std::process::exit(run_gate(&argv[1..]));
     }
 
     let args = TrajArgs::parse();
@@ -249,7 +293,7 @@ fn main() {
         Vec::new()
     } else {
         println!("\nspec family: interpreter vs BlockedSpec vs CompiledSpec");
-        traj::run_spec_family(args.common.scale, args.reps)
+        traj::run_spec_family(args.common.scale, args.reps, args.layout)
     };
 
     // ---- emit ------------------------------------------------------------
@@ -372,6 +416,7 @@ fn render_json(args: &TrajArgs, runs: &[RunRow], spec_rows: &[traj::SpecRow], ab
 fn run_compare(argv: &[String]) -> i32 {
     let mut paths: Vec<String> = Vec::new();
     let mut band = 0.15f64;
+    let mut spec_band: Option<f64> = None;
     let mut abs_floor = 0.005f64;
     let mut i = 0;
     while i < argv.len() {
@@ -379,6 +424,10 @@ fn run_compare(argv: &[String]) -> i32 {
             "--band" => {
                 i += 1;
                 band = argv[i].parse().expect("--band RATIO");
+            }
+            "--spec-band" => {
+                i += 1;
+                spec_band = Some(argv[i].parse().expect("--spec-band RATIO"));
             }
             "--abs-floor" => {
                 i += 1;
@@ -388,8 +437,10 @@ fn run_compare(argv: &[String]) -> i32 {
         }
         i += 1;
     }
+    // The spec family inherits the pinned band unless given its own.
+    let spec_band = spec_band.unwrap_or(band);
     let [path_a, path_b] = &paths[..] else {
-        eprintln!("usage: trajectory compare A.json B.json [--band R] [--abs-floor S]");
+        eprintln!("usage: trajectory compare A.json B.json [--band R] [--spec-band R] [--abs-floor S]");
         return 2;
     };
     let load = |path: &str| -> traj::Json {
@@ -397,8 +448,11 @@ fn run_compare(argv: &[String]) -> i32 {
         parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
     };
     let (a, b) = (load(path_a), load(path_b));
-    let report = traj::compare(&a, &b, band, abs_floor).expect("comparable documents");
-    println!("trajectory compare | {path_a} -> {path_b} | band={band} abs_floor={abs_floor}s\n");
+    let report = traj::compare(&a, &b, band, spec_band, abs_floor).expect("comparable documents");
+    println!(
+        "trajectory compare | {path_a} -> {path_b} | band={band} spec_band={spec_band} \
+         abs_floor={abs_floor}s\n"
+    );
     for row in &report.rows {
         let mark = if row.skipped {
             "  skip"
@@ -408,7 +462,7 @@ fn run_compare(argv: &[String]) -> i32 {
             "    ok"
         };
         println!(
-            "{mark} {key:<24} {old:>9.4}s -> {new:>9.4}s ratio={ratio:>6.3} band={band:.3}",
+            "{mark} {key:<42} {old:>9.4}s -> {new:>9.4}s ratio={ratio:>6.3} band={band:.3}",
             key = row.key,
             old = row.old_wall,
             new = row.new_wall,
@@ -426,6 +480,114 @@ fn run_compare(argv: &[String]) -> i32 {
         eprintln!("REGRESSION beyond noise band detected");
         1
     } else {
+        0
+    }
+}
+
+/// The `gate` subcommand: check a single artifact's *internal* vector-tier
+/// invariant — for every named bench, on every shared
+/// (variant, threads) cell measured over the column-major store,
+/// `compiled_simd` must be at least `--min-simd-gain` times faster than
+/// `compiled`. Both walls come from the same process, the same rep loop
+/// and the same host seconds, so the ratio is immune to the
+/// session-to-session host drift that pollutes artifact-vs-artifact
+/// scalar comparisons; it is the acceptance criterion the PR 6 layout
+/// work makes enforceable. Exit status 1 on any cell below the gain (or
+/// a named bench with no gated cells at all).
+fn run_gate(argv: &[String]) -> i32 {
+    let mut path: Option<String> = None;
+    let mut min_gain = 1.5f64;
+    let mut benches: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--min-simd-gain" => {
+                i += 1;
+                min_gain = argv[i].parse().expect("--min-simd-gain RATIO");
+            }
+            "--bench" => {
+                i += 1;
+                benches.push(argv[i].clone());
+            }
+            other => {
+                assert!(path.is_none(), "unexpected extra argument {other:?}");
+                path = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    if benches.is_empty() {
+        benches = vec!["spec-fib".to_string(), "spec-binomial".to_string()];
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trajectory gate BENCH.json [--min-simd-gain R] [--bench NAME]...");
+        return 2;
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let rows = doc.get("spec_family").and_then(traj::Json::as_arr).unwrap_or(&[]);
+    println!("trajectory gate | {path} | min_simd_gain={min_gain} layout=col\n");
+    // (bench, variant, threads) -> (compiled wall, compiled_simd wall)
+    let mut cells: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+    for row in rows {
+        let (Some(bench), Some(backend), Some(variant), Some(threads), Some(wall)) = (
+            row.get("bench").and_then(traj::Json::as_str),
+            row.get("backend").and_then(traj::Json::as_str),
+            row.get("variant").and_then(traj::Json::as_str),
+            row.get("threads").and_then(traj::Json::as_f64),
+            row.get("wall_s").and_then(traj::Json::as_f64),
+        ) else {
+            continue;
+        };
+        if row.get("layout").and_then(traj::Json::as_str).unwrap_or("col") != "col" {
+            continue;
+        }
+        if !benches.iter().any(|b| b == bench) {
+            continue;
+        }
+        let key = format!("{bench}/{variant}/w{}", threads as usize);
+        let slot = match cells.iter_mut().find(|(k, _, _)| *k == key) {
+            Some(slot) => slot,
+            None => {
+                cells.push((key, None, None));
+                cells.last_mut().unwrap()
+            }
+        };
+        match backend {
+            "compiled" => slot.1 = Some(wall),
+            "compiled_simd" => slot.2 = Some(wall),
+            _ => {}
+        }
+    }
+    let mut failures = 0usize;
+    for bench in &benches {
+        let mut gated = 0usize;
+        for (key, scalar, simd) in &cells {
+            if !key.starts_with(&format!("{bench}/")) {
+                continue;
+            }
+            let (Some(scalar), Some(simd)) = (scalar, simd) else { continue };
+            gated += 1;
+            let gain = scalar / simd;
+            let ok = gain >= min_gain;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{mark} {key:<32} compiled={scalar:>8.4}s simd={simd:>8.4}s gain={gain:>5.2}x",
+                mark = if ok { "    ok" } else { "  FAIL" },
+            );
+        }
+        if gated == 0 {
+            eprintln!("no gated cells for bench {bench:?} — artifact missing its data");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\nVECTOR-TIER GATE FAILED: {failures} cell(s) under {min_gain}x");
+        1
+    } else {
+        println!("\nall gated cells at or above {min_gain}x");
         0
     }
 }

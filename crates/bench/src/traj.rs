@@ -173,6 +173,24 @@ pub struct SpecRow {
     /// Execution lane width: the detected `Q` for `compiled_simd`, 1 for
     /// every scalar backend.
     pub q: usize,
+    /// Task-store layout the row was measured over: `col` (the default
+    /// column-major `ArgBlock`) or `row` (the row-major `RowArgBlock`
+    /// reference, recorded by the layout A/B for the `compiled` /
+    /// `compiled_simd` backends only).
+    pub layout: &'static str,
+}
+
+/// Which `ArgBlock` layout(s) [`run_spec_family`] measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecLayout {
+    /// The default column-major store only.
+    Col,
+    /// The row-major reference store only: a `compiled`/`compiled_simd`
+    /// race over the identical instruction stream (no `interp`/`blocked`
+    /// rows — those backends have no layout axis).
+    Row,
+    /// Both layouts — the committed artifact's AoS-vs-SoA A/B.
+    Both,
 }
 
 /// The pinned spec-family inputs per scale: big enough that a cell is tens
@@ -207,8 +225,22 @@ fn stats_of(walls: &[f64]) -> (f64, f64) {
 /// backends are interleaved rep by rep (order rotated) so host drift hits
 /// all of them equally, and every run's reduction is asserted against the
 /// interpreter's — a timing whose answer is wrong never makes it into the
-/// artifact.
-pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
+/// artifact. `layout` selects the column-major pass, the row-major
+/// reference pass (compiled/simd only, over the identical instruction
+/// stream), or both — the committed artifact's AoS-vs-SoA A/B.
+pub fn run_spec_family(scale: Scale, reps: usize, layout: SpecLayout) -> Vec<SpecRow> {
+    let mut rows = Vec::new();
+    if layout != SpecLayout::Row {
+        rows.extend(run_spec_family_col(scale, reps));
+    }
+    if layout != SpecLayout::Col {
+        rows.extend(run_spec_family_row(scale, reps));
+    }
+    rows
+}
+
+/// The column-major (default-layout) spec-family pass: all four backends.
+fn run_spec_family_col(scale: Scale, reps: usize) -> Vec<SpecRow> {
     use tb_spec::{detected_lane_width, interp, BlockedSpec, CompiledSpec, VectorSpec};
     let lane_q = detected_lane_width();
     let mut rows = Vec::new();
@@ -234,6 +266,7 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
             noise,
             tasks: 0,
             q: 1,
+            layout: "col",
         });
 
         let blocked = BlockedSpec::with_data_parallel(spec.clone(), calls.clone()).expect("pinned spec");
@@ -324,6 +357,7 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                     noise: b_noise,
                     tasks: tasks_b,
                     q: 1,
+                    layout: "col",
                 });
                 rows.push(SpecRow {
                     bench: name,
@@ -334,6 +368,7 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                     noise: c_noise,
                     tasks: tasks_c,
                     q: 1,
+                    layout: "col",
                 });
                 rows.push(SpecRow {
                     bench: name,
@@ -344,6 +379,7 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
                     noise: s_noise,
                     tasks: tasks_s,
                     q: lane_q,
+                    layout: "col",
                 });
             }
         }
@@ -368,6 +404,96 @@ pub fn run_spec_family(scale: Scale, reps: usize) -> Vec<SpecRow> {
     rows
 }
 
+/// The row-major reference pass of the layout A/B: `compiled` vs
+/// `compiled_simd` over `RowArgBlock`, built from the *identical*
+/// instruction stream the column pass executes (so the A/B isolates the
+/// task-store layout, nothing else). The interpreter still runs once per
+/// program — untimed — to supply the reduction every row is asserted
+/// against.
+fn run_spec_family_row(scale: Scale, reps: usize) -> Vec<SpecRow> {
+    use tb_spec::compile::RowArgBlock;
+    use tb_spec::{detected_lane_width, interp, CompiledSpec, VectorSpec};
+    let lane_q = detected_lane_width();
+    let mut rows = Vec::new();
+    for (name, spec, calls) in spec_cases(scale) {
+        let want = interp::interpret_data_parallel(&spec, &calls);
+        // Reuse the default pipeline's lowering, then seed row-major roots.
+        let code = std::sync::Arc::clone(
+            CompiledSpec::with_data_parallel(&spec, calls.clone()).expect("pinned spec").code(),
+        );
+        let compiled = CompiledSpec::<RowArgBlock>::from_code_in(std::sync::Arc::clone(&code), &calls);
+        let simd =
+            VectorSpec::<RowArgBlock>::from_code_with_width_in(std::sync::Arc::clone(&code), &calls, lane_q);
+        let basic = SchedConfig::basic(16, T_DFE);
+        let restart = SchedConfig::restart(16, T_DFE, T_RESTART);
+        for &threads in TRAJ_THREADS {
+            let pool = ThreadPool::new(threads);
+            for (variant, cfg, kind) in [
+                ("basic", basic, SchedulerKind::ReExpansion),
+                ("restart", restart, SchedulerKind::RestartIdeal),
+            ] {
+                let mut cw = Vec::with_capacity(reps);
+                let mut sw = Vec::with_capacity(reps);
+                let mut tasks_c = 0u64;
+                let mut tasks_s = 0u64;
+                for rep in 0..reps {
+                    let mut run_c = |cw: &mut Vec<f64>| {
+                        let out = run_scheduler(kind, &compiled, cfg, Some(&pool));
+                        assert_eq!(out.reducer, want, "{name}/compiled[row]/{variant}/w{threads}");
+                        cw.push(out.stats.wall.as_secs_f64());
+                        tasks_c = out.stats.tasks_executed;
+                    };
+                    let mut run_s = |sw: &mut Vec<f64>| {
+                        let out = run_scheduler(kind, &simd, cfg, Some(&pool));
+                        assert_eq!(out.reducer, want, "{name}/compiled_simd[row]/{variant}/w{threads}");
+                        sw.push(out.stats.wall.as_secs_f64());
+                        tasks_s = out.stats.tasks_executed;
+                    };
+                    // Two backends: alternate which goes first per rep.
+                    if rep % 2 == 0 {
+                        run_c(&mut cw);
+                        run_s(&mut sw);
+                    } else {
+                        run_s(&mut sw);
+                        run_c(&mut cw);
+                    }
+                }
+                assert_eq!(tasks_c, tasks_s, "layouts must expand the same computation tree");
+                let (c_wall, c_noise) = stats_of(&cw);
+                let (s_wall, s_noise) = stats_of(&sw);
+                println!(
+                    "{name:>14} {variant:>8} w={threads} [row] compiled={c_wall:>9.4}s \
+                     simd={s_wall:>9.4}s simd-speedup={:.2}x",
+                    c_wall / s_wall.max(1e-12)
+                );
+                rows.push(SpecRow {
+                    bench: name,
+                    backend: "compiled",
+                    variant,
+                    threads,
+                    wall_s: c_wall,
+                    noise: c_noise,
+                    tasks: tasks_c,
+                    q: 1,
+                    layout: "row",
+                });
+                rows.push(SpecRow {
+                    bench: name,
+                    backend: "compiled_simd",
+                    variant,
+                    threads,
+                    wall_s: s_wall,
+                    noise: s_noise,
+                    tasks: tasks_s,
+                    q: lane_q,
+                    layout: "row",
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Render the `"spec_family"` section (everything between the `"runs"`
 /// array and the substrate A/B section).
 pub fn render_spec_family(rows: &[SpecRow]) -> String {
@@ -378,8 +504,8 @@ pub fn render_spec_family(rows: &[SpecRow]) -> String {
         let _ = writeln!(
             s,
             "    {{ \"bench\": \"{}\", \"backend\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
-             \"wall_s\": {:.6}, \"noise\": {:.4}, \"tasks\": {}, \"q\": {} }}{comma}",
-            r.bench, r.backend, r.variant, r.threads, r.wall_s, r.noise, r.tasks, r.q
+             \"wall_s\": {:.6}, \"noise\": {:.4}, \"tasks\": {}, \"q\": {}, \"layout\": \"{}\" }}{comma}",
+            r.bench, r.backend, r.variant, r.threads, r.wall_s, r.noise, r.tasks, r.q, r.layout
         );
     }
     let _ = writeln!(s, "  ],");
@@ -629,40 +755,92 @@ fn run_key(run: &Json) -> Option<String> {
     ))
 }
 
-/// Compare the pinned grids of two parsed trajectory documents.
-///
-/// A cell regresses when `new_wall / old_wall > 1 + band_eff`, where
-/// `band_eff = max(band, noise_A, noise_B)` uses the noise recorded in the
-/// files themselves (rows written before the noise field default to the
-/// plain `band`). Cells where *both* medians are below `abs_floor` seconds
-/// are skipped: at micro durations the grid measures the OS scheduler, not
-/// the code under test.
-pub fn compare(a: &Json, b: &Json, band: f64, abs_floor: f64) -> Result<CompareReport, String> {
-    let runs_a = a.get("runs").and_then(Json::as_arr).ok_or("file A has no \"runs\" array")?;
-    let runs_b = b.get("runs").and_then(Json::as_arr).ok_or("file B has no \"runs\" array")?;
-    let mut rows = Vec::new();
-    let mut regressions = 0usize;
-    let mut missing = 0usize;
-    for run_a in runs_a {
-        let key = run_key(run_a).ok_or("malformed run row in file A")?;
-        let Some(run_b) = runs_b.iter().find(|r| run_key(r).as_deref() == Some(key.as_str())) else {
-            missing += 1;
+/// Identity of a spec-family row. Rows written before the layout A/B
+/// carry no `"layout"` field; they measured the then-only row-major
+/// store along the *default* pipeline, which is exactly what today's
+/// default (`col`) rows measure — so absent defaults to `col` and old
+/// artifacts diff against the candidate's default-layout rows.
+fn spec_key(row: &Json) -> Option<String> {
+    Some(format!(
+        "{}/{}/{}/w{}/{}",
+        row.get("bench")?.as_str()?,
+        row.get("backend")?.as_str()?,
+        row.get("variant")?.as_str()?,
+        row.get("threads")?.as_f64()? as usize,
+        row.get("layout").and_then(Json::as_str).unwrap_or("col")
+    ))
+}
+
+/// Diff one matched row family (shared `key_of` identity) of two
+/// documents into `report`.
+fn diff_rows(
+    rows_a: &[Json],
+    rows_b: &[Json],
+    key_of: fn(&Json) -> Option<String>,
+    prefix: &str,
+    band: f64,
+    abs_floor: f64,
+    report: &mut CompareReport,
+) -> Result<(), String> {
+    for row_a in rows_a {
+        let key = key_of(row_a).ok_or("malformed row in file A")?;
+        let Some(row_b) = rows_b.iter().find(|r| key_of(r).as_deref() == Some(key.as_str())) else {
+            report.missing += 1;
             continue;
         };
-        let old_wall = run_a.get("wall_s").and_then(Json::as_f64).ok_or("run without wall_s in A")?;
-        let new_wall = run_b.get("wall_s").and_then(Json::as_f64).ok_or("run without wall_s in B")?;
-        let noise_a = run_a.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
-        let noise_b = run_b.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
+        let old_wall = row_a.get("wall_s").and_then(Json::as_f64).ok_or("row without wall_s in A")?;
+        let new_wall = row_b.get("wall_s").and_then(Json::as_f64).ok_or("row without wall_s in B")?;
+        let noise_a = row_a.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
+        let noise_b = row_b.get("noise").and_then(Json::as_f64).unwrap_or(0.0);
         let row_band = band.max(noise_a).max(noise_b);
         let ratio = if old_wall > 0.0 { new_wall / old_wall } else { 1.0 };
         let skipped = old_wall < abs_floor && new_wall < abs_floor;
         let regressed = !skipped && ratio > 1.0 + row_band;
         if regressed {
-            regressions += 1;
+            report.regressions += 1;
         }
-        rows.push(CompareRow { key, old_wall, new_wall, ratio, band: row_band, regressed, skipped });
+        report.rows.push(CompareRow {
+            key: format!("{prefix}{key}"),
+            old_wall,
+            new_wall,
+            ratio,
+            band: row_band,
+            regressed,
+            skipped,
+        });
     }
-    Ok(CompareReport { rows, regressions, missing })
+    Ok(())
+}
+
+/// Compare two parsed trajectory documents: the pinned grid, then (when
+/// file A carries one) the `"spec_family"` section.
+///
+/// A cell regresses when `new_wall / old_wall > 1 + band_eff`, where
+/// `band_eff = max(band, noise_A, noise_B)` uses the noise recorded in the
+/// files themselves (rows written before the noise field default to the
+/// plain `band`). Spec-family cells use `spec_band` instead of `band` —
+/// the family's noise floor differs from the pinned grid's, so it gets
+/// its own tolerance. Cells where *both* medians are below `abs_floor`
+/// seconds are skipped: at micro durations the grid measures the OS
+/// scheduler, not the code under test. Spec regressions count toward
+/// [`CompareReport::regressions`] like pinned-grid ones (the spec-family
+/// gate is enforcing, not advisory).
+pub fn compare(
+    a: &Json,
+    b: &Json,
+    band: f64,
+    spec_band: f64,
+    abs_floor: f64,
+) -> Result<CompareReport, String> {
+    let runs_a = a.get("runs").and_then(Json::as_arr).ok_or("file A has no \"runs\" array")?;
+    let runs_b = b.get("runs").and_then(Json::as_arr).ok_or("file B has no \"runs\" array")?;
+    let mut report = CompareReport { rows: Vec::new(), regressions: 0, missing: 0 };
+    diff_rows(runs_a, runs_b, run_key, "", band, abs_floor, &mut report)?;
+    if let Some(spec_a) = a.get("spec_family").and_then(Json::as_arr) {
+        let spec_b = b.get("spec_family").and_then(Json::as_arr).unwrap_or(&[]);
+        diff_rows(spec_a, spec_b, spec_key, "spec:", spec_band, abs_floor, &mut report)?;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -715,7 +893,7 @@ mod tests {
             ("fib", "basic", 1, 0.108, 0.02),   // +8% within 10% band
             ("uts", "restart", 2, 0.150, 0.02), // +50%: regression
         ]);
-        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        let report = compare(&a, &b, 0.10, 0.10, 0.005).unwrap();
         assert_eq!(report.regressions, 1);
         assert!(!report.rows[0].regressed);
         assert!(report.rows[1].regressed);
@@ -727,7 +905,7 @@ mod tests {
         // 25% slower, but the baseline recorded 30% run-to-run noise.
         let a = doc(&[("fib", "basic", 1, 0.100, 0.30)]);
         let b = doc(&[("fib", "basic", 1, 0.125, 0.02)]);
-        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        let report = compare(&a, &b, 0.10, 0.10, 0.005).unwrap();
         assert_eq!(report.regressions, 0, "recorded noise must widen the band");
         assert!((report.rows[0].band - 0.30).abs() < 1e-12);
     }
@@ -736,10 +914,61 @@ mod tests {
     fn compare_skips_micro_rows_and_counts_missing() {
         let a = doc(&[("uts", "basic", 1, 0.002, 0.0), ("fib", "basic", 8, 0.5, 0.0)]);
         let b = doc(&[("uts", "basic", 1, 0.004, 0.0)]); // 2x but micro; fib/w8 missing
-        let report = compare(&a, &b, 0.10, 0.005).unwrap();
+        let report = compare(&a, &b, 0.10, 0.10, 0.005).unwrap();
         assert_eq!(report.regressions, 0);
         assert!(report.rows[0].skipped);
         assert_eq!(report.missing, 1);
+    }
+
+    /// (bench, backend, variant, threads, wall_s, layout) per spec row.
+    type SpecDocRow<'a> = (&'a str, &'a str, &'a str, usize, f64, Option<&'a str>);
+
+    fn spec_doc(rows: &[SpecDocRow<'_>]) -> Json {
+        let spec: Vec<Json> = rows
+            .iter()
+            .map(|(bench, backend, variant, threads, wall, layout)| {
+                let mut fields = vec![
+                    ("bench".into(), Json::Str((*bench).into())),
+                    ("backend".into(), Json::Str((*backend).into())),
+                    ("variant".into(), Json::Str((*variant).into())),
+                    ("threads".into(), Json::Num(*threads as f64)),
+                    ("wall_s".into(), Json::Num(*wall)),
+                    ("noise".into(), Json::Num(0.02)),
+                ];
+                if let Some(l) = layout {
+                    fields.push(("layout".into(), Json::Str((*l).into())));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![("runs".into(), Json::Arr(vec![])), ("spec_family".into(), Json::Arr(spec))])
+    }
+
+    #[test]
+    fn compare_diffs_spec_family_with_its_own_band_and_layout_default() {
+        // File A: a pre-layout artifact (no "layout" field → treated as the
+        // default layout). File B: a layout A/B artifact; the A rows must
+        // match B's "col" rows, never the "row" reference rows.
+        let a = spec_doc(&[
+            ("spec-fib", "compiled", "basic", 1, 0.100, None),
+            ("spec-fib", "compiled_simd", "basic", 1, 0.080, None),
+        ]);
+        let b = spec_doc(&[
+            ("spec-fib", "compiled", "basic", 1, 0.400, Some("row")), // decoy
+            ("spec-fib", "compiled", "basic", 1, 0.105, Some("col")),
+            ("spec-fib", "compiled_simd", "basic", 1, 0.200, Some("col")),
+        ]);
+        // Tight pinned band, loose spec band: +150% on the simd row still
+        // regresses, +5% on the compiled row does not — and neither row
+        // matched the 4x "row"-layout decoy.
+        let report = compare(&a, &b, 0.01, 0.25, 0.005).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.missing, 0, "layout-defaulted keys must match col rows");
+        assert!(!report.rows[0].regressed, "within the spec band");
+        assert!((report.rows[0].ratio - 1.05).abs() < 1e-9, "matched the col row, not the decoy");
+        assert!(report.rows[1].regressed);
+        assert_eq!(report.regressions, 1, "spec regressions are enforcing");
+        assert!(report.rows.iter().all(|r| r.key.starts_with("spec:")));
     }
 
     #[test]

@@ -618,6 +618,18 @@ pub struct SharedLeveledDeque<S> {
     /// dropped on the thief's side — steals are rare by design.
     /// Owner-only by the struct's concurrency contract.
     spare_cells: std::cell::UnsafeCell<Vec<Box<LevelCell<S>>>>,
+    /// Owner-side count of mirror entries whose `dfe + restart` total meets
+    /// [`qualify_t`](Self::find_restart_full)'s threshold. While a cell is
+    /// present its mirror entry is exact, so a *returnable* level always
+    /// contributes here; stale thief-emptied entries can only overcount.
+    /// Zero therefore proves a failing scan without walking the mirror.
+    /// Owner-only by the struct's concurrency contract.
+    maybe_full: std::cell::UnsafeCell<usize>,
+    /// The qualification threshold `maybe_full` was counted against —
+    /// `usize::MAX` until the first merge-scan fixes it (the counter is
+    /// rebaselined whenever the caller's threshold changes, which in
+    /// practice happens once per run). Owner-only.
+    qualify_t: std::cell::UnsafeCell<usize>,
 }
 
 /// Cap on the owner's recycled-cell cache.
@@ -658,6 +670,35 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             mirror: std::cell::UnsafeCell::new(Vec::new()),
             mirror_hi: std::cell::UnsafeCell::new(0),
             spare_cells: std::cell::UnsafeCell::new(Vec::new()),
+            maybe_full: std::cell::UnsafeCell::new(0),
+            qualify_t: std::cell::UnsafeCell::new(usize::MAX),
+        }
+    }
+
+    /// Owner-only bookkeeping for `maybe_full`: called with a mirror
+    /// entry's value before and after a write, it keeps the count of
+    /// threshold-qualifying entries exact. A no-op until the first
+    /// merge-scan establishes the threshold.
+    ///
+    /// # Safety
+    /// Caller must be the owner.
+    unsafe fn note_mirror_change(&self, old: (usize, usize), new: (usize, usize)) {
+        // SAFETY: owner operation per the caller contract.
+        let t = unsafe { *self.qualify_t.get() };
+        if t == usize::MAX {
+            return;
+        }
+        let was = old.0 + old.1 >= t;
+        let is = new.0 + new.1 >= t;
+        if was != is {
+            // SAFETY: owner operation per the caller contract.
+            let c = unsafe { &mut *self.maybe_full.get() };
+            if is {
+                *c += 1;
+            } else {
+                debug_assert!(*c > 0, "maybe_full underflow");
+                *c = c.saturating_sub(1);
+            }
         }
     }
 
@@ -841,6 +882,7 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         }
         // SAFETY: push is an owner operation.
         let entry = unsafe { self.mirror_entry(block.level) };
+        let entry_before = *entry;
         let mut incoming = block.store;
         // Mirror says empty ⇒ the slot is null (thieves only *empty*
         // levels, so the mirror never underestimates): skip the detach.
@@ -883,6 +925,10 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         };
         *entry =
             (cell.dfe.as_ref().map_or(0, TaskStore::len), cell.restart.as_ref().map_or(0, TaskStore::len));
+        // One note covers the net mirror change, including the transient
+        // `(0, 0)` reset on the stale-mirror path above.
+        // SAFETY: push is an owner operation.
+        unsafe { self.note_mirror_change(entry_before, *entry) };
         // Count before publishing so a thief that immediately steals the
         // cell never drives the counters negative.
         self.owner_account(occ(usize::from(!merged), len), true);
@@ -898,7 +944,10 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         if *entry == (0, 0) {
             return None; // mirror never underestimates: level is empty
         }
+        let entry_before = *entry;
         *entry = (0, 0);
+        // SAFETY: take_level is an owner operation.
+        unsafe { self.note_mirror_change(entry_before, (0, 0)) };
         let slot = self.slot(level)?;
         let mut cell = Self::detach(slot)?;
         self.owner_account(occ(cell.blocks(), cell.tasks()), false);
@@ -932,14 +981,34 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
     /// The assembled block, its level, and the schedule's reduction are
     /// identical; only the merge timing (and so the `merges`-stat
     /// attribution) differs. The payoff is that a *failing* scan performs
-    /// zero shared-memory operations — it is a walk over a private array —
-    /// which is what lets the restart scheduler spin its
-    /// scan-steal-descend loop without serializing against its thieves.
+    /// zero shared-memory operations — and, via the `maybe_full` count of
+    /// qualifying mirror entries (maintained at every mirror write), the
+    /// common all-levels-below-threshold case is decided in O(1) without
+    /// even walking the private array — which is what lets the restart
+    /// scheduler spin its scan-steal-descend loop without serializing
+    /// against its thieves.
     pub fn find_restart_full(&self, t_restart: usize, merges: &mut u64) -> Option<TaskBlock<S>> {
         // SAFETY: the merge-scan is an owner operation; nothing in the loop
         // body touches the mirror through another path.
         let mirror = unsafe { &mut *self.mirror.get() };
         let hi = unsafe { &mut *self.mirror_hi.get() };
+        // A returnable level has a present cell (≥ 1 task, mirror exact)
+        // and meets `t_restart`, so counting against `max(t_restart, 1)`
+        // never undercounts one; stale thief-emptied entries only ever
+        // overcount, which costs a walk, not correctness.
+        let t_eff = t_restart.max(1);
+        // SAFETY: the merge-scan is an owner operation.
+        unsafe {
+            if *self.qualify_t.get() != t_eff {
+                // Threshold changed (in practice: first scan of the run) —
+                // rebaseline the counter with one mirror walk.
+                *self.maybe_full.get() = mirror.iter().filter(|(d, r)| d + r >= t_eff).count();
+                *self.qualify_t.get() = t_eff;
+            }
+            if *self.maybe_full.get() == 0 {
+                return None; // no entry can qualify: O(1) failing scan
+            }
+        }
         if mirror.is_empty() {
             return None;
         }
@@ -962,6 +1031,8 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             let Some(mut cell) = Self::detach(slot) else {
                 // A thief emptied the level since the mirror last saw it.
                 *entry = (0, 0);
+                // SAFETY: the merge-scan is an owner operation.
+                unsafe { self.note_mirror_change((dfe_len, restart_len), (0, 0)) };
                 continue;
             };
             // Consume the level: physically merge its two blocks now.
@@ -978,6 +1049,8 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             };
             debug_assert!(store.len() >= t_restart, "mirror lengths must be exact");
             *entry = (0, 0);
+            // SAFETY: the merge-scan is an owner operation.
+            unsafe { self.note_mirror_change((dfe_len, restart_len), (0, 0)) };
             self.owner_account(occ(removed_blocks, store.len()), false);
             // SAFETY: owner operation; cell fully drained above.
             unsafe { self.cache_cell(cell) };

@@ -7,10 +7,12 @@
 //! to blocks can be vectorized using Streaming Compaction."
 //!
 //! [`compact_append`] is the portable scalar version (branch-light,
-//! cursor-advance style, which LLVM lowers well). For the 8×u32 case an
-//! AVX2 `vpermd` table-driven specialisation is provided and selected at
-//! runtime; the property tests assert it agrees with the scalar version on
-//! random inputs.
+//! cursor-advance style, which LLVM lowers well). Two hardware
+//! specialisations are provided and selected at runtime: an AVX2 `vpermd`
+//! table walk (8×u32, and 4/8×i64 with each 64-bit lane permuted as a
+//! dword pair) and an AVX-512 `vpcompressq` path for 8×i64
+//! ([`compact_append_i64`], the kernel behind spec spawn-column writes).
+//! The property tests assert every path agrees with the scalar version.
 
 use crate::lanes::{Lanes, Mask};
 
@@ -70,6 +72,43 @@ pub fn compact_append_u32x8(out: &mut Vec<u32>, src: &Lanes<u32, 8>, mask: &Mask
     compact_append(out, src, mask)
 }
 
+/// Masked compaction of `Q` `i64` lanes — the kernel behind every spec
+/// spawn column write (`ArgBlock::push_lane_tuples` calls this once per
+/// parameter column, for any parameter count).
+///
+/// Dispatches at runtime: AVX-512 `vpcompressq` when available (one
+/// instruction for 8 lanes), an AVX2 `vpermd` table walk otherwise (each
+/// 64-bit lane is permuted as a pair of dwords, same technique as
+/// [`compact_append_u32x8`]), and the portable scalar cursor loop as the
+/// final fallback and for widths the vector paths don't cover.
+#[inline]
+pub fn compact_append_i64<const N: usize>(out: &mut Vec<i64>, src: &Lanes<i64, N>, mask: &Mask<N>) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // `Lanes`/`Mask` are plain arrays, so when the width matches the
+        // casts below only rename the const parameter.
+        if N == 8 {
+            let src8 = unsafe { &*(src as *const Lanes<i64, N>).cast::<Lanes<i64, 8>>() };
+            let mask8 = unsafe { &*(mask as *const Mask<N>).cast::<Mask<8>>() };
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: AVX-512F presence just checked.
+                return unsafe { avx2::compress_i64x8(out, src8, mask8) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 presence just checked.
+                return unsafe { avx2::compact_i64x8(out, src8, mask8) };
+            }
+        }
+        if N == 4 && std::arch::is_x86_feature_detected!("avx2") {
+            let src4 = unsafe { &*(src as *const Lanes<i64, N>).cast::<Lanes<i64, 4>>() };
+            let mask4 = unsafe { &*(mask as *const Mask<N>).cast::<Mask<4>>() };
+            // SAFETY: AVX2 presence just checked.
+            return unsafe { avx2::compact_i64x4(out, src4, mask4) };
+        }
+    }
+    compact_append(out, src, mask)
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::*;
@@ -112,6 +151,84 @@ mod avx2 {
             let packed = _mm256_permutevar8x32_epi32(v, perm);
             let cursor = out.len();
             _mm256_storeu_si256(out.as_mut_ptr().add(cursor).cast(), packed);
+            out.set_len(cursor + kept);
+        }
+        kept
+    }
+
+    /// For each 4-bit mask over 64-bit lanes, the `vpermd` control that
+    /// gathers the set lanes' dword halves to the front: set lane `l`
+    /// contributes dword indices `2l` and `2l + 1`, in lane order.
+    const PERMS64: [[u32; 8]; 16] = {
+        let mut table = [[0u32; 8]; 16];
+        let mut m = 0;
+        while m < 16 {
+            let mut k = 0;
+            let mut lane = 0;
+            while lane < 4 {
+                if m & (1 << lane) != 0 {
+                    table[m][k] = 2 * lane as u32;
+                    table[m][k + 1] = 2 * lane as u32 + 1;
+                    k += 2;
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        table
+    };
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compact_i64x4(out: &mut Vec<i64>, src: &Lanes<i64, 4>, mask: &Mask<4>) -> usize {
+        let bits = mask.to_bitmask() as usize;
+        let kept = (bits as u32).count_ones() as usize;
+        out.reserve(4);
+        let perm_arr = PERMS64[bits];
+        // SAFETY (within target_feature fn): the load reads 32 bytes from a
+        // 4×i64 array; the store has 4 i64 of headroom via reserve(4).
+        unsafe {
+            let v = _mm256_loadu_si256(src.0.as_ptr().cast());
+            let perm = _mm256_loadu_si256(perm_arr.as_ptr().cast());
+            let packed = _mm256_permutevar8x32_epi32(v, perm);
+            let cursor = out.len();
+            _mm256_storeu_si256(out.as_mut_ptr().add(cursor).cast(), packed);
+            out.set_len(cursor + kept);
+        }
+        kept
+    }
+
+    /// Two `vpermd` half-compactions cover 8×i64 on AVX2-only hardware.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compact_i64x8(out: &mut Vec<i64>, src: &Lanes<i64, 8>, mask: &Mask<8>) -> usize {
+        let lo = Lanes([src.0[0], src.0[1], src.0[2], src.0[3]]);
+        let hi = Lanes([src.0[4], src.0[5], src.0[6], src.0[7]]);
+        let mlo = Mask([mask.0[0], mask.0[1], mask.0[2], mask.0[3]]);
+        let mhi = Mask([mask.0[4], mask.0[5], mask.0[6], mask.0[7]]);
+        // SAFETY: caller guarantees AVX2.
+        unsafe { compact_i64x4(out, &lo, &mlo) + compact_i64x4(out, &hi, &mhi) }
+    }
+
+    /// One `vpcompressq` does the whole 8×i64 compaction on AVX-512F.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F is available.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn compress_i64x8(out: &mut Vec<i64>, src: &Lanes<i64, 8>, mask: &Mask<8>) -> usize {
+        let bits = mask.to_bitmask() as u8;
+        let kept = bits.count_ones() as usize;
+        out.reserve(8);
+        // SAFETY (within target_feature fn): the load reads 64 bytes from an
+        // 8×i64 array; the masked compress-store writes exactly `kept`
+        // elements, for which reserve(8) guarantees headroom.
+        unsafe {
+            let v = _mm512_loadu_si512(src.0.as_ptr().cast());
+            let cursor = out.len();
+            _mm512_mask_compressstoreu_epi64(out.as_mut_ptr().add(cursor).cast(), bits, v);
             out.set_len(cursor + kept);
         }
         kept
@@ -169,6 +286,51 @@ mod tests {
             compact_append_u32x8(&mut fast, &src, &mask);
             assert_eq!(scalar, fast, "mask {bits:#010b}");
         }
+    }
+
+    #[test]
+    fn i64x4_matches_scalar_exhaustively() {
+        let src = Lanes([i64::MIN, -2, 3, i64::MAX]);
+        for bits in 0u32..16 {
+            let mut m = [false; 4];
+            for (lane, b) in m.iter_mut().enumerate() {
+                *b = bits & (1 << lane) != 0;
+            }
+            let mask = Mask(m);
+            let mut scalar = vec![42i64]; // non-empty prefix must survive
+            compact_append(&mut scalar, &src, &mask);
+            let mut fast = vec![42i64];
+            compact_append_i64(&mut fast, &src, &mask);
+            assert_eq!(scalar, fast, "mask {bits:#06b}");
+        }
+    }
+
+    #[test]
+    fn i64x8_matches_scalar_exhaustively() {
+        // All 256 masks: whichever hardware path dispatch picks
+        // (vpcompressq, paired vpermd, or scalar) must agree bit-for-bit.
+        let src = Lanes([i64::MIN, -7, -1, 0, 1, 2, 1 << 40, i64::MAX]);
+        for bits in 0u32..256 {
+            let mut m = [false; 8];
+            for (lane, b) in m.iter_mut().enumerate() {
+                *b = bits & (1 << lane) != 0;
+            }
+            let mask = Mask(m);
+            let mut scalar = Vec::new();
+            compact_append(&mut scalar, &src, &mask);
+            let mut fast = Vec::new();
+            compact_append_i64(&mut fast, &src, &mask);
+            assert_eq!(scalar, fast, "mask {bits:#010b}");
+        }
+    }
+
+    #[test]
+    fn i64_odd_widths_take_the_scalar_path() {
+        let src = Lanes([10i64, 20]);
+        let mut out = vec![1i64];
+        let n = compact_append_i64(&mut out, &src, &Mask([false, true]));
+        assert_eq!(n, 1);
+        assert_eq!(out, vec![1, 20]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod feature;
 pub mod lanes;
 pub mod soa;
 
-pub use compact::compact_append;
+pub use compact::{compact_append, compact_append_i64};
 pub use feature::{default_q, detected_q, detected_vector_bits, q_for_width, CpuFeatures};
 pub use lanes::{Lanes, Mask};
 pub use soa::{SoaVec2, SoaVec3, SoaVec4};

@@ -16,11 +16,16 @@
 //! * **Constant folding** at lowering time: any operator whose operands
 //!   fold to literals is evaluated during compilation, so e.g. `3 * 4 + n`
 //!   costs one `Add` at run time.
-//! * **A flat task store.** Where `BlockedSpec` heap-allocates one
+//! * **A columnar task store.** Where `BlockedSpec` heap-allocates one
 //!   `Vec<i64>` per spawned task, [`ArgBlock`] packs every task of a block
-//!   into one contiguous `Vec<i64>` at a fixed stride (the method arity).
-//!   A spawn is a bounds-checked `extend_from_slice`; a block of a million
-//!   tasks is one allocation, not a million.
+//!   into `stride` dense columns of `Vec<i64>` (one per method parameter —
+//!   the paper's Table-2 AoS→SoA move applied to the spec store itself).
+//!   A spawn is one push per column; a block of a million tasks is a
+//!   handful of allocations, not a million; and the vector tier's `Param`
+//!   loads and spawn compactions become contiguous per-column vector ops
+//!   (see [`SpecStore`] and `crate::simd_exec`). The previous row-major
+//!   layout survives as [`RowArgBlock`], the benchmark A/B arm and
+//!   equivalence-test oracle.
 //!
 //! The program layout is:
 //!
@@ -42,7 +47,7 @@
 use std::sync::Arc;
 
 use tb_core::prelude::*;
-use tb_simd::{compact_append, Lanes, Mask};
+use tb_simd::{compact_append_i64, Lanes, Mask};
 
 use crate::ast::{Expr, RecursiveSpec, SpecError, Stmt};
 
@@ -285,16 +290,19 @@ impl SpecCode {
         s
     }
 
-    /// Execute the program for one task. `params` are the task's argument
-    /// tuple, `regs` is a scratch file of at least [`SpecCode::reg_count`]
-    /// slots (reused across the tasks of a block). The vector tier
-    /// (`crate::simd_exec`) calls this for the ragged remainder of a block.
+    /// Execute the program for one task. `regs` is a scratch file of at
+    /// least [`SpecCode::reg_count`] slots (reused across the tasks of a
+    /// block). `Param` reads through `params` — either a borrowed
+    /// contiguous tuple or a direct `(store, task)` column view, chosen
+    /// per store by `simd_exec::run_scalar` — so the one interpreter loop
+    /// serves both scan strategies. The vector tier (`crate::simd_exec`)
+    /// calls this for the ragged remainder of a block.
     #[inline]
-    pub(crate) fn run_task(
+    pub(crate) fn run_task<P: ParamSource, S: SpecStore>(
         &self,
-        params: &[i64],
+        params: P,
         regs: &mut [i64],
-        out: &mut BucketSet<ArgBlock>,
+        out: &mut BucketSet<S>,
         red: &mut i64,
     ) {
         let code = &self.code;
@@ -302,7 +310,7 @@ impl SpecCode {
         loop {
             match code[pc] {
                 Instr::Const { dst, v } => regs[dst as usize] = v,
-                Instr::Param { dst, idx } => regs[dst as usize] = params[idx as usize],
+                Instr::Param { dst, idx } => regs[dst as usize] = params.get(idx as usize),
                 Instr::Add { dst, a, b } => {
                     regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize]);
                 }
@@ -543,15 +551,131 @@ impl Lowerer {
     }
 }
 
-/// A dense, fixed-stride store of argument tuples: the compiled backend's
+/// The scalar tier's parameter view of one task: a single `Param` load.
+/// Two zero-cost views implement it — a borrowed contiguous tuple
+/// (`&[i64]`, from a zero-copy [`SpecStore::for_each_tuple`] scan) and a
+/// direct `(store, task)` column read ([`StoreParams`]) — so the one
+/// `SpecCode::run_task` interpreter loop monomorphizes over whichever scan
+/// strategy `simd_exec::run_scalar` picks for the store at hand.
+pub(crate) trait ParamSource: Copy {
+    fn get(&self, idx: usize) -> i64;
+}
+
+impl ParamSource for &[i64] {
+    #[inline]
+    fn get(&self, idx: usize) -> i64 {
+        self[idx]
+    }
+}
+
+/// Direct column reads for task `.1` of store `.0` — the scan view for
+/// stores whose tuple iteration would otherwise gather through scratch.
+pub(crate) struct StoreParams<'a, S>(pub &'a S, pub usize);
+
+// Manual impls: `&S` is always Copy, derive would demand `S: Copy`.
+impl<S> Clone for StoreParams<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for StoreParams<'_, S> {}
+
+impl<S: SpecStore> ParamSource for StoreParams<'_, S> {
+    #[inline]
+    fn get(&self, idx: usize) -> i64 {
+        self.0.param(idx, self.1)
+    }
+}
+
+/// The storage contract of the compiled execution tiers, layered on top of
 /// [`TaskStore`].
 ///
-/// Every task is `stride` consecutive `i64`s in one flat `Vec` (`stride` =
-/// the method's parameter count, floored at 1 so zero-parameter specs
-/// still occupy a slot). All the bulk operations the scheduler performs —
-/// merge, split, drain — are `memcpy`-class on the flat buffer, and
-/// spawning a child is an `extend_from_slice` instead of a fresh
-/// heap-allocated `Vec<i64>` per task.
+/// The scheduler only moves tasks wholesale ([`TaskStore`]); a [`SpecCode`]
+/// program additionally needs *per-parameter* access: scalar tuple
+/// iteration for `run_task`, a contiguous `Q`-lane load of one parameter
+/// for the vector tier's `Param` instruction, and masked per-spawn
+/// compaction for its `Spawn`. Two layouts implement the contract:
+///
+/// * [`ArgBlock`] — column-major (SoA), the default. `param_lanes` is one
+///   contiguous vector load and `push_lane_tuples` is one
+///   [`tb_simd::compact_append_i64`] per column, for any parameter count.
+/// * [`RowArgBlock`] — the row-major (AoS) layout PR 5 shipped, kept as
+///   the benchmark A/B arm and the equivalence-test oracle. `param_lanes`
+///   is a per-lane strided gather, which is exactly the Table-2 AoS
+///   penalty the column layout removes.
+///
+/// Both store identical task order, so every tier is bit-identical over
+/// either layout.
+pub trait SpecStore: TaskStore + Clone + Sync + std::fmt::Debug {
+    /// Layout tag recorded in benchmark rows (`"col"` / `"row"`).
+    const LAYOUT: &'static str;
+
+    /// An empty store whose tasks will be `params`-tuples.
+    fn with_params(params: usize) -> Self;
+
+    /// Pack `calls` (each of length `params`) into a store.
+    fn from_tuples(params: usize, calls: &[Vec<i64>]) -> Self {
+        let mut b = Self::with_params(params);
+        for c in calls {
+            assert_eq!(c.len(), params, "root call arity mismatch");
+            b.push_tuple(c);
+        }
+        b
+    }
+
+    /// Append one task. `args` must match the store's tuple width (an
+    /// empty slice occupies one padding slot, see [`ArgBlock`]).
+    fn push_tuple(&mut self, args: &[i64]);
+
+    /// Append one task per *set lane*: column `j` of `cols` holds argument
+    /// `j` for `Q` candidate tasks, and lane `l`'s tuple
+    /// `(cols[0][l], …, cols[k-1][l])` is appended iff `mask` lane `l` is
+    /// true, in lane order. This is the vector tier's spawn path — the §6
+    /// streaming-compaction step that turns a masked spawn decision into a
+    /// dense store.
+    fn push_lane_tuples<const Q: usize>(&mut self, cols: &[Lanes<i64, Q>], mask: &Mask<Q>);
+
+    /// Parameter `idx` of the `Q` consecutive tasks starting at `base`,
+    /// as one lane vector. Callers must guarantee
+    /// `base + Q <= self.len()` (the vector tier only runs full groups).
+    fn param_lanes<const Q: usize>(&self, idx: usize, base: usize) -> Lanes<i64, Q>;
+
+    /// Parameter `idx` of task `t` — the scalar tier's `Param` load
+    /// (`SpecCode::run_task_at`), reading the store in place instead of
+    /// gathering each task's tuple into scratch first.
+    fn param(&self, idx: usize, t: usize) -> i64;
+
+    /// Visit every task's `stride`-wide parameter tuple from task `from`
+    /// on, in task order.
+    fn for_each_tuple(&self, from: usize, f: impl FnMut(&[i64]));
+
+    /// Whether [`SpecStore::for_each_tuple`] must gather each tuple into
+    /// scratch (true for multi-column [`ArgBlock`]s). The scalar sweep
+    /// uses this to pick its scan: zero-copy tuple iteration where
+    /// available, otherwise direct in-place [`SpecStore::param`] reads.
+    fn tuple_scan_copies(&self) -> bool;
+
+    /// Parameters per task, floored at 1 (zero-parameter programs keep one
+    /// padding slot so tasks stay countable); 0 while still unset.
+    fn stride(&self) -> usize;
+}
+
+/// A dense, column-major store of argument tuples: the compiled backend's
+/// default [`TaskStore`].
+///
+/// Parameter `j` of every task lives in column `j`, all columns the same
+/// length (`stride` = the method's parameter count, floored at 1 so
+/// zero-parameter specs still occupy a slot). Task `t` is
+/// `(col(0)[t], …, col(stride-1)[t])`. The scheduler's bulk operations —
+/// merge, split, drain — are per-column `memcpy`-class moves, and the
+/// vector tier's `Param` load is one contiguous `Lanes::from_slice` per
+/// parameter instead of a per-lane strided gather (the AoS→SoA
+/// transformation of the paper's Table 2).
+///
+/// Column 0 is stored inline (`col0`), not behind the `rest` vec-of-vecs:
+/// single-parameter methods (fib, parentheses — the dominant recursive
+/// shape) then pay zero extra indirection over the retired row layout on
+/// the scalar tier's per-spawn push, while columns `1..` sit one hop away.
 ///
 /// A default-constructed block has stride 0 ("unset") and adopts the
 /// stride of the first tuples appended into it — that is what lets
@@ -559,24 +683,42 @@ impl Lowerer {
 /// parameter count through the scheduler.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ArgBlock {
-    pub(crate) stride: usize,
-    pub(crate) data: Vec<i64>,
+    stride: usize,
+    col0: Vec<i64>,
+    rest: Vec<Vec<i64>>,
 }
 
 impl ArgBlock {
     /// An empty block whose tasks will be `params`-tuples.
     pub fn with_params(params: usize) -> Self {
-        ArgBlock { stride: params.max(1), data: Vec::new() }
+        let stride = params.max(1);
+        ArgBlock { stride, col0: Vec::new(), rest: (1..stride).map(|_| Vec::new()).collect() }
     }
 
-    /// Pack `calls` (each of length `params`) into a flat block.
+    /// Pack `calls` (each of length `params`) into a columnar block.
     pub fn from_tuples(params: usize, calls: &[Vec<i64>]) -> Self {
-        let mut b = ArgBlock::with_params(params);
-        for c in calls {
-            assert_eq!(c.len(), params, "root call arity mismatch");
-            b.push_tuple(c);
+        <Self as SpecStore>::from_tuples(params, calls)
+    }
+
+    #[inline]
+    fn adopt(&mut self, stride: usize) {
+        self.stride = stride;
+        self.rest.resize_with(stride - 1, Vec::new);
+    }
+
+    #[inline]
+    fn task_count(&self) -> usize {
+        self.col0.len()
+    }
+
+    /// Column `idx` (0 is the inline column).
+    #[inline]
+    fn col(&self, idx: usize) -> &Vec<i64> {
+        if idx == 0 {
+            &self.col0
+        } else {
+            &self.rest[idx - 1]
         }
-        b
     }
 
     /// Append one task. `args` must match the block's tuple width (an
@@ -585,37 +727,40 @@ impl ArgBlock {
     pub fn push_tuple(&mut self, args: &[i64]) {
         let incoming = args.len().max(1);
         if self.stride == 0 {
-            self.stride = incoming;
+            self.adopt(incoming);
         }
         debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one ArgBlock");
-        if args.is_empty() {
-            self.data.push(0);
-        } else {
-            self.data.extend_from_slice(args);
+        match args {
+            // Single-parameter methods are the dominant recursive shape;
+            // keep their spawn push straight-line.
+            [v] => self.col0.push(*v),
+            [] => self.col0.push(0),
+            [v, tail @ ..] => {
+                self.col0.push(*v);
+                for (col, &w) in self.rest.iter_mut().zip(tail) {
+                    col.push(w);
+                }
+            }
         }
     }
 
-    /// The task tuples, in insertion order.
+    /// The task tuples, in insertion order (gathered out of the columns).
     ///
     /// ```
     /// use tb_spec::compile::ArgBlock;
     /// let b = ArgBlock::from_tuples(2, &[vec![1, 2], vec![3, 4]]);
-    /// let rows: Vec<&[i64]> = b.tuples().collect();
-    /// assert_eq!(rows, vec![&[1i64, 2][..], &[3, 4]]);
+    /// let rows: Vec<Vec<i64>> = b.tuples().collect();
+    /// assert_eq!(rows, vec![vec![1, 2], vec![3, 4]]);
     /// ```
-    pub fn tuples(&self) -> impl Iterator<Item = &[i64]> {
-        self.data.chunks_exact(self.stride.max(1))
+    pub fn tuples(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        (0..self.task_count()).map(move |t| (0..self.stride).map(|j| self.col(j)[t]).collect())
     }
 
-    /// Append one task per *set lane*: column `j` of `cols` holds argument
-    /// `j` for `Q` candidate tasks, and lane `l`'s tuple
-    /// `(cols[0][l], …, cols[k-1][l])` is appended iff `mask` lane `l` is
-    /// true, in lane order. This is the vector tier's spawn path — the
-    /// §6 streaming-compaction step that turns a masked spawn decision
-    /// into a dense store. Single-column blocks (one-parameter methods,
-    /// the common recursive case) go through
-    /// [`tb_simd::compact_append`]; wider tuples interleave the columns
-    /// row-major, matching [`ArgBlock::push_tuple`]'s layout exactly.
+    /// Append one task per *set lane* (see [`SpecStore::push_lane_tuples`]).
+    /// Column-major makes this one [`tb_simd::compact_append_i64`] per
+    /// parameter column for *any* parameter count — the layout change that
+    /// retired the row-major store's scalar interleave for multi-parameter
+    /// spawns.
     ///
     /// An empty `cols` (zero-parameter methods) appends the 1-slot padding
     /// [`ArgBlock::push_tuple`] documents.
@@ -626,15 +771,181 @@ impl ArgBlock {
     /// let mut b = ArgBlock::with_params(2);
     /// let cols = [Lanes::<i64, 4>([1, 2, 3, 4]), Lanes([10, 20, 30, 40])];
     /// b.push_lane_tuples(&cols, &Mask([true, false, true, false]));
-    /// let rows: Vec<&[i64]> = b.tuples().collect();
-    /// assert_eq!(rows, vec![&[1i64, 10][..], &[3, 30]]);
+    /// let rows: Vec<Vec<i64>> = b.tuples().collect();
+    /// assert_eq!(rows, vec![vec![1, 10], vec![3, 30]]);
     /// ```
     pub fn push_lane_tuples<const Q: usize>(&mut self, cols: &[Lanes<i64, Q>], mask: &Mask<Q>) {
         let incoming = cols.len().max(1);
         if self.stride == 0 {
-            self.stride = incoming;
+            self.adopt(incoming);
         }
         debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one ArgBlock");
+        let Some((first, tail)) = cols.split_first() else {
+            self.col0.extend(std::iter::repeat_n(0, mask.count()));
+            return;
+        };
+        compact_append_i64(&mut self.col0, first, mask);
+        for (dst, src) in self.rest.iter_mut().zip(tail) {
+            compact_append_i64(dst, src, mask);
+        }
+    }
+}
+
+impl SpecStore for ArgBlock {
+    const LAYOUT: &'static str = "col";
+
+    fn with_params(params: usize) -> Self {
+        ArgBlock::with_params(params)
+    }
+
+    #[inline]
+    fn push_tuple(&mut self, args: &[i64]) {
+        ArgBlock::push_tuple(self, args);
+    }
+
+    #[inline]
+    fn push_lane_tuples<const Q: usize>(&mut self, cols: &[Lanes<i64, Q>], mask: &Mask<Q>) {
+        ArgBlock::push_lane_tuples(self, cols, mask);
+    }
+
+    #[inline]
+    fn param_lanes<const Q: usize>(&self, idx: usize, base: usize) -> Lanes<i64, Q> {
+        Lanes::from_slice(&self.col(idx)[base..])
+    }
+
+    #[inline]
+    fn param(&self, idx: usize, t: usize) -> i64 {
+        self.col(idx)[t]
+    }
+
+    #[inline]
+    fn for_each_tuple(&self, from: usize, mut f: impl FnMut(&[i64])) {
+        let n = self.task_count();
+        if self.rest.is_empty() {
+            // Single-column blocks (the common recursive case) iterate the
+            // inline column in place, zero-copy.
+            for v in &self.col0[from..n] {
+                f(std::slice::from_ref(v));
+            }
+        } else {
+            let mut tuple = vec![0i64; self.stride];
+            for t in from..n {
+                tuple[0] = self.col0[t];
+                for (slot, c) in tuple[1..].iter_mut().zip(&self.rest) {
+                    *slot = c[t];
+                }
+                f(&tuple);
+            }
+        }
+    }
+
+    #[inline]
+    fn tuple_scan_copies(&self) -> bool {
+        !self.rest.is_empty()
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl TaskStore for ArgBlock {
+    #[inline]
+    fn len(&self) -> usize {
+        self.task_count()
+    }
+
+    #[inline]
+    fn append(&mut self, other: &mut Self) {
+        if other.task_count() == 0 {
+            return;
+        }
+        if self.stride == 0 {
+            self.adopt(other.stride);
+        }
+        debug_assert_eq!(self.stride, other.stride, "appending ArgBlocks of different widths");
+        self.col0.append(&mut other.col0);
+        for (dst, src) in self.rest.iter_mut().zip(&mut other.rest) {
+            dst.append(src);
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.col0.clear();
+        for c in &mut self.rest {
+            c.clear();
+        }
+    }
+
+    #[inline]
+    fn split_off(&mut self, at: usize) -> Self {
+        ArgBlock {
+            stride: self.stride,
+            col0: self.col0.split_off(at),
+            rest: self.rest.iter_mut().map(|c| c.split_off(at)).collect(),
+        }
+    }
+
+    #[inline]
+    fn reserve(&mut self, additional: usize) {
+        self.col0.reserve(additional);
+        for c in &mut self.rest {
+            c.reserve(additional);
+        }
+    }
+}
+
+/// The row-major (AoS) store the compiled tiers used before the column
+/// layout landed: every task is `stride` consecutive `i64`s in one flat
+/// `Vec`.
+///
+/// Kept deliberately: it is the *reference* the store-equivalence tests
+/// check [`ArgBlock`] against operation-for-operation, and the `--layout
+/// row` arm of the `trajectory` spec-family A/B that measures what the
+/// AoS→SoA move buys. Its `param_lanes` is the per-lane strided gather
+/// (`data[(base + l) * stride + idx]`) whose cost motivated the switch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowArgBlock {
+    stride: usize,
+    data: Vec<i64>,
+}
+
+impl RowArgBlock {
+    /// The task tuples, in insertion order (contiguous rows, zero-copy).
+    pub fn tuples(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.stride.max(1))
+    }
+}
+
+impl SpecStore for RowArgBlock {
+    const LAYOUT: &'static str = "row";
+
+    fn with_params(params: usize) -> Self {
+        RowArgBlock { stride: params.max(1), data: Vec::new() }
+    }
+
+    #[inline]
+    fn push_tuple(&mut self, args: &[i64]) {
+        let incoming = args.len().max(1);
+        if self.stride == 0 {
+            self.stride = incoming;
+        }
+        debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one RowArgBlock");
+        if args.is_empty() {
+            self.data.push(0);
+        } else {
+            self.data.extend_from_slice(args);
+        }
+    }
+
+    fn push_lane_tuples<const Q: usize>(&mut self, cols: &[Lanes<i64, Q>], mask: &Mask<Q>) {
+        let incoming = cols.len().max(1);
+        if self.stride == 0 {
+            self.stride = incoming;
+        }
+        debug_assert_eq!(incoming, self.stride, "mixed tuple widths in one RowArgBlock");
         match cols {
             [] => {
                 for &m in &mask.0 {
@@ -643,8 +954,11 @@ impl ArgBlock {
                     }
                 }
             }
+            // One-parameter methods compact straight into the flat store;
+            // wider tuples interleave the columns row-major, scalar-wise —
+            // the fast path the column layout extends to every width.
             [col] => {
-                compact_append(&mut self.data, col, mask);
+                compact_append_i64(&mut self.data, col, mask);
             }
             _ => {
                 for l in 0..Q {
@@ -657,9 +971,40 @@ impl ArgBlock {
             }
         }
     }
+
+    #[inline]
+    fn param_lanes<const Q: usize>(&self, idx: usize, base: usize) -> Lanes<i64, Q> {
+        let stride = self.stride;
+        Lanes(std::array::from_fn(|l| self.data[(base + l) * stride + idx]))
+    }
+
+    #[inline]
+    fn param(&self, idx: usize, t: usize) -> i64 {
+        self.data[t * self.stride + idx]
+    }
+
+    #[inline]
+    fn for_each_tuple(&self, from: usize, mut f: impl FnMut(&[i64])) {
+        let w = self.stride.max(1);
+        for task in self.data[from * w..].chunks_exact(w) {
+            f(task);
+        }
+    }
+
+    #[inline]
+    fn tuple_scan_copies(&self) -> bool {
+        // Rows are already contiguous; tuple iteration is zero-copy at
+        // every width.
+        false
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.stride
+    }
 }
 
-impl TaskStore for ArgBlock {
+impl TaskStore for RowArgBlock {
     #[inline]
     fn len(&self) -> usize {
         self.data.len().checked_div(self.stride).unwrap_or(0)
@@ -673,7 +1018,7 @@ impl TaskStore for ArgBlock {
         if self.stride == 0 {
             self.stride = other.stride;
         }
-        debug_assert_eq!(self.stride, other.stride, "appending ArgBlocks of different widths");
+        debug_assert_eq!(self.stride, other.stride, "appending RowArgBlocks of different widths");
         self.data.append(&mut other.data);
     }
 
@@ -684,7 +1029,7 @@ impl TaskStore for ArgBlock {
 
     #[inline]
     fn split_off(&mut self, at: usize) -> Self {
-        ArgBlock { stride: self.stride, data: self.data.split_off(at * self.stride) }
+        RowArgBlock { stride: self.stride, data: self.data.split_off(at * self.stride) }
     }
 
     #[inline]
@@ -704,9 +1049,13 @@ impl TaskStore for ArgBlock {
 /// A §5.2 data-parallel `foreach` becomes many level-0 tasks in the root
 /// block ([`CompiledSpec::with_data_parallel`]); the engines strip-mine
 /// oversized roots exactly as they do for `BlockedSpec`.
-pub struct CompiledSpec {
+///
+/// The store parameter defaults to the column-major [`ArgBlock`]; the
+/// benchmark A/B instantiates `CompiledSpec<RowArgBlock>` via
+/// [`CompiledSpec::from_code_in`] to measure the old row-major layout.
+pub struct CompiledSpec<S: SpecStore = ArgBlock> {
     code: Arc<SpecCode>,
-    shape: ProgramShape<ArgBlock>,
+    shape: ProgramShape<S>,
 }
 
 impl CompiledSpec {
@@ -736,7 +1085,15 @@ impl CompiledSpec {
     /// count. Callers holding unvalidated client input (the service layer)
     /// must check [`SpecCode::params`] first.
     pub fn from_code(code: Arc<SpecCode>, calls: &[Vec<i64>]) -> Self {
-        let roots = ArgBlock::from_tuples(code.params(), calls);
+        Self::from_code_in(code, calls)
+    }
+}
+
+impl<S: SpecStore> CompiledSpec<S> {
+    /// [`CompiledSpec::from_code`] for an explicit store layout (the
+    /// row-vs-column benchmark arm; everything else uses the default).
+    pub fn from_code_in(code: Arc<SpecCode>, calls: &[Vec<i64>]) -> Self {
+        let roots = S::from_tuples(code.params(), calls);
         CompiledSpec { shape: ProgramShape::new(code.arity(), roots), code }
     }
 
@@ -751,15 +1108,15 @@ impl CompiledSpec {
     }
 }
 
-impl BlockProgram for CompiledSpec {
-    type Store = ArgBlock;
+impl<S: SpecStore> BlockProgram for CompiledSpec<S> {
+    type Store = S;
     type Reducer = i64;
 
     fn arity(&self) -> usize {
         self.shape.arity()
     }
 
-    fn make_root(&self) -> ArgBlock {
+    fn make_root(&self) -> S {
         self.shape.make_root()
     }
 
@@ -771,13 +1128,17 @@ impl BlockProgram for CompiledSpec {
         tb_core::merge_sum(a, b);
     }
 
-    fn expand(&self, block: &mut ArgBlock, out: &mut BucketSet<ArgBlock>, red: &mut i64) {
-        if block.data.is_empty() {
+    fn expand(&self, block: &mut S, out: &mut BucketSet<S>, red: &mut i64) {
+        if block.is_empty() {
             return;
         }
-        debug_assert_eq!(block.stride, self.code.params().max(1), "block width matches the compiled method");
-        let data = std::mem::take(&mut block.data);
-        crate::simd_exec::run_scalar(&self.code, &data, out, red);
+        debug_assert_eq!(
+            block.stride(),
+            self.code.params().max(1),
+            "block width matches the compiled method"
+        );
+        let store = block.take();
+        crate::simd_exec::run_scalar(&self.code, &store, out, red);
     }
 }
 
@@ -892,7 +1253,7 @@ mod tests {
         let tail = TaskStore::split_off(&mut a, 1);
         assert_eq!(TaskStore::len(&a), 1);
         assert_eq!(TaskStore::len(&tail), 2);
-        assert_eq!(tail.tuples().next(), Some(&[3i64, 4][..]));
+        assert_eq!(tail.tuples().next(), Some(vec![3, 4]));
 
         // Default buckets adopt the stride of the first append.
         let mut dflt = ArgBlock::default();
@@ -900,12 +1261,40 @@ mod tests {
         let mut other = ArgBlock::from_tuples(2, &[vec![7, 8]]);
         TaskStore::append(&mut dflt, &mut other);
         assert_eq!(TaskStore::len(&dflt), 1);
-        assert!(other.data.is_empty());
+        assert!(other.is_empty());
 
         dflt.push_tuple(&[9, 10]);
         assert_eq!(TaskStore::len(&dflt), 2);
         TaskStore::clear(&mut dflt);
         assert_eq!(TaskStore::len(&dflt), 0);
+    }
+
+    #[test]
+    fn row_store_contract_matches_column_store() {
+        // Drive both layouts through the same operation sequence; the
+        // randomized operation-for-operation proptest lives in
+        // tests/store_equiv.rs — this is the deterministic smoke version.
+        let tuples = [vec![1i64, 2], vec![3, 4], vec![5, 6], vec![7, 8]];
+        let mut col = ArgBlock::from_tuples(2, &tuples);
+        let mut row = RowArgBlock::from_tuples(2, &tuples);
+        assert_eq!(TaskStore::len(&col), TaskStore::len(&row));
+        let (ct, rt) = (TaskStore::split_off(&mut col, 1), TaskStore::split_off(&mut row, 1));
+        let crows: Vec<Vec<i64>> = ct.tuples().collect();
+        let rrows: Vec<Vec<i64>> = rt.tuples().map(<[i64]>::to_vec).collect();
+        assert_eq!(crows, rrows);
+        assert_eq!(col.tuples().collect::<Vec<_>>(), vec![vec![1, 2]]);
+
+        // Vector-tier surface agrees too.
+        let c4: Lanes<i64, 2> = ct.param_lanes(1, 0);
+        let r4: Lanes<i64, 2> = rt.param_lanes(1, 0);
+        assert_eq!(c4.0, r4.0);
+        let lanes = [Lanes::<i64, 4>([9, 10, 11, 12]), Lanes([90, 100, 110, 120])];
+        let m = Mask([true, true, false, true]);
+        let mut cb = <ArgBlock as SpecStore>::with_params(2);
+        let mut rb = <RowArgBlock as SpecStore>::with_params(2);
+        cb.push_lane_tuples(&lanes, &m);
+        SpecStore::push_lane_tuples(&mut rb, &lanes, &m);
+        assert_eq!(cb.tuples().collect::<Vec<_>>(), rb.tuples().map(<[i64]>::to_vec).collect::<Vec<_>>());
     }
 
     #[test]

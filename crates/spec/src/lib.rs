@@ -25,9 +25,11 @@
 //!   re-expansion, restart, work stealing) applies unchanged;
 //! * [`compile`](mod@compile) — the native-speed backend: the same validated AST
 //!   lowered once to a flat register-based instruction stream
-//!   ([`SpecCode`]) executed over flat fixed-stride task stores
-//!   ([`compile::ArgBlock`]) — no AST walk and no per-task allocation on
-//!   the `expand` hot path;
+//!   ([`SpecCode`]) executed over column-major task stores
+//!   ([`compile::ArgBlock`]: one contiguous `Vec<i64>` per parameter,
+//!   behind the [`compile::SpecStore`] trait, with the retired row-major
+//!   [`compile::RowArgBlock`] kept as the A/B reference) — no AST walk
+//!   and no per-task allocation on the `expand` hot path;
 //! * [`simd_exec`] — the vector tier over the same instruction stream:
 //!   [`SpecCode::run_tasks_q`] executes `Q` tasks in lockstep with
 //!   registers widened to `tb_simd::Lanes<i64, Q>` columns and divergent

@@ -39,10 +39,16 @@
 //! * **Effects and control flow** (`Reduce`, `Spawn`, `JumpIfZero`,
 //!   `Jump`, `Halt`) run under the live-lane mask: `Reduce` folds only
 //!   live lanes (wrapping, in lane order), `Spawn` compacts live lanes'
-//!   argument tuples densely into the spawn bucket
-//!   ([`ArgBlock::push_lane_tuples`], single-column blocks through
-//!   `tb_simd::compact_append`), and the jumps repark exactly the live
-//!   lanes that take them.
+//!   argument tuples densely into the spawn bucket — with the column-major
+//!   [`ArgBlock`], one `tb_simd::compact_append_i64` per parameter column
+//!   for any parameter count ([`ArgBlock::push_lane_tuples`]) — and the
+//!   jumps repark exactly the live lanes that take them.
+//!
+//! Task storage is abstracted behind [`SpecStore`]: with the default
+//! column-major [`ArgBlock`], `Param` is one contiguous
+//! `Lanes::from_slice` per parameter (the Table-2 AoS→SoA payoff), while
+//! the row-major [`RowArgBlock`](crate::compile::RowArgBlock) A/B arm
+//! pays a per-lane strided gather.
 //!
 //! # Bit-identical to scalar execution
 //!
@@ -62,7 +68,7 @@ use tb_core::prelude::*;
 use tb_simd::{detected_q, Lanes, Mask};
 
 use crate::ast::{RecursiveSpec, SpecError};
-use crate::compile::{compile, ArgBlock, Instr, SpecCode};
+use crate::compile::{compile, ArgBlock, Instr, SpecCode, SpecStore};
 
 /// “Not parked” sentinel: the lane is either live or retired at a `Halt`.
 const LANE_DONE: u32 = u32::MAX;
@@ -117,31 +123,33 @@ impl SpecTier {
 impl SpecCode {
     /// Execute the instruction stream over `Q` tasks in lockstep.
     ///
-    /// `tasks` holds exactly `Q` consecutive argument tuples at the
-    /// program's stride (`params().max(1)`), `regs` is a column scratch
-    /// file of at least [`SpecCode::reg_count`] lanes-registers (reused
-    /// across groups of a block). Children land in `out` and base-case
-    /// contributions in `red` exactly as the scalar loop would put them —
-    /// see the module docs for why the two tiers are bit-identical.
+    /// The group is tasks `base..base + Q` of `store` (callers guarantee
+    /// the group is full — `base + Q <= store.len()`), `regs` is a column
+    /// scratch file of at least [`SpecCode::reg_count`] lanes-registers
+    /// (reused across groups of a block). Children land in `out` and
+    /// base-case contributions in `red` exactly as the scalar loop would
+    /// put them — see the module docs for why the two tiers are
+    /// bit-identical. With the column-major [`ArgBlock`], each `Param` is
+    /// one contiguous vector load from that parameter's column.
     ///
     /// Callers with a ragged tail (a block whose task count is not a
     /// multiple of `Q`) peel the remainder through the scalar tier;
     /// [`VectorSpec`] does exactly that.
     ///
     /// # Panics
-    /// Debug builds assert `tasks.len() == params().max(1) * Q` and that
-    /// `regs` is large enough.
-    pub fn run_tasks_q<const Q: usize>(
+    /// Debug builds assert `base + Q <= store.len()` and that `regs` is
+    /// large enough.
+    pub fn run_tasks_q<S: SpecStore, const Q: usize>(
         &self,
-        tasks: &[i64],
+        store: &S,
+        base: usize,
         regs: &mut [Lanes<i64, Q>],
-        out: &mut BucketSet<ArgBlock>,
+        out: &mut BucketSet<S>,
         red: &mut i64,
     ) {
         let params = self.params();
-        let stride = params.max(1);
         debug_assert!(Q >= 1, "a lane group needs at least one lane");
-        debug_assert_eq!(tasks.len(), stride * Q, "run_tasks_q takes exactly Q full tuples");
+        debug_assert!(base + Q <= store.len(), "run_tasks_q takes exactly Q full tuples");
         debug_assert!(regs.len() >= self.reg_count(), "register file too small");
         let code = self.instrs();
         // The live mask is maintained *incrementally*: lanes leave it only
@@ -183,8 +191,7 @@ impl SpecCode {
                 // docs for why parked lanes' columns may be clobbered).
                 Instr::Const { dst, v } => regs[dst as usize] = Lanes::splat(v),
                 Instr::Param { dst, idx } => {
-                    let idx = idx as usize;
-                    regs[dst as usize] = Lanes(std::array::from_fn(|l| tasks[l * stride + idx]));
+                    regs[dst as usize] = store.param_lanes::<Q>(idx as usize, base);
                 }
                 Instr::Add { dst, a, b } => {
                     regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize]);
@@ -263,30 +270,53 @@ impl SpecCode {
     }
 }
 
-/// Run `data` (full tuples at the code's stride) through `Q`-lane groups,
-/// peeling the ragged tail scalar-wise.
-fn run_groups<const Q: usize>(code: &SpecCode, data: &[i64], out: &mut BucketSet<ArgBlock>, red: &mut i64) {
-    let stride = code.params().max(1);
-    let group = stride * Q;
+/// Run every task of `store` through `Q`-lane groups, peeling the ragged
+/// tail scalar-wise.
+fn run_groups<S: SpecStore, const Q: usize>(
+    code: &SpecCode,
+    store: &S,
+    out: &mut BucketSet<S>,
+    red: &mut i64,
+) {
+    let n = store.len();
     let mut regs = vec![Lanes::<i64, Q>::splat(0); code.reg_count()];
-    let mut i = 0;
-    while i + group <= data.len() {
-        code.run_tasks_q::<Q>(&data[i..i + group], &mut regs, out, red);
-        i += group;
+    let mut base = 0;
+    while base + Q <= n {
+        code.run_tasks_q::<S, Q>(store, base, &mut regs, out, red);
+        base += Q;
     }
-    run_scalar(code, &data[i..], out, red);
+    run_scalar_from(code, store, base, out, red);
 }
 
-/// The scalar tier over a flat tuple slice: the single scalar sweep shared
-/// by `CompiledSpec::expand` (whole blocks), width-1 `VectorSpec`s, and
-/// the vector tier's ragged-remainder peel — one implementation so the
-/// tiers cannot drift apart.
-pub(crate) fn run_scalar(code: &SpecCode, data: &[i64], out: &mut BucketSet<ArgBlock>, red: &mut i64) {
-    let params = code.params();
-    let stride = params.max(1);
+/// The scalar tier over a whole store: the single scalar sweep shared by
+/// `CompiledSpec::expand` (whole blocks) and width-1 `VectorSpec`s — one
+/// implementation so the tiers cannot drift apart.
+pub(crate) fn run_scalar<S: SpecStore>(code: &SpecCode, store: &S, out: &mut BucketSet<S>, red: &mut i64) {
+    run_scalar_from(code, store, 0, out, red);
+}
+
+/// The scalar sweep from task `from` on: the vector tier's
+/// ragged-remainder peel enters here. The scan strategy is per store:
+/// zero-copy tuple iteration where the layout provides it (row stores,
+/// single-column blocks), direct in-place `SpecStore::param` reads where
+/// tuple iteration would gather through scratch (multi-column blocks).
+fn run_scalar_from<S: SpecStore>(
+    code: &SpecCode,
+    store: &S,
+    from: usize,
+    out: &mut BucketSet<S>,
+    red: &mut i64,
+) {
     let mut regs = vec![0i64; code.reg_count()];
-    for task in data.chunks_exact(stride) {
-        code.run_task(&task[..params], &mut regs, out, red);
+    if store.tuple_scan_copies() {
+        for t in from..store.len() {
+            code.run_task(crate::compile::StoreParams(store, t), &mut regs, out, red);
+        }
+    } else {
+        let params = code.params();
+        store.for_each_tuple(from, |task| {
+            code.run_task(&task[..params], &mut regs, out, red);
+        });
     }
 }
 
@@ -311,9 +341,9 @@ pub(crate) fn run_scalar(code: &SpecCode, data: &[i64], out: &mut BucketSet<ArgB
 /// assert_eq!(a.reducer, b.reducer);
 /// assert_eq!(a.stats.tasks_executed, b.stats.tasks_executed);
 /// ```
-pub struct VectorSpec {
+pub struct VectorSpec<S: SpecStore = ArgBlock> {
     code: Arc<SpecCode>,
-    shape: ProgramShape<ArgBlock>,
+    shape: ProgramShape<S>,
     q: usize,
 }
 
@@ -345,7 +375,16 @@ impl VectorSpec {
     /// loop). Tests use this to exercise every masked width regardless of
     /// host SIMD; benchmarks use it to pin `Q`.
     pub fn from_code_with_width(code: Arc<SpecCode>, calls: &[Vec<i64>], q: usize) -> Self {
-        let roots = ArgBlock::from_tuples(code.params(), calls);
+        Self::from_code_with_width_in(code, calls, q)
+    }
+}
+
+impl<S: SpecStore> VectorSpec<S> {
+    /// [`VectorSpec::from_code_with_width`] for an explicit store layout
+    /// (the row-vs-column benchmark arm; everything else uses the default
+    /// column-major [`ArgBlock`]).
+    pub fn from_code_with_width_in(code: Arc<SpecCode>, calls: &[Vec<i64>], q: usize) -> Self {
+        let roots = S::from_tuples(code.params(), calls);
         VectorSpec { shape: ProgramShape::new(code.arity(), roots), code, q: round_width(q) }
     }
 
@@ -365,15 +404,15 @@ impl VectorSpec {
     }
 }
 
-impl BlockProgram for VectorSpec {
-    type Store = ArgBlock;
+impl<S: SpecStore> BlockProgram for VectorSpec<S> {
+    type Store = S;
     type Reducer = i64;
 
     fn arity(&self) -> usize {
         self.shape.arity()
     }
 
-    fn make_root(&self) -> ArgBlock {
+    fn make_root(&self) -> S {
         self.shape.make_root()
     }
 
@@ -385,17 +424,17 @@ impl BlockProgram for VectorSpec {
         tb_core::merge_sum(a, b);
     }
 
-    fn expand(&self, block: &mut ArgBlock, out: &mut BucketSet<ArgBlock>, red: &mut i64) {
-        if block.data.is_empty() {
+    fn expand(&self, block: &mut S, out: &mut BucketSet<S>, red: &mut i64) {
+        if block.is_empty() {
             return;
         }
-        debug_assert_eq!(block.stride, self.code.params().max(1), "block width matches the method");
-        let data = std::mem::take(&mut block.data);
+        debug_assert_eq!(block.stride(), self.code.params().max(1), "block width matches the method");
+        let store = block.take();
         match self.q {
-            8 => run_groups::<8>(&self.code, &data, out, red),
-            4 => run_groups::<4>(&self.code, &data, out, red),
-            2 => run_groups::<2>(&self.code, &data, out, red),
-            _ => run_scalar(&self.code, &data, out, red),
+            8 => run_groups::<S, 8>(&self.code, &store, out, red),
+            4 => run_groups::<S, 4>(&self.code, &store, out, red),
+            2 => run_groups::<S, 2>(&self.code, &store, out, red),
+            _ => run_scalar(&self.code, &store, out, red),
         }
     }
 }

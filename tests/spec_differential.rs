@@ -3,8 +3,9 @@
 //! reference interpreter, the AST-walking `BlockedSpec`, the
 //! instruction-stream `CompiledSpec` and the masked-lane `VectorSpec`
 //! (`compiled_simd`, exercised at every monomorphized width 2/4/8, not
-//! just the host's detected one) — under all four schedulers at
-//! 1/2/4 workers. Every route must produce the identical (wrapping-`i64`)
+//! just the host's detected one, and over both task-store layouts —
+//! the column-major `ArgBlock` default and the row-major `RowArgBlock`
+//! reference) — under all four schedulers at 1/2/4 workers. Every route must produce the identical (wrapping-`i64`)
 //! reduction, and the blocked backends must expand the identical
 //! computation tree (same task count), not merely agree on the answer.
 //!
@@ -16,6 +17,7 @@
 
 use proptest::prelude::*;
 use taskblocks::prelude::*;
+use taskblocks::spec::compile::RowArgBlock;
 use taskblocks::spec::{interpret, BlockedSpec, CompiledSpec, Expr, RecursiveSpec, Stmt, VectorSpec};
 
 /// A splitmix64 stream: all structural choices derive from one drawn seed,
@@ -150,7 +152,10 @@ proptest! {
 
         // The vector tier at every monomorphized width: bit-identical
         // reduction AND the identical computation tree (same task count,
-        // same supersteps — the buckets must match block for block).
+        // same supersteps — the buckets must match block for block). Each
+        // width runs over both task-store layouts (the default column-major
+        // `ArgBlock` and the row-major `RowArgBlock` reference), which must
+        // also agree with each other block for block.
         let code = std::sync::Arc::clone(compiled.code());
         for q in [2usize, 4, 8] {
             let simd = VectorSpec::from_code_with_width(
@@ -161,7 +166,22 @@ proptest! {
                 "vector tier (q={}) expanded a different tree", q);
             prop_assert_eq!(s_seq.stats.supersteps, c_seq.stats.supersteps,
                 "vector tier (q={}) took different supersteps", q);
+            let simd_row = VectorSpec::<RowArgBlock>::from_code_with_width_in(
+                std::sync::Arc::clone(&code), std::slice::from_ref(&root), q);
+            let r_seq = run_scheduler(SchedulerKind::Seq, &simd_row, cfg, None);
+            prop_assert_eq!(r_seq.reducer, want, "simd[row]/seq q={} vs interpreter", q);
+            prop_assert_eq!(r_seq.stats.tasks_executed, s_seq.stats.tasks_executed,
+                "row layout (q={}) expanded a different tree", q);
+            prop_assert_eq!(r_seq.stats.supersteps, s_seq.stats.supersteps,
+                "row layout (q={}) took different supersteps", q);
         }
+        // The scalar compiled tier over the row layout agrees too.
+        let compiled_row = CompiledSpec::<RowArgBlock>::from_code_in(
+            std::sync::Arc::clone(&code), std::slice::from_ref(&root));
+        let cr_seq = run_scheduler(SchedulerKind::Seq, &compiled_row, cfg, None);
+        prop_assert_eq!(cr_seq.reducer, want, "compiled[row]/seq vs interpreter");
+        prop_assert_eq!(cr_seq.stats.tasks_executed, c_seq.stats.tasks_executed,
+            "row layout (scalar) expanded a different tree");
         let simd = VectorSpec::from_code_with_width(code, std::slice::from_ref(&root), 4);
 
         for threads in [1usize, 2, 4] {
