@@ -1,8 +1,11 @@
 //! The `service` throughput benchmark: N client threads hammering one
 //! shared `tb_service::Runtime` with a mixed job stream (fib / uts /
 //! nqueens under per-job scheduler kinds), measuring sustained jobs/sec
-//! and closed-loop submit→complete latency (p50/p99), plus one bulk
-//! submission phase exercising the DCAFE-style adaptive chunker.
+//! and closed-loop submit→complete latency (p50/p99), one bulk submission
+//! phase exercising the DCAFE-style adaptive chunker, and an adversarial
+//! multi-tenant phase: a batch tenant floods preemptible jobs while a
+//! higher-priority interactive tenant measures closed-loop p50/p99 —
+//! the per-tenant latency case for the admission scheduler.
 //!
 //! Output is a trajectory-schema document (see `trajectory.rs`): the same
 //! pinned grid as the `trajectory` binary — so
@@ -17,6 +20,14 @@
 //!   "p50_ms": 30.1, "p99_ms": 95.0,
 //!   "bulk_chunks": 8, "bulk_wall_s": 0.2,
 //!   "backpressure_waits": 3,          // gate hits (expected under load)
+//!   "adversarial": {                  // batch flood vs interactive tenant
+//!     "wall_s": 0.9, "interactive_jobs": 200,
+//!     "interactive_p50_ms": 1.2, "interactive_p99_ms": 4.0,
+//!     "batch_jobs": 350, "batch_shed": 12,
+//!     "preemptions": 9, "resumes": 9 },
+//!   "tenants": [                      // per-tenant admission counters
+//!     { "name": "default", "weight": 1, "priority": 0, ... },
+//!     { "name": "batch", ... }, { "name": "interactive", ... } ],
 //!   "injector": { "full_waits": 0,    // asserted == 0: submission never
 //!                                     //   spin-blocks on capacity
 //!     "install_waits": 1, "segments_allocated": 3, "segments_recycled": 7 }
@@ -31,12 +42,14 @@
 //! known answer, smoke or not, and the run aborts if the segmented
 //! injector ever reported a capacity wait.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tb_bench::traj::{self, percentile, RunRow};
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
-use tb_service::{Runtime, RuntimeConfig};
+use tb_service::{Runtime, RuntimeConfig, TenantSpec};
 use tb_suite::jobs::{FibJob, NQueensJob, UtsJob};
 use tb_suite::Scale;
 
@@ -183,6 +196,8 @@ fn main() {
     let rt = Runtime::with_config(RuntimeConfig {
         threads: args.pool,
         max_inflight: args.inflight.unwrap_or(args.pool * 8),
+        max_parked: args.pool * 2,
+        fifo: false,
     });
 
     // ---- closed-loop mixed-stream phase ---------------------------------
@@ -250,6 +265,109 @@ fn main() {
         stats.backpressure_waits,
     );
 
+    // ---- adversarial multi-tenant phase ---------------------------------
+    // A batch tenant (weight 1, priority 0) floods preemptible fib jobs as
+    // fast as the runtime will take them, while an interactive tenant
+    // (weight 4, priority 1) runs closed-loop short jobs. Interactive p99
+    // is the headline number: priority-1 arrivals preempt running batch
+    // work at superstep boundaries instead of queueing behind it, and the
+    // parked batch frontiers must still resume to the right answers.
+    //
+    // This phase gets its own runtime with `max_inflight == threads`: one
+    // admission slot per worker is the configuration where admitting a job
+    // means handing it a worker, so preempting a slot actually transfers
+    // the CPU (with slots >> workers the pool queue, not admission, is the
+    // bottleneck and preemption has nothing to reclaim).
+    let adv_rt = Runtime::with_config(RuntimeConfig {
+        threads: args.pool,
+        max_inflight: args.pool,
+        max_parked: args.pool * 2,
+        fifo: false,
+    });
+    let batch_t = adv_rt.register_tenant(TenantSpec::new("batch", args.pool * 4));
+    let interactive_t = adv_rt.register_tenant(TenantSpec::new("interactive", 64).weight(4).priority(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let batch_n = FibJob::new(scale).n;
+    let inter_n = FibJob::new(scale).n.saturating_sub(6).max(1);
+    let adv_t0 = Instant::now();
+    let (inter_lats, batch_done, batch_shed) = std::thread::scope(|s| {
+        let flooder = {
+            let rt = adv_rt.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                let mut shed = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    match rt.try_submit_preemptible(
+                        batch_t,
+                        FibJob { n: batch_n },
+                        SchedConfig::basic(16, 1 << 10),
+                    ) {
+                        Ok(h) => handles.push(h),
+                        Err(_) => {
+                            // At the tenant's pending bound: shed and retry
+                            // shortly, like a loaded batch feeder would.
+                            shed += 1;
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                    }
+                }
+                let want = FibJob { n: batch_n }.expected();
+                let done = handles.len() as u64;
+                for h in handles {
+                    let got = h.wait().expect("batch job failed");
+                    assert_eq!(got, want, "a preempted batch job must still compute fib correctly");
+                }
+                (done, shed)
+            })
+        };
+        let clients: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let rt = adv_rt.clone();
+                s.spawn(move || {
+                    let want = FibJob { n: inter_n }.expected();
+                    let mut lats = Vec::with_capacity(args.jobs_per_client * 2);
+                    for _ in 0..args.jobs_per_client * 2 {
+                        let t0 = Instant::now();
+                        let h = rt.submit_as(
+                            interactive_t,
+                            FibJob { n: inter_n },
+                            SchedConfig::basic(16, 1 << 10),
+                            SchedulerKind::Seq,
+                        );
+                        assert_eq!(h.wait().expect("interactive job failed"), want);
+                        lats.push(t0.elapsed().as_secs_f64());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let lats: Vec<f64> =
+            clients.into_iter().flat_map(|h| h.join().expect("interactive client panicked")).collect();
+        stop.store(true, Ordering::Release);
+        let (done, shed) = flooder.join().expect("batch flooder panicked");
+        (lats, done, shed)
+    });
+    let adv_wall_s = adv_t0.elapsed().as_secs_f64();
+    let inter_jobs = inter_lats.len();
+    let adv_p50_ms = percentile(inter_lats.clone(), 50.0) * 1e3;
+    let adv_p99_ms = percentile(inter_lats, 99.0) * 1e3;
+
+    let adv_stats = adv_rt.stats();
+    assert_eq!(adv_stats.injector.full_waits, 0, "adversarial phase must not spin-block submissions");
+    assert_eq!(
+        adv_stats.completed as usize,
+        inter_jobs + batch_done as usize,
+        "every admitted adversarial job completed exactly once"
+    );
+    assert_eq!((adv_stats.parked, adv_stats.parked_tasks), (0, 0), "park pool drains at quiescence");
+    println!(
+        "adversarial: {inter_jobs} interactive jobs (p50 {adv_p50_ms:.1}ms, p99 {adv_p99_ms:.1}ms) \
+         against {batch_done} batch jobs ({batch_shed} shed) in {adv_wall_s:.3}s; \
+         preemptions={} resumes={}",
+        adv_stats.preemptions, adv_stats.resumes,
+    );
+
     // ---- pinned grid (skipped in smoke: `trajectory --smoke` covers it) --
     let runs: Vec<RunRow> = if args.smoke {
         Vec::new()
@@ -274,6 +392,39 @@ fn main() {
     let _ = writeln!(json, "    \"bulk_chunks\": {bulk_chunks},");
     let _ = writeln!(json, "    \"bulk_wall_s\": {bulk_wall_s:.6},");
     let _ = writeln!(json, "    \"backpressure_waits\": {},", stats.backpressure_waits);
+    let _ = writeln!(json, "    \"adversarial\": {{");
+    let _ = writeln!(json, "      \"slots\": {},", adv_stats.max_inflight);
+    let _ = writeln!(json, "      \"max_parked\": {},", adv_stats.max_parked);
+    let _ = writeln!(json, "      \"wall_s\": {adv_wall_s:.6},");
+    let _ = writeln!(json, "      \"interactive_jobs\": {inter_jobs},");
+    let _ = writeln!(json, "      \"interactive_p50_ms\": {adv_p50_ms:.3},");
+    let _ = writeln!(json, "      \"interactive_p99_ms\": {adv_p99_ms:.3},");
+    let _ = writeln!(json, "      \"batch_jobs\": {batch_done},");
+    let _ = writeln!(json, "      \"batch_shed\": {batch_shed},");
+    let _ = writeln!(json, "      \"preemptions\": {},", adv_stats.preemptions);
+    let _ = writeln!(json, "      \"resumes\": {}", adv_stats.resumes);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"tenants\": [");
+    for (i, t) in adv_stats.tenants.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"name\": \"{}\", \"weight\": {}, \"priority\": {}, \"submitted\": {}, \
+             \"completed\": {}, \"admissions\": {}, \"preemptions\": {}, \"resumes\": {}, \
+             \"wait_ticks\": {}, \"backpressure_waits\": {} }}{}",
+            t.name,
+            t.weight,
+            t.priority,
+            t.counters.submitted,
+            t.counters.completed,
+            t.counters.admissions,
+            t.counters.preemptions,
+            t.counters.resumes,
+            t.counters.wait_ticks,
+            t.backpressure_waits,
+            if i + 1 == adv_stats.tenants.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(json, "    ],");
     let _ = writeln!(
         json,
         "    \"injector\": {{ \"full_waits\": {}, \"install_waits\": {}, \

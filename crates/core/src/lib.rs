@@ -89,7 +89,7 @@ pub use scheduler::{
     run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
     SchedulerKind,
 };
-pub use seq::{run_depth_first, SeqScheduler};
+pub use seq::{run_depth_first, SeqFrontier, SeqScheduler, StepEvent};
 pub use stats::ExecStats;
 
 /// Convenient glob import for downstream crates.
@@ -103,6 +103,6 @@ pub mod prelude {
         run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
         SchedulerKind,
     };
-    pub use crate::seq::{run_depth_first, SeqScheduler};
+    pub use crate::seq::{run_depth_first, SeqFrontier, SeqScheduler, StepEvent};
     pub use crate::stats::ExecStats;
 }

@@ -59,6 +59,59 @@ enum Mode {
     Dfe,
 }
 
+/// A parked sequential run: the complete frontier of a [`SeqScheduler`]
+/// between two supersteps, detached from the program it was executing.
+///
+/// Every field is owned data (parked blocks, the current block, the strip
+/// remainder, the partial reducer, statistics, and the policy latches), so
+/// a frontier is `Send` whenever the store and reducer are — it can be
+/// parked on one thread and resumed on another. This is the preemption
+/// seam the service layer's admission scheduler swaps jobs out on: a
+/// preemptible job parks at its next superstep boundary via
+/// [`SeqScheduler::park`] and is later reconstructed with
+/// [`SeqScheduler::resume`], producing bit-identical results to an
+/// uninterrupted run (the engine's decision function depends only on this
+/// state).
+///
+/// The spawn buckets are deliberately *not* part of the frontier: between
+/// `step` calls they are always empty (every action drains them), so
+/// `resume` rebuilds them fresh from the program's arity.
+pub struct SeqFrontier<S, R> {
+    cfg: SchedConfig,
+    deque: LeveledDeque<S>,
+    current: Option<TaskBlock<S>>,
+    mode: Mode,
+    warmed: bool,
+    bfe_forced: bool,
+    bfe_burst: usize,
+    root_rest: Option<S>,
+    red: R,
+    stats: ExecStats,
+    done: bool,
+}
+
+impl<S: TaskStore, R> SeqFrontier<S, R> {
+    /// The configuration the parked run was (and must keep) executing with.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Tasks held by the parked frontier (deque + current block + the
+    /// unstripped root remainder). The admission scheduler's bounded park
+    /// pool accounts swapped-out jobs in these units.
+    pub fn tasks(&self) -> usize {
+        self.deque.task_count()
+            + self.current.as_ref().map_or(0, TaskBlock::len)
+            + self.root_rest.as_ref().map_or(0, TaskStore::len)
+    }
+
+    /// True when the parked run had already finished (parking raced a
+    /// completion); resuming it returns `Done` on the first step.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
 /// Single-core scheduler over a [`BlockProgram`], parameterised by
 /// [`SchedConfig`] (policy + thresholds + SIMD width for accounting).
 pub struct SeqScheduler<'p, P: BlockProgram> {
@@ -105,6 +158,67 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
             stats: ExecStats::new(cfg.q),
             done: false,
         }
+    }
+
+    /// Park this run: consume the engine and return its frontier, to be
+    /// [`resume`](SeqScheduler::resume)d later (possibly on another thread;
+    /// the frontier is `Send` with the store/reducer). Call only between
+    /// [`SeqScheduler::step`]s — i.e. anywhere the engine is externally
+    /// observable, which is the superstep-boundary seam of the paper.
+    pub fn park(self) -> SeqFrontier<P::Store, P::Reducer> {
+        debug_assert!(self.out.is_empty(), "spawn buckets drain every step; park found them non-empty");
+        SeqFrontier {
+            cfg: self.cfg,
+            deque: self.deque,
+            current: self.current,
+            mode: self.mode,
+            warmed: self.warmed,
+            bfe_forced: self.bfe_forced,
+            bfe_burst: self.bfe_burst,
+            root_rest: self.root_rest,
+            red: self.red,
+            stats: self.stats,
+            done: self.done,
+        }
+    }
+
+    /// Reconstruct an engine from a parked frontier. `prog` must be the
+    /// same program the frontier was parked from (same expansion function
+    /// and arity) — the frontier carries its own [`SchedConfig`], so the
+    /// resumed run cannot diverge from the parked one's policy. The
+    /// resumed engine continues exactly where [`SeqScheduler::park`]
+    /// stopped: same decisions, same reductions, same task counts.
+    pub fn resume(prog: &'p P, frontier: SeqFrontier<P::Store, P::Reducer>) -> Self {
+        SeqScheduler {
+            prog,
+            cfg: frontier.cfg,
+            deque: frontier.deque,
+            current: frontier.current,
+            mode: frontier.mode,
+            warmed: frontier.warmed,
+            bfe_forced: frontier.bfe_forced,
+            bfe_burst: frontier.bfe_burst,
+            root_rest: frontier.root_rest,
+            out: BucketSet::new(prog.arity()),
+            red: frontier.red,
+            stats: frontier.stats,
+            done: frontier.done,
+        }
+    }
+
+    /// Has [`SeqScheduler::step`] reported `Done`?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consume a finished (or externally stopped) engine, yielding the
+    /// reduction folded so far plus statistics. For a [`is_done`] engine
+    /// this is the same output [`SeqScheduler::run`] returns; for an
+    /// unfinished one it is the partial reduction (the cancellation path).
+    ///
+    /// [`is_done`]: SeqScheduler::is_done
+    pub fn into_output(self) -> RunOutput<P::Reducer> {
+        RunOutput { reducer: self.red, stats: self.stats }
     }
 
     fn take_strip(root: &mut P::Store, strip: usize) -> P::Store {
@@ -338,11 +452,13 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
         StepEvent::Done
     }
 
-    /// Run to completion and return the reduction plus statistics.
+    /// Run to completion and return the reduction plus statistics. Wall
+    /// time *accumulates* (`+=`), so a parked-and-resumed run reports the
+    /// sum of its execution segments, excluding time spent swapped out.
     pub fn run(mut self) -> RunOutput<P::Reducer> {
         let start = Instant::now();
         while self.step() != StepEvent::Done {}
-        self.stats.wall = start.elapsed();
+        self.stats.wall += start.elapsed();
         RunOutput { reducer: self.red, stats: self.stats }
     }
 }
@@ -629,6 +745,86 @@ mod tests {
             assert_eq!(out.reducer, 0);
             assert_eq!(out.stats.tasks_executed, 1);
         }
+    }
+
+    #[test]
+    fn park_resume_roundtrip_is_exact() {
+        // Park/resume at every possible boundary cadence: identical
+        // reduction AND identical task count to the uninterrupted run.
+        let cfg = SchedConfig::restart(4, 32, 8);
+        let straight = SeqScheduler::new(&Fib(16), cfg).run();
+        for burst in [1usize, 2, 3, 7, 50] {
+            let prog = Fib(16);
+            let mut eng = SeqScheduler::new(&prog, cfg);
+            let out = loop {
+                let mut finished = false;
+                for _ in 0..burst {
+                    if eng.step() == StepEvent::Done {
+                        finished = true;
+                        break;
+                    }
+                }
+                if finished {
+                    break eng.into_output();
+                }
+                let frontier = eng.park();
+                eng = SeqScheduler::resume(&prog, frontier);
+            };
+            assert_eq!(out.reducer, straight.reducer, "burst={burst}");
+            assert_eq!(out.stats.tasks_executed, straight.stats.tasks_executed, "burst={burst}");
+            assert_eq!(out.stats.supersteps, straight.stats.supersteps, "burst={burst}");
+        }
+    }
+
+    #[test]
+    fn frontier_is_send_and_crosses_threads() {
+        fn assert_send<T: Send>(t: T) -> T {
+            t
+        }
+        let prog = Fib(18);
+        let mut eng = SeqScheduler::new(&prog, SchedConfig::restart(4, 32, 8));
+        for _ in 0..5 {
+            assert_ne!(eng.step(), StepEvent::Done, "fib(18) lasts longer than 5 steps");
+        }
+        let frontier = assert_send(eng.park());
+        assert!(frontier.tasks() > 0, "a mid-run frontier holds live tasks");
+        assert!(!frontier.is_done());
+        assert_eq!(frontier.config().t_dfe, 32);
+        // Round-trip through another thread (what the service's park pool
+        // does), then finish on this one.
+        let frontier = std::thread::spawn(move || frontier).join().unwrap();
+        let out = SeqScheduler::resume(&prog, frontier).run();
+        assert_eq!(out.reducer, fib_ref(18));
+    }
+
+    #[test]
+    fn parking_a_finished_engine_resumes_to_done() {
+        let prog = Fib(6);
+        let mut eng = SeqScheduler::new(&prog, SchedConfig::basic(4, 16));
+        while eng.step() != StepEvent::Done {}
+        assert!(eng.is_done());
+        let frontier = eng.park();
+        assert!(frontier.is_done());
+        assert_eq!(frontier.tasks(), 0);
+        let mut eng = SeqScheduler::resume(&prog, frontier);
+        assert_eq!(eng.step(), StepEvent::Done);
+        assert_eq!(eng.into_output().reducer, fib_ref(6));
+    }
+
+    #[test]
+    fn strip_mined_roots_survive_parking() {
+        // The root remainder is part of the frontier: park after the first
+        // strip and the remaining 900+ roots must still be executed.
+        let cfg = SchedConfig::restart(4, 64, 16);
+        let prog = ManyRoots(1000);
+        let mut eng = SeqScheduler::new(&prog, cfg);
+        for _ in 0..3 {
+            assert_ne!(eng.step(), StepEvent::Done);
+        }
+        let frontier = eng.park();
+        assert!(frontier.tasks() >= 900, "root remainder must be counted in the frontier");
+        let out = SeqScheduler::resume(&prog, frontier).run();
+        assert_eq!(out.reducer, 8 * 1000);
     }
 
     #[test]

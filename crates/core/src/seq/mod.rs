@@ -3,5 +3,5 @@
 mod engine;
 mod serial;
 
-pub use engine::{SeqScheduler, StepEvent};
+pub use engine::{SeqFrontier, SeqScheduler, StepEvent};
 pub use serial::run_depth_first;

@@ -254,6 +254,22 @@ impl<'a> WorkerCtx<'a> {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
+    /// Fire-and-forget submission from *inside* the pool: the worker-side
+    /// counterpart of [`ThreadPool::spawn`]. The job goes onto this
+    /// worker's own deque (stealable by the others), so a job completing
+    /// on a worker can hand follow-on work to the pool without holding any
+    /// reference to the `ThreadPool` itself — which is what lets the
+    /// service layer's admission scheduler start queued jobs from a
+    /// completion path without risking a worker owning (and joining) its
+    /// own pool. Panics in `f` are caught and reported, as for
+    /// [`ThreadPool::spawn`].
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&WorkerCtx<'_>) + Send + 'static,
+    {
+        self.push_job(HeapJob::into_job_ref(f));
+    }
+
     pub(crate) fn push_job(&self, job: JobRef) {
         self.local.push(job);
         self.shared.wake_one();

@@ -55,9 +55,16 @@ impl Gate {
     }
 
     /// Return a slot (called by the completing job).
+    ///
+    /// # Panics
+    /// If no slot is held. An unbalanced release is not a recoverable
+    /// hiccup: it silently raises the gate's effective capacity, and with
+    /// per-tenant gates that means one tenant's accounting bug widens its
+    /// own quota — so this is a hard error in release builds too, not a
+    /// `debug_assert`.
     pub(crate) fn release(&self) {
         let mut n = self.inflight.lock();
-        debug_assert!(*n > 0, "gate release without acquire");
+        assert!(*n > 0, "Gate::release without a matching acquire");
         *n -= 1;
         drop(n);
         self.cv.notify_one();
@@ -112,5 +119,20 @@ mod tests {
         t.join().unwrap();
         assert_eq!(g.inflight(), 0);
         assert!(g.blocked() >= 1, "the second acquire must have registered backpressure");
+    }
+
+    #[test]
+    #[should_panic(expected = "Gate::release without a matching acquire")]
+    fn unbalanced_release_is_a_hard_error() {
+        Gate::new(2).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "Gate::release without a matching acquire")]
+    fn double_release_is_a_hard_error() {
+        let g = Gate::new(2);
+        g.acquire();
+        g.release();
+        g.release();
     }
 }

@@ -15,10 +15,21 @@
 //! * **bulk submission** — [`Runtime::submit_bulk`] cuts an input slice
 //!   into adaptively sized chunks (per DCAFE: chunk size grows with queue
 //!   depth, never one-task-per-item flooding);
-//! * **backpressure** — a bounded-inflight gate blocks or sheds
-//!   oversubscribing clients while the pool's *segmented unbounded*
-//!   injector (`tb_runtime::injector`) guarantees admitted submissions
-//!   never spin-block;
+//! * **multi-tenant admission** — every job belongs to a tenant
+//!   ([`TenantSpec`]: weight, strict priority, pending bound). The
+//!   admission scheduler ([`sched`]) splits pool slots by weight within a
+//!   priority class (stride-style deficit accounting, so a flooding heavy
+//!   tenant cannot starve a light one) and strictly by priority across
+//!   classes, while per-tenant gates block or shed each tenant's *own*
+//!   oversubscribing clients; the pool's *segmented unbounded* injector
+//!   (`tb_runtime::injector`) guarantees admitted submissions never
+//!   spin-block;
+//! * **preemptible jobs** — [`Runtime::submit_preemptible`] work parks at
+//!   a superstep boundary when a higher-priority tenant needs its slot:
+//!   the job's frontier swaps out into a bounded park pool and resumes
+//!   later with bit-identical results (the paper's superstep structure is
+//!   the preemption seam — between supersteps the engine's entire state
+//!   is its frontier);
 //! * **spec-source jobs** — [`Runtime::submit_spec`] accepts a program the
 //!   service has never seen before as spec-language *source text*: the
 //!   runtime parses, validates and lowers it once (`tb_spec::compile`,
@@ -70,7 +81,7 @@
 //! }
 //!
 //! // One shared runtime; clients clone it freely.
-//! let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16 });
+//! let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16, ..RuntimeConfig::default() });
 //!
 //! // Mixed jobs in flight concurrently, each with its own scheduler.
 //! let a = rt.submit(Tree(10), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
@@ -102,7 +113,11 @@ mod bulk;
 mod gate;
 mod handle;
 mod runtime;
+pub mod sched;
 
 pub use bulk::BulkHandle;
 pub use handle::{JobError, JobHandle};
-pub use runtime::{Runtime, RuntimeConfig, ServiceStats};
+pub use runtime::{Runtime, RuntimeConfig, ServiceStats, DEFAULT_TENANT};
+pub use sched::{
+    Action, AdmissionPolicy, JobId, JobPhase, SchedCore, TenantCounters, TenantId, TenantSnapshot, TenantSpec,
+};

@@ -1,16 +1,24 @@
 //! The long-lived, shared [`Runtime`]: one worker pool, many clients.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use tb_core::{run_scheduler_on_ctx, BlockProgram, Cancellable, SchedConfig, SchedulerKind};
-use tb_runtime::{InjectorMetrics, ThreadPool};
+use tb_core::{
+    run_scheduler_on_ctx, BlockProgram, CancelToken, Cancellable, RunOutput, SchedConfig, SchedulerKind,
+    SeqFrontier, SeqScheduler,
+};
+use tb_runtime::{InjectorMetrics, ThreadPool, WorkerCtx};
 use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode, SpecTier, VectorSpec};
 
 use crate::bulk::{adaptive_chunk_len, BulkCore, BulkHandle};
-use crate::gate::Gate;
 use crate::handle::{JobCore, JobError, JobHandle};
+use crate::sched::{Admission, AdmissionPolicy, JobId, PreemptFlag, TenantId, TenantSnapshot, TenantSpec};
+
+/// The tenant every runtime is born with; tenant-unaware entry points
+/// ([`Runtime::submit`], [`Runtime::submit_fn`], [`Runtime::submit_bulk`],
+/// [`Runtime::submit_spec`]…) run as this tenant (weight 1, priority 0).
+pub const DEFAULT_TENANT: TenantId = 0;
 
 /// Construction parameters for a [`Runtime`].
 #[derive(Debug, Clone, Copy)]
@@ -18,26 +26,37 @@ pub struct RuntimeConfig {
     /// Worker threads in the shared pool. Defaults to the machine's
     /// available parallelism.
     pub threads: usize,
-    /// Backpressure bound: admitted-but-incomplete jobs (scheduler jobs,
-    /// closure jobs and bulk *chunks* all count as one each). Submissions
-    /// beyond this block the submitting client until a slot frees.
-    /// Defaults to `8 × threads` — enough depth to keep every worker fed
-    /// through job-boundary gaps, small enough that queueing delay stays
-    /// bounded by a few job service times.
+    /// Pool-side admission bound: jobs *running* on the pool at once
+    /// (scheduler jobs, closure jobs and bulk *chunks* all count as one
+    /// each). Jobs admitted past a tenant's gate but beyond this bound
+    /// wait in the scheduler's queues. Defaults to `8 × threads` — enough
+    /// depth to keep every worker fed through job-boundary gaps, small
+    /// enough that queueing delay stays bounded by a few job service
+    /// times. It is also the default tenant's `max_pending`, so
+    /// tenant-unaware workloads see exactly the old bounded-inflight
+    /// behaviour: submissions beyond it block the submitting client.
     pub max_inflight: usize,
+    /// Bounded park pool: preempted job frontiers held swapped-out at
+    /// once. `0` disables preemption. Defaults to `2 × threads`.
+    pub max_parked: usize,
+    /// Legacy admission: tenant-blind global FIFO with no weights, no
+    /// priorities and no preemption — the old global gate's discipline.
+    /// Kept as the A/B arm for the starvation regression test; leave
+    /// `false` in production.
+    pub fifo: bool,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        RuntimeConfig { threads, max_inflight: threads * 8 }
+        RuntimeConfig { threads, max_inflight: threads * 8, max_parked: threads * 2, fifo: false }
     }
 }
 
 /// Lifetime counters for a runtime (monotone, Relaxed; exact at quiescence).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    /// Jobs admitted past the gate (including bulk chunks).
+    /// Jobs accepted for execution (including bulk chunks).
     pub submitted: u64,
     /// Jobs that completed with a value.
     pub completed: u64,
@@ -52,12 +71,26 @@ pub struct ServiceStats {
     pub spec_compiles: u64,
     /// Spec submissions served from the compile-once cache.
     pub spec_cache_hits: u64,
-    /// Admitted jobs not yet finished, at snapshot time.
+    /// Jobs occupying pool slots (running or parking) at snapshot time.
     pub inflight: usize,
-    /// The gate's slot capacity.
+    /// Jobs accepted but waiting for a pool slot, at snapshot time.
+    pub waiting: usize,
+    /// Preempted jobs currently swapped out, at snapshot time.
+    pub parked: usize,
+    /// Tasks held by swapped-out frontiers, at snapshot time.
+    pub parked_tasks: usize,
+    /// Times any job was swapped out at a superstep boundary.
+    pub preemptions: u64,
+    /// Times a swapped-out job was resumed.
+    pub resumes: u64,
+    /// The pool-side running bound ([`RuntimeConfig::max_inflight`]).
     pub max_inflight: usize,
-    /// Times a submitter blocked on the gate (backpressure engaged).
+    /// The park-pool bound ([`RuntimeConfig::max_parked`]).
+    pub max_parked: usize,
+    /// Times a submitter blocked on its tenant's gate (backpressure).
     pub backpressure_waits: u64,
+    /// Per-tenant queue depths and counters, indexed by [`TenantId`].
+    pub tenants: Vec<TenantSnapshot>,
     /// Submission-path counters of the pool's segmented injector.
     /// `injector.full_waits == 0` is the "submission never spin-blocks"
     /// invariant.
@@ -76,27 +109,28 @@ struct Counters {
 }
 
 impl Counters {
-    fn finish(&self, gate: &Gate, outcome: &Result<(), JobError>) {
+    fn finish(&self, outcome: &Result<(), JobError>) {
         match outcome {
             Ok(()) => self.completed.fetch_add(1, Ordering::Relaxed),
             Err(JobError::Cancelled) => self.cancelled.fetch_add(1, Ordering::Relaxed),
             Err(JobError::Panicked) => self.panicked.fetch_add(1, Ordering::Relaxed),
-            // Rejections never reach a worker (no gate slot to release),
-            // so this arm is unreachable from `finish` callers; counted
+            // Rejections never reach a worker (nothing was admitted), so
+            // this arm is unreachable from `finish` callers; counted
             // defensively all the same.
             Err(JobError::Rejected(_)) => self.rejected.fetch_add(1, Ordering::Relaxed),
         };
-        gate.release();
     }
 }
 
 struct Inner {
     pool: ThreadPool,
-    // The gate and counters are their own `Arc`s — job closures capture
-    // *these*, never `Inner`, so a worker can never hold the last reference
-    // to the pool it runs on (which would make `ThreadPool::drop` join the
-    // worker's own thread).
-    gate: Arc<Gate>,
+    // The admission scheduler and counters are their own `Arc`s — job
+    // closures capture *these*, never `Inner`, so a worker can never hold
+    // the last reference to the pool it runs on (which would make
+    // `ThreadPool::drop` join the worker's own thread). Follow-on jobs the
+    // scheduler releases from a worker-side completion are spawned through
+    // `WorkerCtx::spawn` for the same reason.
+    admission: Arc<Admission>,
     counters: Arc<Counters>,
     // Compile-once cache for `submit_spec`: source text -> lowered code.
     // Keyed by the exact source string (no hashing shortcuts: a collision
@@ -162,10 +196,16 @@ impl SpecCache {
 /// [`BlockProgram`] (each with its own [`SchedConfig`] and
 /// [`SchedulerKind`], so basic, re-expansion and restart jobs coexist),
 /// gets back a [`JobHandle`] to poll, block on, or cancel, and the
-/// bounded-inflight gate pushes overload back on submitters instead of
-/// letting queues grow without bound. Cloning is cheap and shares the pool.
+/// admission scheduler pushes overload back on the submitting *tenant*
+/// instead of letting queues grow without bound or letting one tenant
+/// starve the rest. Cloning is cheap and shares the pool.
 ///
-/// See the crate docs for a complete example.
+/// Registered tenants ([`Runtime::register_tenant`]) get weighted fair
+/// admission within their priority class and strict priority across
+/// classes; [`Runtime::submit_preemptible`] jobs additionally park at
+/// superstep boundaries when a higher-priority tenant needs their slot,
+/// and resume later with bit-identical results. See the crate docs and
+/// DESIGN.md §9.
 #[derive(Clone)]
 pub struct Runtime {
     inner: Arc<Inner>,
@@ -179,14 +219,30 @@ impl Runtime {
 
     /// A runtime from explicit parameters.
     pub fn with_config(cfg: RuntimeConfig) -> Self {
+        let admission = Arc::new(Admission::new(AdmissionPolicy {
+            max_running: cfg.max_inflight.max(1),
+            max_parked: cfg.max_parked,
+            fifo: cfg.fifo,
+        }));
+        let default = admission.add_tenant(TenantSpec::new("default", cfg.max_inflight.max(1)));
+        debug_assert_eq!(default, DEFAULT_TENANT);
         Runtime {
             inner: Arc::new(Inner {
                 pool: ThreadPool::new(cfg.threads),
-                gate: Arc::new(Gate::new(cfg.max_inflight)),
+                admission,
                 counters: Arc::new(Counters::default()),
                 spec_cache: parking_lot::Mutex::new(SpecCache::default()),
             }),
         }
+    }
+
+    /// Register a tenant with its own weight, priority and submit-side
+    /// bound. Returns the id to pass to [`Runtime::submit_as`] and
+    /// friends. Tenants cannot be unregistered (ids are dense and stats
+    /// are indexed by them); a long-lived service registers its client
+    /// classes once at startup.
+    pub fn register_tenant(&self, spec: TenantSpec) -> TenantId {
+        self.inner.admission.add_tenant(spec)
     }
 
     /// Worker threads in the shared pool.
@@ -202,6 +258,10 @@ impl Runtime {
     /// Lifetime counters snapshot.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
+        let adm = &self.inner.admission;
+        let (inflight, waiting, parked, parked_tasks) = adm.queue_depths();
+        let policy = adm.policy();
+        let (preemptions, resumes) = adm.preemption_totals();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -210,16 +270,24 @@ impl Runtime {
             rejected: c.rejected.load(Ordering::Relaxed),
             spec_compiles: c.spec_compiles.load(Ordering::Relaxed),
             spec_cache_hits: c.spec_cache_hits.load(Ordering::Relaxed),
-            inflight: self.inner.gate.inflight(),
-            max_inflight: self.inner.gate.max(),
-            backpressure_waits: self.inner.gate.blocked(),
+            inflight,
+            waiting,
+            parked,
+            parked_tasks,
+            preemptions,
+            resumes,
+            max_inflight: policy.max_running,
+            max_parked: policy.max_parked,
+            backpressure_waits: adm.backpressure_waits(),
+            tenants: adm.snapshot(),
             injector: self.inner.pool.injector_metrics(),
         }
     }
 
-    /// Submit `prog` to run under `kind` with `cfg`, blocking only if the
-    /// runtime is saturated (the backpressure gate). Returns immediately
-    /// with a handle; the run happens on the pool.
+    /// Submit `prog` to run under `kind` with `cfg` as the default tenant,
+    /// blocking only if that tenant is at its pending bound (the
+    /// backpressure gate). Returns immediately with a handle; the run
+    /// happens on the pool.
     ///
     /// Scheduler choice per job: [`SchedulerKind::Seq`],
     /// [`SchedulerKind::ReExpansion`] and [`SchedulerKind::RestartSimplified`]
@@ -232,12 +300,12 @@ impl Runtime {
         P: BlockProgram + Send + 'static,
         P::Reducer: Send + 'static,
     {
-        self.inner.gate.acquire();
-        self.spawn_admitted(prog, cfg, kind)
+        self.submit_as(DEFAULT_TENANT, prog, cfg, kind)
     }
 
     /// Like [`Runtime::submit`], but sheds load instead of blocking: when
-    /// the runtime is saturated the program is handed back unchanged.
+    /// the tenant is at its pending bound the program is handed back
+    /// unchanged.
     pub fn try_submit<P>(
         &self,
         prog: P,
@@ -248,10 +316,96 @@ impl Runtime {
         P: BlockProgram + Send + 'static,
         P::Reducer: Send + 'static,
     {
-        if !self.inner.gate.try_acquire() {
+        self.try_submit_as(DEFAULT_TENANT, prog, cfg, kind)
+    }
+
+    /// [`Runtime::submit`] on behalf of a registered tenant: admission
+    /// order follows the tenant's weight within its priority class and
+    /// strict priority across classes; saturation blocks only `tenant`'s
+    /// own submitters.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn submit_as<P>(
+        &self,
+        tenant: TenantId,
+        prog: P,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> JobHandle<P::Reducer>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        self.inner.admission.gate(tenant).acquire();
+        self.spawn_admitted_as(tenant, prog, cfg, kind)
+    }
+
+    /// [`Runtime::try_submit`] on behalf of a registered tenant.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn try_submit_as<P>(
+        &self,
+        tenant: TenantId,
+        prog: P,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> Result<JobHandle<P::Reducer>, P>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        if !self.inner.admission.gate(tenant).try_acquire() {
             return Err(prog);
         }
-        Ok(self.spawn_admitted(prog, cfg, kind))
+        Ok(self.spawn_admitted_as(tenant, prog, cfg, kind))
+    }
+
+    /// Submit a *preemptible* job for `tenant`: the program runs under the
+    /// sequential stepping engine on one worker, and when a
+    /// higher-priority tenant needs the slot the scheduler asks it to park
+    /// at its next superstep boundary — its frontier moves into the
+    /// bounded park pool, the slot frees, and the job resumes later with
+    /// **bit-identical results** to an uninterrupted run (the park/resume
+    /// round-trip property; see `tests/preempt_equiv.rs`).
+    ///
+    /// This is the submission path for batch work that should yield to
+    /// interactive traffic. Parallel scheduler jobs ([`Runtime::submit`])
+    /// are never preempted — they occupy their slot until completion.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn submit_preemptible<P>(&self, tenant: TenantId, prog: P, cfg: SchedConfig) -> JobHandle<P::Reducer>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Store: Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        self.inner.admission.gate(tenant).acquire();
+        self.enqueue_preemptible(tenant, prog, cfg)
+    }
+
+    /// Like [`Runtime::submit_preemptible`], but sheds load instead of
+    /// blocking when `tenant` is at its pending bound.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn try_submit_preemptible<P>(
+        &self,
+        tenant: TenantId,
+        prog: P,
+        cfg: SchedConfig,
+    ) -> Result<JobHandle<P::Reducer>, P>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Store: Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        if !self.inner.admission.gate(tenant).try_acquire() {
+            return Err(prog);
+        }
+        Ok(self.enqueue_preemptible(tenant, prog, cfg))
     }
 
     /// Submit a plain closure as a job (no scheduler run): `f` executes on
@@ -264,24 +418,30 @@ impl Runtime {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        self.inner.gate.acquire();
+        self.inner.admission.gate(DEFAULT_TENANT).acquire();
         self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let core = Arc::new(JobCore::new());
         let token = core.cancel_token();
-        let (worker_core, gate, counters) =
-            (Arc::clone(&core), Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
-        self.inner.pool.spawn(move |_ctx| {
-            let result = if token.is_cancelled() {
-                Err(JobError::Cancelled)
-            } else {
-                match catch_unwind(AssertUnwindSafe(f)) {
-                    Ok(v) => Ok(v),
-                    Err(_) => Err(JobError::Panicked),
+        let (worker_core, adm, counters) =
+            (Arc::clone(&core), Arc::clone(&self.inner.admission), Arc::clone(&self.inner.counters));
+        let (_, ready) = self.inner.admission.enqueue(DEFAULT_TENANT, false, None, move |id| {
+            Box::new(move |ctx: &WorkerCtx<'_>| {
+                let result = if token.is_cancelled() {
+                    Err(JobError::Cancelled)
+                } else {
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => Ok(v),
+                        Err(_) => Err(JobError::Panicked),
+                    }
+                };
+                counters.finish(&result.as_ref().map(|_| ()).map_err(Clone::clone));
+                for job in adm.finished(id) {
+                    ctx.spawn(job);
                 }
-            };
-            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
-            worker_core.complete(result);
+                worker_core.complete(result);
+            })
         });
+        self.dispatch(ready);
         JobHandle::new(core)
     }
 
@@ -362,10 +522,15 @@ impl Runtime {
                 code.params()
             ));
         }
-        self.inner.gate.acquire();
+        self.inner.admission.gate(DEFAULT_TENANT).acquire();
         match tier.lane_width() {
-            0 | 1 => self.spawn_admitted(CompiledSpec::from_code(code, &calls), cfg, kind),
-            q => self.spawn_admitted(VectorSpec::from_code_with_width(code, &calls, q), cfg, kind),
+            0 | 1 => self.spawn_admitted_as(DEFAULT_TENANT, CompiledSpec::from_code(code, &calls), cfg, kind),
+            q => self.spawn_admitted_as(
+                DEFAULT_TENANT,
+                VectorSpec::from_code_with_width(code, &calls, q),
+                cfg,
+                kind,
+            ),
         }
     }
 
@@ -385,7 +550,7 @@ impl Runtime {
     }
 
     /// A handle pre-completed with [`JobError::Rejected`]; the job never
-    /// existed as far as the gate and the pool are concerned.
+    /// existed as far as the scheduler and the pool are concerned.
     fn reject<R>(&self, diagnostic: impl std::fmt::Display) -> JobHandle<R> {
         self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
         let core = Arc::new(JobCore::new());
@@ -396,13 +561,13 @@ impl Runtime {
     /// Bulk data-parallel submission: cut `items` into chunks
     /// (DCAFE-style adaptive sizing — see [`BulkHandle`] — instead of one
     /// job per item), build a program for each chunk with `make`, and run
-    /// every chunk as its own gated job. The returned handle aggregates the
-    /// per-chunk reductions in input order.
+    /// every chunk as its own admitted job. The returned handle aggregates
+    /// the per-chunk reductions in input order.
     ///
-    /// Chunks pass the same backpressure gate as everything else, one slot
-    /// per chunk, so a huge bulk submission blocks *its own* submitter once
-    /// the runtime saturates rather than starving interactive jobs behind
-    /// an unbounded queue.
+    /// Chunks pass the default tenant's backpressure gate like everything
+    /// else, one slot per chunk, so a huge bulk submission blocks *its
+    /// own* submitter once the tenant saturates rather than starving
+    /// other tenants behind an unbounded queue.
     pub fn submit_bulk<I, P, F>(
         &self,
         items: Vec<I>,
@@ -426,32 +591,55 @@ impl Runtime {
         for index in 0..chunks {
             let rest = items.split_off(chunk_len.min(items.len()));
             let chunk = std::mem::replace(&mut items, rest);
-            self.inner.gate.acquire();
+            self.inner.admission.gate(DEFAULT_TENANT).acquire();
             self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
             let (core, token, make) = (Arc::clone(&core), token.clone(), Arc::clone(&make));
-            let (gate, counters) = (Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
-            self.inner.pool.spawn(move |ctx| {
-                // The chunk-builder runs inside the catch too: a panic in
-                // `make` must route to JobError::Panicked and release the
-                // gate slot, not escape to the pool's backstop.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let prog = Cancellable::new(make(chunk), token.clone());
-                    run_scheduler_on_ctx(kind, &prog, cfg, ctx)
-                }));
-                let result = match outcome {
-                    Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
-                    Ok(out) => Ok(out.reducer),
-                    Err(_) => Err(JobError::Panicked),
-                };
-                counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
-                core.complete_chunk(index, result);
+            let (adm, counters) = (Arc::clone(&self.inner.admission), Arc::clone(&self.inner.counters));
+            let (_, ready) = self.inner.admission.enqueue(DEFAULT_TENANT, false, None, move |id| {
+                Box::new(move |ctx: &WorkerCtx<'_>| {
+                    // The chunk-builder runs inside the catch too: a panic in
+                    // `make` must route to JobError::Panicked and free the
+                    // admission slot, not escape to the pool's backstop.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let prog = Cancellable::new(make(chunk), token.clone());
+                        run_scheduler_on_ctx(kind, &prog, cfg, ctx)
+                    }));
+                    let result = match outcome {
+                        Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
+                        Ok(out) => Ok(out.reducer),
+                        Err(_) => Err(JobError::Panicked),
+                    };
+                    counters.finish(&result.as_ref().map(|_| ()).map_err(Clone::clone));
+                    for job in adm.finished(id) {
+                        ctx.spawn(job);
+                    }
+                    core.complete_chunk(index, result);
+                })
             });
+            self.dispatch(ready);
         }
         debug_assert!(items.is_empty(), "chunking consumed every item");
         BulkHandle::new(core, chunks)
     }
 
-    fn spawn_admitted<P>(&self, prog: P, cfg: SchedConfig, kind: SchedulerKind) -> JobHandle<P::Reducer>
+    /// Spawn jobs the scheduler released on a *client* path (we hold no
+    /// worker context here). Worker-side completions use
+    /// `WorkerCtx::spawn` instead — see [`drive_preemptible`] and the job
+    /// closures.
+    fn dispatch(&self, ready: Vec<crate::sched::ReadyJob>) {
+        for job in ready {
+            self.inner.pool.spawn(job);
+        }
+    }
+
+    /// Enqueue an already-gated non-preemptible scheduler job for `tenant`.
+    fn spawn_admitted_as<P>(
+        &self,
+        tenant: TenantId,
+        prog: P,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+    ) -> JobHandle<P::Reducer>
     where
         P: BlockProgram + Send + 'static,
         P::Reducer: Send + 'static,
@@ -459,19 +647,139 @@ impl Runtime {
         self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let core = Arc::new(JobCore::new());
         let token = core.cancel_token();
-        let (worker_core, gate, counters) =
-            (Arc::clone(&core), Arc::clone(&self.inner.gate), Arc::clone(&self.inner.counters));
-        self.inner.pool.spawn(move |ctx| {
-            let prog = Cancellable::new(prog, token.clone());
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_scheduler_on_ctx(kind, &prog, cfg, ctx)));
-            let result = match outcome {
-                Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
-                Ok(out) => Ok(out.reducer),
-                Err(_) => Err(JobError::Panicked),
-            };
-            counters.finish(&gate, &result.as_ref().map(|_| ()).map_err(Clone::clone));
-            worker_core.complete(result);
+        let (worker_core, adm, counters) =
+            (Arc::clone(&core), Arc::clone(&self.inner.admission), Arc::clone(&self.inner.counters));
+        let (_, ready) = self.inner.admission.enqueue(tenant, false, None, move |id| {
+            Box::new(move |ctx: &WorkerCtx<'_>| {
+                let prog = Cancellable::new(prog, token.clone());
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_scheduler_on_ctx(kind, &prog, cfg, ctx)));
+                let result = match outcome {
+                    Ok(_) if token.is_cancelled() => Err(JobError::Cancelled),
+                    Ok(out) => Ok(out.reducer),
+                    Err(_) => Err(JobError::Panicked),
+                };
+                counters.finish(&result.as_ref().map(|_| ()).map_err(Clone::clone));
+                for job in adm.finished(id) {
+                    ctx.spawn(job);
+                }
+                worker_core.complete(result);
+            })
         });
+        self.dispatch(ready);
         JobHandle::new(core)
+    }
+
+    /// Enqueue an already-gated preemptible job for `tenant`.
+    fn enqueue_preemptible<P>(&self, tenant: TenantId, prog: P, cfg: SchedConfig) -> JobHandle<P::Reducer>
+    where
+        P: BlockProgram + Send + 'static,
+        P::Store: Send + 'static,
+        P::Reducer: Send + 'static,
+    {
+        self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(JobCore::new());
+        let token = core.cancel_token();
+        let flag: PreemptFlag = Arc::new(AtomicBool::new(false));
+        let (worker_core, adm, counters) =
+            (Arc::clone(&core), Arc::clone(&self.inner.admission), Arc::clone(&self.inner.counters));
+        let driver_flag = Arc::clone(&flag);
+        let (_, ready) = self.inner.admission.enqueue(tenant, true, Some(flag), move |id| {
+            let run = PreemptibleRun {
+                prog: Cancellable::new(prog, token.clone()),
+                frontier: None,
+                cfg,
+                core: worker_core,
+                token,
+                flag: driver_flag,
+                adm,
+                counters,
+                id,
+            };
+            Box::new(move |ctx: &WorkerCtx<'_>| drive_preemptible(run, ctx))
+        });
+        self.dispatch(ready);
+        JobHandle::new(core)
+    }
+}
+
+/// Everything a preemptible job carries between run segments: the program,
+/// the parked frontier (None before the first segment), and the handles it
+/// reports through. The whole struct moves into the continuation closure
+/// at every park, so a job's state lives either on a worker's stack (while
+/// running) or in the scheduler's park pool (while swapped out) — never
+/// both.
+struct PreemptibleRun<P: BlockProgram> {
+    prog: Cancellable<P>,
+    frontier: Option<SeqFrontier<P::Store, P::Reducer>>,
+    cfg: SchedConfig,
+    core: Arc<JobCore<P::Reducer>>,
+    token: CancelToken,
+    flag: PreemptFlag,
+    adm: Arc<Admission>,
+    counters: Arc<Counters>,
+    id: JobId,
+}
+
+/// How one run segment of a preemptible job ended.
+enum Segment<S, R> {
+    /// The program ran to completion (or drained after cancellation).
+    Done(RunOutput<R>),
+    /// The preempt flag fired: the engine parked at a superstep boundary.
+    Parked(SeqFrontier<S, R>),
+}
+
+/// Run one segment of a preemptible job on the current worker: step the
+/// sequential engine, checking the preempt flag **between supersteps** —
+/// the paper's superstep structure is what makes this seam exact, because
+/// between steps the engine's entire state is the frontier (deque + current
+/// block + reducer), with no half-expanded block in flight.
+fn drive_preemptible<P>(mut run: PreemptibleRun<P>, ctx: &WorkerCtx<'_>)
+where
+    P: BlockProgram + Send + 'static,
+    P::Store: Send + 'static,
+    P::Reducer: Send + 'static,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sched = match run.frontier.take() {
+            Some(frontier) => SeqScheduler::resume(&run.prog, frontier),
+            None => SeqScheduler::new(&run.prog, run.cfg),
+        };
+        while !sched.is_done() {
+            // `swap` (not `load`) so a flag that fires while we are already
+            // parking is consumed, not left to preempt the resumed segment
+            // spuriously.
+            if run.flag.swap(false, Ordering::AcqRel) {
+                return Segment::Parked(sched.park());
+            }
+            sched.step();
+        }
+        Segment::Done(sched.into_output())
+    }));
+    match outcome {
+        Ok(Segment::Parked(frontier)) => {
+            let tasks = frontier.tasks();
+            run.frontier = Some(frontier);
+            let (adm, id) = (Arc::clone(&run.adm), run.id);
+            let cont: crate::sched::ReadyJob =
+                Box::new(move |ctx: &WorkerCtx<'_>| drive_preemptible(run, ctx));
+            for job in adm.parked(id, tasks, cont) {
+                ctx.spawn(job);
+            }
+        }
+        Ok(Segment::Done(out)) => {
+            let result = if run.token.is_cancelled() { Err(JobError::Cancelled) } else { Ok(out.reducer) };
+            run.counters.finish(&result.as_ref().map(|_| ()).map_err(Clone::clone));
+            for job in run.adm.finished(run.id) {
+                ctx.spawn(job);
+            }
+            run.core.complete(result);
+        }
+        Err(_) => {
+            run.counters.finish(&Err(JobError::Panicked));
+            for job in run.adm.finished(run.id) {
+                ctx.spawn(job);
+            }
+            run.core.complete(Err(JobError::Panicked));
+        }
     }
 }

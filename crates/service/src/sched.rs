@@ -1,0 +1,808 @@
+//! The admission scheduler: multi-tenant, weighted, preemptible.
+//!
+//! The runtime's original admission mechanism was a single global
+//! bounded-inflight `Gate`: FIFO and tenant-blind, so one saturating
+//! client delayed everyone behind it. This module replaces it with a
+//! vLLM-style job scheduler in two layers:
+//!
+//! * [`SchedCore`] — a **pure, thread-free state machine** over three
+//!   queues (`waiting` per tenant, `running`, `parked`). Every decision —
+//!   which waiting job to admit, which running job to preempt, when to
+//!   resume a swapped-out frontier — is a deterministic function of the
+//!   core's state, driven by three events (`submit`, `complete`,
+//!   `parked`) and read back as a list of [`Action`]s from
+//!   [`SchedCore::schedule`]. A monotone event counter is the core's
+//!   *virtual clock* (wait times are measured in events, not seconds), so
+//!   the deterministic test rig in `tests/sched_core.rs` scripts
+//!   arrivals/completions and asserts quota accounting, queue transitions
+//!   and preemption-victim choice without spawning a single thread.
+//!
+//! * `Admission` — the thin threaded shell: a mutex around the core, a
+//!   per-tenant `Gate` for submit-side backpressure (a flooding tenant
+//!   blocks *itself*, never its neighbours), the stored job closures, and
+//!   the preempt flags running preemptible jobs poll at superstep
+//!   boundaries.
+//!
+//! # The scheduling discipline
+//!
+//! **Priorities are strict.** A tenant's `priority` defines its preemption
+//! class: a waiting job of a higher-priority tenant is always admitted
+//! before any lower-priority candidate, and — when the pool is saturated
+//! and the bounded park pool has room — triggers preemption of a running
+//! *preemptible* job from a strictly lower-priority tenant.
+//!
+//! **Weights share within a priority class.** Among tenants of equal
+//! priority, admissions are split by `weight` using stride-style deficit
+//! accounting: each tenant carries a `pass` value advanced by
+//! `STRIDE_ONE / weight` per admission, and the next admission goes to the
+//! waiting tenant with the smallest pass — i.e. the tenant that has
+//! received the least weighted service. A tenant going idle does not bank
+//! unbounded credit: on re-activation its pass is clamped up to the
+//! scheduler's virtual service time, so a light tenant is *ahead*, never
+//! infinitely ahead. This is what bounds a light tenant's wait under a
+//! flooding heavy tenant to O(1) admissions instead of O(queue length).
+//!
+//! **Preemption is cooperative and exact.** A victim is asked to park via
+//! its preempt flag; it checks the flag between supersteps, parks its
+//! [`SeqFrontier`](tb_core::SeqFrontier) into the bounded park pool
+//! (`max_parked` jobs), and the freed slot admits the high-priority
+//! waiter. The parked frontier resumes later with bit-identical results —
+//! the round-trip property `tests/preempt_equiv.rs` holds across layouts.
+//!
+//! **Victim choice** is deterministic: among running preemptible jobs not
+//! already asked to park, pick the lowest tenant priority; break ties
+//! toward the *youngest* job (highest [`JobId`]), preserving the progress
+//! of long-running work, and preempt only while there is unmet demand
+//! from strictly-higher-priority candidates.
+//!
+//! The legacy behaviour survives as [`AdmissionPolicy::fifo`]: tenant- and
+//! priority-blind global FIFO with no preemption — exactly the old global
+//! gate, used by the starvation regression test as the failing baseline.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tb_runtime::WorkerCtx;
+
+use crate::gate::Gate;
+
+/// Identifies a registered tenant (dense, starting at 0 for the default
+/// tenant every runtime is born with).
+pub type TenantId = u32;
+
+/// Identifies one submitted job for the scheduler's lifetime (monotone:
+/// smaller id ⇒ submitted earlier).
+pub type JobId = u64;
+
+/// One admission-stride unit: a weight-1 tenant's pass advances by this
+/// much per admitted job, a weight-w tenant's by `STRIDE_ONE / w`.
+const STRIDE_ONE: u64 = 1 << 20;
+
+/// Per-tenant admission parameters.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (stats, benchmark output).
+    pub name: String,
+    /// Weighted share of admissions within this tenant's priority class
+    /// (clamped to ≥ 1).
+    pub weight: u32,
+    /// Strict preemption class: higher-priority tenants are admitted first
+    /// and may preempt running preemptible jobs of lower-priority tenants.
+    pub priority: u8,
+    /// Submit-side bound: the tenant's own backpressure gate capacity
+    /// (waiting + running + parked jobs). `submit` blocks and `try_submit`
+    /// sheds when the tenant is at this bound (clamped to ≥ 1).
+    pub max_pending: usize,
+}
+
+impl TenantSpec {
+    /// A spec with `name`, weight 1, priority 0 and `max_pending` slots.
+    pub fn new(name: impl Into<String>, max_pending: usize) -> Self {
+        TenantSpec { name: name.into(), weight: 1, priority: 0, max_pending }
+    }
+
+    /// Set the weighted share (≥ 1).
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the strict priority class.
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Pool-side admission parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Jobs allowed on the pool at once (the old `max_inflight`).
+    pub max_running: usize,
+    /// Bounded park pool: swapped-out frontiers held at once. 0 disables
+    /// preemption entirely.
+    pub max_parked: usize,
+    /// Legacy mode: tenant-blind global FIFO, no weights, no priorities,
+    /// no preemption — the old global gate's discipline, kept as the
+    /// regression baseline and A/B arm.
+    pub fifo: bool,
+}
+
+/// What the scheduler wants done after a state change; returned by
+/// [`SchedCore::schedule`] and executed by the shell (`Admission`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Admit this waiting job: spawn its closure on the pool.
+    Start(JobId),
+    /// Re-spawn this parked job's continuation on the pool.
+    Resume(JobId),
+    /// Ask this running preemptible job to park at its next superstep
+    /// boundary (set its preempt flag).
+    Preempt(JobId),
+}
+
+/// Where a job currently is, in queue terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// In its tenant's waiting queue.
+    Waiting,
+    /// Admitted; occupying one of the `max_running` pool slots.
+    Running,
+    /// Running, but asked to park (preempt flag set); still occupies its
+    /// slot until it reaches a superstep boundary and parks.
+    Preempting,
+    /// Swapped out: frontier held in the bounded park pool, slot freed.
+    Parked,
+}
+
+/// Lifetime counters for one tenant (monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Jobs accepted into the scheduler.
+    pub submitted: u64,
+    /// Jobs finished (completed, cancelled or panicked).
+    pub completed: u64,
+    /// Admissions (Start actions; a preempted-and-resumed job still counts
+    /// once).
+    pub admissions: u64,
+    /// Times one of this tenant's jobs was actually swapped out (reached a
+    /// boundary and parked).
+    pub preemptions: u64,
+    /// Times one of this tenant's parked jobs was resumed.
+    pub resumes: u64,
+    /// Sum over admissions of (admission tick − submission tick), in
+    /// virtual-clock events; `/ admissions` is the mean queueing delay.
+    pub wait_ticks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    tenant: TenantId,
+    preemptible: bool,
+    phase: JobPhase,
+    submitted_tick: u64,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    spec: TenantSpec,
+    waiting: VecDeque<JobId>,
+    /// Jobs in `Running` or `Preempting` phase.
+    running: usize,
+    /// Stride accounting: weighted service received so far.
+    pass: u64,
+    counters: TenantCounters,
+}
+
+/// A point-in-time view of one tenant, for [`ServiceStats`].
+///
+/// [`ServiceStats`]: crate::ServiceStats
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant's id.
+    pub id: TenantId,
+    /// Display name.
+    pub name: String,
+    /// Weighted share within the priority class.
+    pub weight: u32,
+    /// Strict priority class.
+    pub priority: u8,
+    /// Jobs currently queued.
+    pub waiting: usize,
+    /// Jobs currently on the pool (running or preempting).
+    pub running: usize,
+    /// Jobs currently swapped out.
+    pub parked: usize,
+    /// Lifetime counters.
+    pub counters: TenantCounters,
+    /// Gate slots held (waiting + running + parked jobs admitted past the
+    /// tenant's gate; filled in by the shell, 0 in a bare core).
+    pub pending: usize,
+    /// The tenant's gate capacity (`max_pending`; filled in by the shell,
+    /// 0 in a bare core).
+    pub max_pending: usize,
+    /// Times a submitter blocked on this tenant's gate (filled in by the
+    /// shell; always 0 in a bare core).
+    pub backpressure_waits: u64,
+}
+
+/// The pure admission state machine. See the module docs for the
+/// discipline; see `tests/sched_core.rs` for the deterministic rig.
+#[derive(Debug)]
+pub struct SchedCore {
+    policy: AdmissionPolicy,
+    tenants: Vec<Tenant>,
+    jobs: BTreeMap<JobId, Job>,
+    /// Swapped-out jobs in park order, with their frontier task counts.
+    parked: VecDeque<(JobId, usize)>,
+    /// Jobs in `Running` + `Preempting` phase (pool slots occupied).
+    running: usize,
+    /// Jobs in `Preempting` phase (slots that will free at a boundary).
+    preempting: usize,
+    /// Tasks held by parked frontiers (a gauge, not a bound).
+    parked_tasks: usize,
+    next_job: JobId,
+    /// The virtual clock: advances by one on every event.
+    tick: u64,
+    /// Virtual service time: the pass of the most recently admitted job.
+    vnow: u64,
+}
+
+impl SchedCore {
+    /// An empty core under `policy`; register tenants before submitting.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        SchedCore {
+            policy: AdmissionPolicy { max_running: policy.max_running.max(1), ..policy },
+            tenants: Vec::new(),
+            jobs: BTreeMap::new(),
+            parked: VecDeque::new(),
+            running: 0,
+            preempting: 0,
+            parked_tasks: 0,
+            next_job: 0,
+            tick: 0,
+            vnow: 0,
+        }
+    }
+
+    /// Register a tenant; ids are dense and start at 0.
+    pub fn add_tenant(&mut self, spec: TenantSpec) -> TenantId {
+        let id = self.tenants.len() as TenantId;
+        let spec = TenantSpec { weight: spec.weight.max(1), max_pending: spec.max_pending.max(1), ..spec };
+        // A tenant born mid-run starts at the current virtual service
+        // time, not at 0 — it must not owe the incumbents a catch-up.
+        self.tenants.push(Tenant {
+            spec,
+            waiting: VecDeque::new(),
+            running: 0,
+            pass: self.vnow,
+            counters: TenantCounters::default(),
+        });
+        id
+    }
+
+    /// Event: a new job arrives for `tenant`. Returns its id; follow with
+    /// [`SchedCore::schedule`] to learn whether it starts immediately.
+    pub fn submit(&mut self, tenant: TenantId, preemptible: bool) -> JobId {
+        self.tick += 1;
+        let id = self.next_job;
+        self.next_job += 1;
+        let t = &mut self.tenants[tenant as usize];
+        // Re-activation clamp: an idle tenant resumes at the current
+        // virtual time instead of spending banked credit from its idle
+        // past (which would let it monopolize admissions to "catch up").
+        if t.waiting.is_empty() && t.running == 0 {
+            t.pass = t.pass.max(self.vnow);
+        }
+        t.waiting.push_back(id);
+        t.counters.submitted += 1;
+        self.jobs
+            .insert(id, Job { tenant, preemptible, phase: JobPhase::Waiting, submitted_tick: self.tick });
+        id
+    }
+
+    /// Event: job `id` finished (completed, cancelled or panicked) —
+    /// called for running, preempting, and (defensively) waiting or parked
+    /// jobs. Frees the job's pool slot; follow with
+    /// [`SchedCore::schedule`].
+    pub fn complete(&mut self, id: JobId) {
+        self.tick += 1;
+        let Some(job) = self.jobs.remove(&id) else { return };
+        let t = &mut self.tenants[job.tenant as usize];
+        t.counters.completed += 1;
+        match job.phase {
+            JobPhase::Running => {
+                self.running -= 1;
+                t.running -= 1;
+            }
+            JobPhase::Preempting => {
+                self.running -= 1;
+                self.preempting -= 1;
+                t.running -= 1;
+            }
+            JobPhase::Waiting => {
+                t.waiting.retain(|&w| w != id);
+            }
+            JobPhase::Parked => {
+                if let Some(pos) = self.parked.iter().position(|&(p, _)| p == id) {
+                    let (_, tasks) = self.parked.remove(pos).expect("position just found");
+                    self.parked_tasks -= tasks;
+                }
+            }
+        }
+    }
+
+    /// Event: job `id` (previously asked to park via [`Action::Preempt`])
+    /// reached a superstep boundary and swapped out a frontier holding
+    /// `tasks` tasks. Frees its pool slot; follow with
+    /// [`SchedCore::schedule`].
+    pub fn parked(&mut self, id: JobId, tasks: usize) {
+        self.tick += 1;
+        let job = self.jobs.get_mut(&id).expect("parked() on unknown job");
+        debug_assert_eq!(job.phase, JobPhase::Preempting, "parked() without a Preempt action");
+        job.phase = JobPhase::Parked;
+        self.running -= 1;
+        self.preempting -= 1;
+        let t = &mut self.tenants[job.tenant as usize];
+        t.running -= 1;
+        t.counters.preemptions += 1;
+        self.parked.push_back((id, tasks));
+        self.parked_tasks += tasks;
+    }
+
+    /// Decide: fill free pool slots (resuming parked jobs and admitting
+    /// waiting ones by priority, then weighted stride order), then — if
+    /// still saturated with higher-priority demand waiting — ask running
+    /// lower-priority preemptible jobs to park. Deterministic in the
+    /// core's state; idempotent once its actions are applied.
+    pub fn schedule(&mut self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        while self.running < self.policy.max_running {
+            match self.pick_candidate() {
+                Some(Candidate::Parked(id)) => {
+                    let pos = self
+                        .parked
+                        .iter()
+                        .position(|&(p, _)| p == id)
+                        .expect("candidate came from the parked queue");
+                    let (_, tasks) = self.parked.remove(pos).expect("position just found");
+                    self.parked_tasks -= tasks;
+                    let job = self.jobs.get_mut(&id).expect("parked job exists");
+                    job.phase = JobPhase::Running;
+                    self.running += 1;
+                    let t = &mut self.tenants[job.tenant as usize];
+                    t.running += 1;
+                    t.counters.resumes += 1;
+                    acts.push(Action::Resume(id));
+                }
+                Some(Candidate::Waiting(tenant)) => {
+                    let t = &mut self.tenants[tenant as usize];
+                    let id = t.waiting.pop_front().expect("candidate tenant has a waiting head");
+                    t.running += 1;
+                    t.counters.admissions += 1;
+                    // Stride charge: the admitted tenant's pass advances by
+                    // its stride; virtual time follows the admission.
+                    self.vnow = t.pass;
+                    t.pass += STRIDE_ONE / u64::from(t.spec.weight);
+                    let job = self.jobs.get_mut(&id).expect("waiting job exists");
+                    job.phase = JobPhase::Running;
+                    t.counters.wait_ticks += self.tick - job.submitted_tick;
+                    self.running += 1;
+                    acts.push(Action::Start(id));
+                }
+                None => break,
+            }
+        }
+        if !self.policy.fifo && self.running >= self.policy.max_running {
+            self.preempt_for_priority(&mut acts);
+        }
+        acts
+    }
+
+    /// While a strictly-higher-priority candidate lacks a slot and the
+    /// park pool has room, ask the lowest-priority running preemptible job
+    /// to park (youngest first among equals).
+    fn preempt_for_priority(&mut self, acts: &mut Vec<Action>) {
+        loop {
+            if self.parked.len() + self.preempting >= self.policy.max_parked {
+                return;
+            }
+            let Some(best) = self.best_candidate_priority() else { return };
+            let Some((vid, vprio)) = self.pick_victim() else { return };
+            if vprio >= best {
+                return;
+            }
+            // Preempt only while demand from strictly-higher-priority
+            // candidates outruns the slots already being vacated.
+            if self.candidates_above(vprio) <= self.preempting {
+                return;
+            }
+            let job = self.jobs.get_mut(&vid).expect("victim exists");
+            job.phase = JobPhase::Preempting;
+            self.preempting += 1;
+            acts.push(Action::Preempt(vid));
+        }
+    }
+
+    /// The next job to give a free slot to, or `None` when nothing waits.
+    fn pick_candidate(&self) -> Option<Candidate> {
+        if self.policy.fifo {
+            // Tenant-blind arrival order, parked jobs resumed first (they
+            // were admitted before anything still waiting).
+            if let Some(&(id, _)) = self.parked.front() {
+                return Some(Candidate::Parked(id));
+            }
+            return self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.waiting.front().map(|&id| (id, i as TenantId)))
+                .min_by_key(|&(id, _)| id)
+                .map(|(_, tenant)| Candidate::Waiting(tenant));
+        }
+        // Highest priority wins; at equal priority a parked job resumes
+        // before a waiting one starts (its admission is already paid for
+        // and its frontier holds park-pool memory); among waiting tenants
+        // the smallest pass (least weighted service) goes first, ties to
+        // the lowest tenant id.
+        let parked = self
+            .parked
+            .iter()
+            .map(|&(id, _)| (id, self.priority_of(id)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        let waiting = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.waiting.is_empty())
+            .map(|(i, t)| (i as TenantId, t.spec.priority, t.pass))
+            .min_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+        match (parked, waiting) {
+            (Some((id, pp)), Some((_, wp, _))) if pp >= wp => Some(Candidate::Parked(id)),
+            (_, Some((tenant, _, _))) => Some(Candidate::Waiting(tenant)),
+            (Some((id, _)), None) => Some(Candidate::Parked(id)),
+            (None, None) => None,
+        }
+    }
+
+    /// Highest priority among jobs wanting a slot (waiting or parked).
+    fn best_candidate_priority(&self) -> Option<u8> {
+        let w = self.tenants.iter().filter(|t| !t.waiting.is_empty()).map(|t| t.spec.priority).max();
+        let p = self.parked.iter().map(|&(id, _)| self.priority_of(id)).max();
+        w.max(p)
+    }
+
+    /// Candidates (waiting or parked) with priority strictly above `prio`.
+    fn candidates_above(&self, prio: u8) -> usize {
+        let w: usize = self.tenants.iter().filter(|t| t.spec.priority > prio).map(|t| t.waiting.len()).sum();
+        let p = self.parked.iter().filter(|&&(id, _)| self.priority_of(id) > prio).count();
+        w + p
+    }
+
+    /// The preemption victim: a running (not already preempting)
+    /// preemptible job of the lowest tenant priority; ties to the youngest
+    /// (highest id), preserving older jobs' progress.
+    fn pick_victim(&self) -> Option<(JobId, u8)> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| j.phase == JobPhase::Running && j.preemptible)
+            .map(|(&id, j)| (id, self.tenants[j.tenant as usize].spec.priority))
+            .min_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    fn priority_of(&self, id: JobId) -> u8 {
+        self.tenants[self.jobs[&id].tenant as usize].spec.priority
+    }
+
+    /// The tenant that owns `id` (while the job is live).
+    pub fn tenant_of(&self, id: JobId) -> Option<TenantId> {
+        self.jobs.get(&id).map(|j| j.tenant)
+    }
+
+    /// Where `id` currently is, or `None` once it completed.
+    pub fn job_phase(&self, id: JobId) -> Option<JobPhase> {
+        self.jobs.get(&id).map(|j| j.phase)
+    }
+
+    /// Jobs occupying pool slots (running + preempting).
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Jobs queued across all tenants.
+    pub fn waiting(&self) -> usize {
+        self.tenants.iter().map(|t| t.waiting.len()).sum()
+    }
+
+    /// Swapped-out jobs in the park pool.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Tasks held by swapped-out frontiers.
+    pub fn parked_tasks(&self) -> usize {
+        self.parked_tasks
+    }
+
+    /// The policy this core runs.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// The virtual clock (events processed so far).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// One tenant's lifetime counters.
+    pub fn tenant_counters(&self, tenant: TenantId) -> &TenantCounters {
+        &self.tenants[tenant as usize].counters
+    }
+
+    /// Point-in-time view of every tenant.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let id = i as TenantId;
+                TenantSnapshot {
+                    id,
+                    name: t.spec.name.clone(),
+                    weight: t.spec.weight,
+                    priority: t.spec.priority,
+                    waiting: t.waiting.len(),
+                    running: t.running,
+                    parked: self.parked.iter().filter(|&&(p, _)| self.jobs[&p].tenant == id).count(),
+                    counters: t.counters,
+                    pending: 0,
+                    max_pending: 0,
+                    backpressure_waits: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// The registered tenant specs (index = [`TenantId`]).
+    pub fn tenant_spec(&self, tenant: TenantId) -> &TenantSpec {
+        &self.tenants[tenant as usize].spec
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+}
+
+enum Candidate {
+    Waiting(TenantId),
+    Parked(JobId),
+}
+
+// ---------------------------------------------------------------------------
+// The threaded shell.
+// ---------------------------------------------------------------------------
+
+/// A stored job body: what the pool runs when the scheduler admits it.
+pub(crate) type ReadyJob = Box<dyn FnOnce(&WorkerCtx<'_>) + Send>;
+
+/// The flag a running preemptible job polls at superstep boundaries.
+pub(crate) type PreemptFlag = Arc<AtomicBool>;
+
+/// Shell-side record of where a job's body/flag currently lives.
+enum Slot {
+    Waiting { job: ReadyJob, flag: Option<PreemptFlag> },
+    Running { flag: Option<PreemptFlag> },
+    Parked { job: ReadyJob, flag: Option<PreemptFlag> },
+}
+
+struct Shared {
+    core: SchedCore,
+    slots: BTreeMap<JobId, Slot>,
+}
+
+/// The threaded admission scheduler: [`SchedCore`] under a mutex,
+/// per-tenant `Gate`s outside it, and the job-closure store. Spawning is
+/// deliberately *not* done here — every mutating call returns the
+/// [`ReadyJob`]s the caller must dispatch (clients via
+/// `ThreadPool::spawn`, completing workers via `WorkerCtx::spawn`), so
+/// the shell never holds a pool reference a worker could drop last.
+pub(crate) struct Admission {
+    state: Mutex<Shared>,
+    /// Per-tenant submit gates, indexed by [`TenantId`]. Its own lock
+    /// (not inside `state`) so gate waits never hold the scheduler state;
+    /// the hot path only clones an `Arc` out of the vector.
+    gates: Mutex<Vec<Arc<Gate>>>,
+}
+
+impl Admission {
+    pub(crate) fn new(policy: AdmissionPolicy) -> Self {
+        Admission {
+            state: Mutex::new(Shared { core: SchedCore::new(policy), slots: BTreeMap::new() }),
+            gates: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn add_tenant(&self, spec: TenantSpec) -> TenantId {
+        let mut state = self.state.lock();
+        let max_pending = spec.max_pending.max(1);
+        let id = state.core.add_tenant(spec);
+        let mut gates = self.gates.lock();
+        debug_assert_eq!(gates.len(), id as usize, "gate vector tracks tenant ids");
+        gates.push(Arc::new(Gate::new(max_pending)));
+        id
+    }
+
+    /// The submit-side backpressure gate for `tenant`.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub(crate) fn gate(&self, tenant: TenantId) -> Arc<Gate> {
+        Arc::clone(&self.gates.lock()[tenant as usize])
+    }
+
+    /// Accept a job whose gate slot is already held. `make_job` builds the
+    /// body from the assigned id (so the body can report completion).
+    /// Returns the id plus any jobs the caller must spawn.
+    pub(crate) fn enqueue(
+        &self,
+        tenant: TenantId,
+        preemptible: bool,
+        flag: Option<PreemptFlag>,
+        make_job: impl FnOnce(JobId) -> ReadyJob,
+    ) -> (JobId, Vec<ReadyJob>) {
+        debug_assert_eq!(preemptible, flag.is_some(), "preemptible jobs carry a preempt flag");
+        let mut state = self.state.lock();
+        let id = state.core.submit(tenant, preemptible);
+        state.slots.insert(id, Slot::Waiting { job: make_job(id), flag });
+        let ready = Self::apply(&mut state);
+        (id, ready)
+    }
+
+    /// Job `id` finished; free its slot, release its tenant's gate and
+    /// return the follow-on jobs to spawn.
+    pub(crate) fn finished(&self, id: JobId) -> Vec<ReadyJob> {
+        let (ready, tenant) = {
+            let mut state = self.state.lock();
+            let tenant = state.core.tenant_of(id);
+            state.core.complete(id);
+            state.slots.remove(&id);
+            (Self::apply(&mut state), tenant)
+        };
+        if let Some(tenant) = tenant {
+            self.gate(tenant).release();
+        }
+        ready
+    }
+
+    /// Job `id` honoured its preempt flag: its frontier (holding `tasks`
+    /// tasks) is parked as `continuation`. Returns follow-on jobs — in
+    /// particular the higher-priority job the park freed a slot for.
+    pub(crate) fn parked(&self, id: JobId, tasks: usize, continuation: ReadyJob) -> Vec<ReadyJob> {
+        let mut state = self.state.lock();
+        state.core.parked(id, tasks);
+        let slot = state.slots.get_mut(&id).expect("parked job has a slot");
+        let flag = match slot {
+            Slot::Running { flag } => flag.take(),
+            _ => unreachable!("parked() on a job that was not running"),
+        };
+        debug_assert!(flag.is_some(), "a preempted job carries a flag");
+        *slot = Slot::Parked { job: continuation, flag };
+        Self::apply(&mut state)
+    }
+
+    /// Run the core's scheduler and apply its actions to the slot store,
+    /// collecting the closures the caller must spawn.
+    fn apply(state: &mut Shared) -> Vec<ReadyJob> {
+        let mut ready = Vec::new();
+        for act in state.core.schedule() {
+            match act {
+                Action::Start(id) | Action::Resume(id) => {
+                    let slot = state.slots.get_mut(&id).expect("scheduled job has a slot");
+                    let taken = std::mem::replace(slot, Slot::Running { flag: None });
+                    match taken {
+                        Slot::Waiting { job, flag } | Slot::Parked { job, flag } => {
+                            *slot = Slot::Running { flag };
+                            ready.push(job);
+                        }
+                        Slot::Running { .. } => unreachable!("core started a running job"),
+                    }
+                }
+                Action::Preempt(id) => {
+                    match state.slots.get(&id) {
+                        Some(Slot::Running { flag: Some(flag) }) => flag.store(true, Ordering::Release),
+                        _ => unreachable!("core preempted a job without a flag"),
+                    };
+                }
+            }
+        }
+        ready
+    }
+
+    /// Point-in-time tenant views with gate backpressure counts merged in.
+    pub(crate) fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let mut snaps = self.state.lock().core.snapshot();
+        let gates = self.gates.lock();
+        for s in &mut snaps {
+            let gate = &gates[s.id as usize];
+            s.pending = gate.inflight();
+            s.max_pending = gate.max();
+            s.backpressure_waits = gate.blocked();
+        }
+        snaps
+    }
+
+    /// (running, waiting, parked jobs, parked tasks) right now.
+    pub(crate) fn queue_depths(&self) -> (usize, usize, usize, usize) {
+        let state = self.state.lock();
+        (state.core.running(), state.core.waiting(), state.core.parked_count(), state.core.parked_tasks())
+    }
+
+    /// Pool-side policy.
+    pub(crate) fn policy(&self) -> AdmissionPolicy {
+        *self.state.lock().core.policy()
+    }
+
+    /// Sum of every tenant's `(preemptions, resumes)`.
+    pub(crate) fn preemption_totals(&self) -> (u64, u64) {
+        let state = self.state.lock();
+        let mut p = 0;
+        let mut r = 0;
+        for i in 0..state.core.tenant_count() {
+            let c = state.core.tenant_counters(i as TenantId);
+            p += c.preemptions;
+            r += c.resumes;
+        }
+        (p, r)
+    }
+
+    /// Total times any tenant's submitter blocked on its gate.
+    pub(crate) fn backpressure_waits(&self) -> u64 {
+        self.gates.lock().iter().map(|g| g.blocked()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(max_running: usize, max_parked: usize, fifo: bool) -> AdmissionPolicy {
+        AdmissionPolicy { max_running, max_parked, fifo }
+    }
+
+    #[test]
+    fn single_tenant_fills_slots_then_queues() {
+        let mut c = SchedCore::new(policy(2, 0, false));
+        let t = c.add_tenant(TenantSpec::new("only", 8));
+        let a = c.submit(t, false);
+        let b = c.submit(t, false);
+        let q = c.submit(t, false);
+        assert_eq!(c.schedule(), vec![Action::Start(a), Action::Start(b)]);
+        assert_eq!(c.job_phase(q), Some(JobPhase::Waiting));
+        assert_eq!(c.schedule(), vec![], "saturated: idempotent");
+        c.complete(a);
+        assert_eq!(c.schedule(), vec![Action::Start(q)]);
+        c.complete(b);
+        c.complete(q);
+        assert_eq!(c.running(), 0);
+        assert_eq!(c.tenant_counters(t).completed, 3);
+    }
+
+    #[test]
+    fn preempt_flag_reaches_the_running_job() {
+        // Shell-level: a Preempt action must set the registered flag.
+        let adm = Admission::new(policy(1, 4, false));
+        let low = adm.add_tenant(TenantSpec::new("low", 8));
+        let high = adm.add_tenant(TenantSpec::new("high", 8).priority(1));
+        let flag: PreemptFlag = Arc::new(AtomicBool::new(false));
+        let (_, ready) = adm.enqueue(low, true, Some(Arc::clone(&flag)), |_| Box::new(|_| {}));
+        assert_eq!(ready.len(), 1, "empty pool admits immediately");
+        let (_, ready) = adm.enqueue(high, false, None, |_| Box::new(|_| {}));
+        assert!(ready.is_empty(), "saturated: high-priority job must wait for the park");
+        assert!(flag.load(Ordering::Acquire), "victim's preempt flag must be set");
+    }
+}

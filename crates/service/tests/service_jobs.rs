@@ -88,7 +88,7 @@ impl BlockProgram for CountingTree {
 
 #[test]
 fn mixed_schedulers_coexist_on_one_pool() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 32 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 32, ..RuntimeConfig::default() });
     let mut handles = Vec::new();
     for round in 0..4u32 {
         let depth = 8 + round;
@@ -111,7 +111,7 @@ fn mixed_schedulers_coexist_on_one_pool() {
 
 #[test]
 fn concurrent_clients_hammer_one_runtime() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     std::thread::scope(|s| {
         for client in 0..4 {
             let rt = rt.clone();
@@ -136,7 +136,7 @@ fn concurrent_clients_hammer_one_runtime() {
 
 #[test]
 fn cancellation_stops_expansion_promptly() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let ticks = Arc::new(AtomicU64::new(0));
     // Depth 40: ~2^40 leaves, would run for hours — cancellation is the
     // only way this test can finish.
@@ -162,7 +162,7 @@ fn cancellation_stops_expansion_promptly() {
 
 #[test]
 fn dropping_a_handle_mid_run_detaches_without_wedging() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2, ..RuntimeConfig::default() });
     let ticks = Arc::new(AtomicU64::new(0));
     let h = rt.submit(
         CountingTree { depth: 18, ticks: Arc::clone(&ticks) },
@@ -184,7 +184,7 @@ fn dropping_a_handle_mid_run_detaches_without_wedging() {
 
 #[test]
 fn dropping_a_cancelled_handle_is_also_clean() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 2, ..RuntimeConfig::default() });
     let ticks = Arc::new(AtomicU64::new(0));
     let h = rt.submit(
         CountingTree { depth: 40, ticks: Arc::clone(&ticks) },
@@ -206,7 +206,7 @@ fn dropping_a_cancelled_handle_is_also_clean() {
 
 #[test]
 fn backpressure_blocks_then_releases() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1, ..RuntimeConfig::default() });
     // Fill the single slot with a slow job, then submit another: the
     // second submit must block until the first completes.
     let slow = rt.submit(Tree(18), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
@@ -218,7 +218,7 @@ fn backpressure_blocks_then_releases() {
 
 #[test]
 fn try_submit_sheds_load_when_saturated() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1, ..RuntimeConfig::default() });
     let slow = rt.submit(Tree(20), SchedConfig::basic(4, 64), SchedulerKind::ReExpansion);
     // The slot is taken (the job may already be running, but it has not
     // completed): try_submit must bounce and return the program.
@@ -236,7 +236,7 @@ fn try_submit_sheds_load_when_saturated() {
 
 #[test]
 fn bulk_results_arrive_in_input_order() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     // 100 items, each chunk's program counts leaves of depth = chunk len.
     let items: Vec<u32> = (0..100).collect();
     let bulk =
@@ -256,7 +256,7 @@ fn bulk_results_arrive_in_input_order() {
 
 #[test]
 fn bulk_cancel_reaches_queued_chunks() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 16 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 16, ..RuntimeConfig::default() });
     // Many deep chunks on one worker: cancel after the first ticks arrive;
     // later chunks must come back Cancelled without doing their full work.
     let ticks = Arc::new(AtomicU64::new(0));
@@ -295,7 +295,7 @@ fn panicking_program_is_contained() {
             panic!("bomb");
         }
     }
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let h = rt.submit(Bomb, SchedConfig::basic(4, 64), SchedulerKind::Seq);
     assert_eq!(h.wait(), Err(JobError::Panicked));
     assert_eq!(rt.stats().panicked, 1);
@@ -307,7 +307,7 @@ fn panicking_program_is_contained() {
 
 #[test]
 fn closure_jobs_ride_the_same_gate() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let mut handles: Vec<_> = (0..8u64).map(|i| rt.submit_fn(move || i * i)).collect();
     let sum: u64 = handles.drain(..).map(|h| h.wait().expect("closure job")).sum();
     assert_eq!(sum, (0..8u64).map(|i| i * i).sum());
@@ -321,7 +321,7 @@ fn panicking_bulk_chunk_builder_is_contained() {
     // Regression: a panic inside the user-supplied chunk-builder must be
     // routed to JobError::Panicked like any program panic — not escape the
     // catch, leak gate slots, and wedge BulkHandle::wait() forever.
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     let bulk = rt.submit_bulk(
         (0..32u32).collect::<Vec<_>>(),
         SchedConfig::basic(4, 64),
@@ -350,7 +350,7 @@ const FIB_SRC: &str = "spec fib(n) {
 
 #[test]
 fn spec_source_jobs_run_under_every_kind() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     for kind in SchedulerKind::ALL {
         let h = rt.submit_spec(FIB_SRC, vec![18], SchedConfig::restart(4, 64, 16), kind);
         assert_eq!(h.wait(), Ok(2584), "{kind:?}");
@@ -363,7 +363,7 @@ fn spec_source_jobs_run_under_every_kind() {
 
 #[test]
 fn spec_foreach_submission_strip_mines_many_roots() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 3, max_inflight: 8, ..RuntimeConfig::default() });
     let calls: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 10]).collect();
     // sum of fib(0..=9) cycled 20 times: (fib(11) - 1) * 20
     let h = rt.submit_spec_foreach(FIB_SRC, calls, SchedConfig::basic(8, 32), SchedulerKind::ReExpansion);
@@ -372,7 +372,7 @@ fn spec_foreach_submission_strip_mines_many_roots() {
 
 #[test]
 fn malformed_spec_source_is_rejected_not_panicked() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let h = rt.submit_spec(
         "spec f(n) { base (n < 2) { reduce n; } else { spawn g(n - 1); } }",
         vec![5],
@@ -398,7 +398,7 @@ fn malformed_spec_source_is_rejected_not_panicked() {
 
 #[test]
 fn wrong_root_arity_is_rejected_with_a_message() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let h = rt.submit_spec(FIB_SRC, vec![10, 3], SchedConfig::basic(4, 64), SchedulerKind::Seq);
     match h.wait() {
         Err(JobError::Rejected(msg)) => {
@@ -411,7 +411,7 @@ fn wrong_root_arity_is_rejected_with_a_message() {
 
 #[test]
 fn spec_cache_is_shared_across_concurrent_clients() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 16, ..RuntimeConfig::default() });
     std::thread::scope(|s| {
         for _ in 0..4 {
             let rt = rt.clone();
@@ -438,7 +438,7 @@ fn hostile_spec_source_cannot_kill_the_runtime() {
     // A pathological source (50k nested parens) must come back as a
     // Rejected handle — before the parser's nesting limits this aborted
     // the whole process with a stack overflow.
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 4, ..RuntimeConfig::default() });
     let hostile = format!(
         "spec f(n) {{ base (n < 2) {{ reduce {}n{}; }} else {{ spawn f(n - 1); }} }}",
         "(".repeat(50_000),

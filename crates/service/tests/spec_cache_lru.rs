@@ -35,7 +35,7 @@ fn tiny_cfg() -> SchedConfig {
 
 #[test]
 fn hot_source_survives_a_cap_of_cold_ones() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     let h = rt.submit_spec(HOT_SRC, vec![8], tiny_cfg(), SchedulerKind::Seq);
     assert_eq!(h.wait(), Ok(21));
     // Interleave CAP distinct cold sources with hot resubmissions: the
@@ -59,7 +59,7 @@ fn late_arriving_hot_source_displaces_a_cold_one() {
     // *then* start using a new program heavily. A never-evicting cap
     // recompiles the newcomer forever; an LRU admits it on first sight
     // and serves every subsequent submission from the cache.
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     for i in 0..CAP {
         let c = rt.submit_spec(&cold_src(i), vec![0], tiny_cfg(), SchedulerKind::Seq);
         assert_eq!(c.wait(), Ok(i as i64));
@@ -75,7 +75,7 @@ fn late_arriving_hot_source_displaces_a_cold_one() {
 
 #[test]
 fn eviction_victim_is_the_least_recently_used() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     // Fill to capacity, then touch source 0 so source 1 becomes the LRU.
     for i in 0..CAP {
         rt.submit_spec(&cold_src(i), vec![0], tiny_cfg(), SchedulerKind::Seq).wait().unwrap();
@@ -95,7 +95,7 @@ fn eviction_victim_is_the_least_recently_used() {
 
 #[test]
 fn execution_tiers_agree_and_share_the_cache() {
-    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8 });
+    let rt = Runtime::with_config(RuntimeConfig { threads: 2, max_inflight: 8, ..RuntimeConfig::default() });
     let cfg = SchedConfig::restart(4, 64, 16);
     let mut results = Vec::new();
     for tier in [SpecTier::Auto, SpecTier::Scalar, SpecTier::Simd] {

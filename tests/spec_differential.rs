@@ -1,5 +1,6 @@
 //! The differential property test over the spec-language pipeline: random
-//! *valid* specs, executed through all four backends — the recursive
+//! *valid* specs (see `common::gen_spec` — termination is by fuel
+//! construction), executed through all four backends — the recursive
 //! reference interpreter, the AST-walking `BlockedSpec`, the
 //! instruction-stream `CompiledSpec` and the masked-lane `VectorSpec`
 //! (`compiled_simd`, exercised at every monomorphized width 2/4/8, not
@@ -8,122 +9,14 @@
 //! reference) — under all four schedulers at 1/2/4 workers. Every route must produce the identical (wrapping-`i64`)
 //! reduction, and the blocked backends must expand the identical
 //! computation tree (same task count), not merely agree on the answer.
-//!
-//! Termination of generated specs is by construction: parameter 0 is
-//! *fuel* — every spawn passes `p0 - d` with `d >= 1` as argument 0, and
-//! the base predicate always contains `p0 <= 0` as a disjunct — so the
-//! recursion depth is bounded by the root fuel no matter what the rest of
-//! the program does.
 
+mod common;
+
+use common::{gen_spec, G};
 use proptest::prelude::*;
 use taskblocks::prelude::*;
 use taskblocks::spec::compile::RowArgBlock;
-use taskblocks::spec::{interpret, BlockedSpec, CompiledSpec, Expr, RecursiveSpec, Stmt, VectorSpec};
-
-/// A splitmix64 stream: all structural choices derive from one drawn seed,
-/// so failing cases reproduce from the printed seed alone.
-struct G(u64);
-
-impl G {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + self.below((hi - lo + 1) as u64) as i64
-    }
-
-    fn chance(&mut self, pct: u64) -> bool {
-        self.below(100) < pct
-    }
-}
-
-fn bx(e: Expr) -> Box<Expr> {
-    Box::new(e)
-}
-
-/// A random expression over `params` parameters, operator tree of at most
-/// `depth` levels.
-fn gen_expr(g: &mut G, params: usize, depth: usize) -> Expr {
-    if depth == 0 || g.chance(35) {
-        return if g.chance(50) {
-            Expr::Const(g.range(-4, 4))
-        } else {
-            Expr::Param(g.below(params as u64) as usize)
-        };
-    }
-    let a = bx(gen_expr(g, params, depth - 1));
-    let b = bx(gen_expr(g, params, depth - 1));
-    match g.below(9) {
-        0 => Expr::Add(a, b),
-        1 => Expr::Sub(a, b),
-        2 => Expr::Mul(a, b),
-        3 => Expr::Lt(a, b),
-        4 => Expr::Le(a, b),
-        5 => Expr::Eq(a, b),
-        6 => Expr::And(a, b),
-        7 => Expr::Or(a, b),
-        _ => Expr::Not(a),
-    }
-}
-
-/// A spawn whose argument 0 strictly burns fuel; other arguments are
-/// arbitrary.
-fn gen_spawn(g: &mut G, params: usize) -> Stmt {
-    let mut args = vec![Expr::Sub(bx(Expr::Param(0)), bx(Expr::Const(g.range(1, 2))))];
-    for _ in 1..params {
-        args.push(gen_expr(g, params, 2));
-    }
-    Stmt::Spawn(args)
-}
-
-/// 1–3 inductive statements: spawns, guarded spawns (exercising the
-/// syntactic site-numbering rule across both `If` branches), reductions.
-fn gen_inductive(g: &mut G, params: usize) -> Vec<Stmt> {
-    let n = 1 + g.below(3);
-    (0..n)
-        .map(|_| match g.below(4) {
-            0 | 1 => gen_spawn(g, params),
-            2 => {
-                let then_b = vec![gen_spawn(g, params)];
-                let else_b = if g.chance(50) {
-                    vec![gen_spawn(g, params)]
-                } else {
-                    vec![Stmt::Reduce(gen_expr(g, params, 2))]
-                };
-                Stmt::If(gen_expr(g, params, 2), then_b, else_b)
-            }
-            _ => Stmt::Reduce(gen_expr(g, params, 3)),
-        })
-        .collect()
-}
-
-/// A random valid, terminating spec plus a root call for it.
-fn gen_spec(seed: u64) -> (RecursiveSpec, Vec<i64>) {
-    let mut g = G(seed);
-    let params = 1 + g.below(3) as usize;
-    // `p0 <= 0` always ends the recursion; an optional random disjunct
-    // lets some branches take the base case early.
-    let fuel_out = Expr::Le(bx(Expr::Param(0)), bx(Expr::Const(0)));
-    let base_cond =
-        if g.chance(30) { Expr::Or(bx(fuel_out), bx(gen_expr(&mut g, params, 2))) } else { fuel_out };
-    let base = (0..1 + g.below(2)).map(|_| Stmt::Reduce(gen_expr(&mut g, params, 3))).collect();
-    let inductive = gen_inductive(&mut g, params);
-    let spec = RecursiveSpec { name: "gen".into(), params, base_cond, base, inductive };
-    let mut root = vec![g.range(4, 7)];
-    for _ in 1..params {
-        root.push(g.range(-3, 3));
-    }
-    (spec, root)
-}
+use taskblocks::spec::{interpret, BlockedSpec, CompiledSpec, VectorSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
