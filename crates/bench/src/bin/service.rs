@@ -25,14 +25,28 @@
 //!     "interactive_p50_ms": 1.2, "interactive_p99_ms": 4.0,
 //!     "batch_jobs": 350, "batch_shed": 12,
 //!     "preemptions": 9, "resumes": 9 },
-//!   "tenants": [                      // per-tenant admission counters
+//!   "tenants": [                      // per-tenant admission counters;
+//!                                     //   since PR 8 each row also carries
+//!                                     //   admit_p50_us / admit_p99_us /
+//!                                     //   admit_samples — wall-clock
+//!                                     //   submit→Start latency quantiles
+//!                                     //   from the scheduler's per-tenant
+//!                                     //   LogHistogram
 //!     { "name": "default", "weight": 1, "priority": 0, ... },
 //!     { "name": "batch", ... }, { "name": "interactive", ... } ],
 //!   "injector": { "full_waits": 0,    // asserted == 0: submission never
 //!                                     //   spin-blocks on capacity
-//!     "install_waits": 1, "segments_allocated": 3, "segments_recycled": 7 }
+//!     "install_waits": 1, "segments_allocated": 3, "segments_recycled": 7 },
+//!   "dropped_events": 0,              // tb-obs ring-overflow losses
+//!   "trace_bytes": 0                  // 0 unless run with TB_TRACE=1
 //! }
 //! ```
+//!
+//! The closed-loop p50/p99 numbers (mixed-stream and adversarial) are
+//! computed with `tb_obs::LogHistogram` — the same log-bucketed estimator
+//! the admission scheduler uses for its per-tenant stats — instead of the
+//! old sort-based percentiles (~6% bucket error, irrelevant at the
+//! millisecond magnitudes reported here).
 //!
 //! Flags: `--clients N` (default 4), `--jobs N` per client (default 25),
 //! `--pool N` workers (default: available parallelism), `--inflight N`
@@ -46,9 +60,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tb_bench::traj::{self, percentile, RunRow};
+use tb_bench::traj::{self, RunRow};
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
+use tb_obs::LogHistogram;
 use tb_service::{Runtime, RuntimeConfig, TenantSpec};
 use tb_suite::jobs::{FibJob, NQueensJob, UtsJob};
 use tb_suite::Scale;
@@ -223,11 +238,18 @@ fn main() {
         handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
     });
     let wall_s = start.elapsed().as_secs_f64();
-    let all: Vec<f64> = latencies.into_iter().flatten().collect();
-    let jobs_total = all.len();
+    // The log-bucketed histogram (~6% quantile error) replaces the old
+    // sort-based percentiles — the same type the admission scheduler uses
+    // for its per-tenant latency stats, so every latency number in this
+    // document is computed the same way.
+    let mut hist = LogHistogram::new();
+    for lat in latencies.into_iter().flatten() {
+        hist.record((lat * 1e9) as u64);
+    }
+    let jobs_total = hist.count() as usize;
     let jobs_per_sec = jobs_total as f64 / wall_s;
-    let p50_ms = percentile(all.clone(), 50.0) * 1e3;
-    let p99_ms = percentile(all, 99.0) * 1e3;
+    let p50_ms = hist.quantile(0.50) as f64 * 1e-6;
+    let p99_ms = hist.quantile(0.99) as f64 * 1e-6;
     println!(
         "mixed stream: {jobs_total} jobs in {wall_s:.3}s = {jobs_per_sec:.1} jobs/s \
          (p50 {p50_ms:.1}ms, p99 {p99_ms:.1}ms)"
@@ -350,8 +372,12 @@ fn main() {
     });
     let adv_wall_s = adv_t0.elapsed().as_secs_f64();
     let inter_jobs = inter_lats.len();
-    let adv_p50_ms = percentile(inter_lats.clone(), 50.0) * 1e3;
-    let adv_p99_ms = percentile(inter_lats, 99.0) * 1e3;
+    let mut adv_hist = LogHistogram::new();
+    for lat in inter_lats {
+        adv_hist.record((lat * 1e9) as u64);
+    }
+    let adv_p50_ms = adv_hist.quantile(0.50) as f64 * 1e-6;
+    let adv_p99_ms = adv_hist.quantile(0.99) as f64 * 1e-6;
 
     let adv_stats = adv_rt.stats();
     assert_eq!(adv_stats.injector.full_waits, 0, "adversarial phase must not spin-block submissions");
@@ -410,7 +436,8 @@ fn main() {
             json,
             "      {{ \"name\": \"{}\", \"weight\": {}, \"priority\": {}, \"submitted\": {}, \
              \"completed\": {}, \"admissions\": {}, \"preemptions\": {}, \"resumes\": {}, \
-             \"wait_ticks\": {}, \"backpressure_waits\": {} }}{}",
+             \"wait_ticks\": {}, \"backpressure_waits\": {}, \"admit_p50_us\": {}, \
+             \"admit_p99_us\": {}, \"admit_samples\": {} }}{}",
             t.name,
             t.weight,
             t.priority,
@@ -421,6 +448,9 @@ fn main() {
             t.counters.resumes,
             t.counters.wait_ticks,
             t.backpressure_waits,
+            t.admit_p50_us,
+            t.admit_p99_us,
+            t.admit_samples,
             if i + 1 == adv_stats.tenants.len() { "" } else { "," },
         );
     }
@@ -428,11 +458,16 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"injector\": {{ \"full_waits\": {}, \"install_waits\": {}, \
-         \"segments_allocated\": {}, \"segments_recycled\": {} }}",
+         \"segments_allocated\": {}, \"segments_recycled\": {} }},",
         stats.injector.full_waits,
         stats.injector.install_waits,
         stats.injector.segments_allocated,
         stats.injector.segments_recycled,
+    );
+    let _ = writeln!(
+        json,
+        "    \"dropped_events\": {}, \"trace_bytes\": {}",
+        adv_stats.dropped_events, adv_stats.trace_bytes
     );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");

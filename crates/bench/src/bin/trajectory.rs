@@ -112,6 +112,44 @@
 //! artifact-vs-artifact scalar walls incomparable (see README, "reading
 //! the trajectory"); CI enforces it on the committed `BENCH_PR6.json`.
 //!
+//! # `trajectory trace <bench>/<variant>/w<N>`
+//!
+//! Since PR 8: run one pinned-grid cell (e.g. `fib/restart/w4`) with
+//! `tb-obs` tracing enabled — globally *and* via `SchedConfig::with_trace`
+//! — drain every per-worker ring, and write a Chrome trace-event JSON
+//! file under `results/` that loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`: one track per
+//! worker thread, duration spans for spec-tier execution, async spans for
+//! jobs crossing park/resume, instants for everything else. The file is
+//! self-validated with `tb_bench::trace_check` (valid JSON, per-track
+//! monotonic timestamps, balanced duration and async pairs) and the
+//! command exits non-zero if its own output fails the checker. Flags:
+//! `--smoke` (tiny scale), `--out PATH`.
+//!
+//! # `trace_overhead` and `metrics` sections (PR 8)
+//!
+//! Measurement runs also A/B the tracing seam itself: the same cell is
+//! run with tracing fully disabled and with tracing enabled (the global
+//! flag and `SchedConfig::trace`), interleaved per rep, and the paired
+//! ratio is recorded — the observability acceptance number
+//! (`on_over_off` ≈ 1.0, target ≤ 1.05):
+//!
+//! ```json
+//! "trace_overhead": [
+//!   { "bench": "fib", "variant": "restart", "threads": 4,
+//!     "off_wall_s": 0.123, "on_wall_s": 0.125, "on_over_off": 1.016 }
+//! ],
+//! "metrics": {                       // tb-obs totals over the traced runs
+//!   "enabled": true, "events_recorded": 51234, "events_dropped": 0,
+//!   "trace_bytes": 1639488,
+//!   "by_kind": { "spawn": 12, "steal_attempt": 340, "...": 0 }
+//! }
+//! ```
+//!
+//! The pinned grid, substrate A/B and spec family always run with tracing
+//! disabled, so their cells stay comparable with pre-PR-8 artifacts (the
+//! no-op path is the one `trajectory compare` gates).
+//!
 //! Flags (measurement mode): `--scale tiny|small|paper`, `--reps N`,
 //! `--tag NAME`, `--file PATH`, `--layout row|col|both` (spec-family
 //! store layout; committed artifacts use `both`), `--smoke` (tiny scale,
@@ -123,13 +161,15 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use tb_bench::trace_check::check_chrome_trace;
 use tb_bench::traj::{self, median, parse_json, RunRow, TRAJ_THREADS, T_DFE, T_RESTART};
 
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
 use tb_core::LeveledDeque;
+use tb_runtime::ThreadPool;
 use tb_suite::jobs::{FibJob, UtsJob};
-use tb_suite::Scale;
+use tb_suite::{benchmark_by_name, Scale, Tier};
 
 struct TrajArgs {
     common: HarnessArgs,
@@ -246,6 +286,9 @@ fn main() {
     if argv.first().map(String::as_str) == Some("gate") {
         std::process::exit(run_gate(&argv[1..]));
     }
+    if argv.first().map(String::as_str) == Some("trace") {
+        std::process::exit(run_trace(&argv[1..]));
+    }
 
     let args = TrajArgs::parse();
     println!(
@@ -296,11 +339,175 @@ fn main() {
         traj::run_spec_family(args.common.scale, args.reps, args.layout)
     };
 
+    // ---- trace overhead A/B: tb-obs off vs on ---------------------------
+    // Runs *last* so enabling tracing can never contaminate the sections
+    // above; the global flag is off again before the process exits.
+    let (trace_ab, metrics) = if args.ab_only {
+        (Vec::new(), tb_obs::metrics_snapshot())
+    } else {
+        println!("\ntrace overhead A/B: tb-obs disabled vs enabled (same cells)");
+        run_trace_overhead(args.common.scale, args.reps, args.smoke)
+    };
+
     // ---- emit ------------------------------------------------------------
     let path = args.out_path();
-    let json = render_json(&args, &runs, &spec_rows, &substrate_ab);
+    let json = render_json(&args, &runs, &spec_rows, &substrate_ab, &trace_ab, &metrics);
     std::fs::write(&path, json).expect("write trajectory json");
     println!("\n[trajectory written to {path}]");
+}
+
+/// One cell of the tracing-overhead A/B.
+struct TraceAbRow {
+    bench: &'static str,
+    variant: &'static str,
+    threads: usize,
+    off_wall_s: f64,
+    on_wall_s: f64,
+    /// Median of paired per-rep ratios `on_i / off_i` (same pairing
+    /// rationale as the substrate A/B: drift cancels within a pair).
+    on_over_off: f64,
+}
+
+/// Run the tracing-overhead cells: each is measured with tracing fully
+/// disabled and with tracing enabled (global flag + `SchedConfig::trace`),
+/// interleaved and counterbalanced per rep. Returns the rows and the
+/// `tb-obs` metrics snapshot accumulated over the traced side.
+fn run_trace_overhead(scale: Scale, reps: usize, smoke: bool) -> (Vec<TraceAbRow>, tb_obs::MetricsSnapshot) {
+    // More pairs than the grid's reps: the reported number is a single
+    // ratio whose noise floor is what bounds the "tracing is cheap"
+    // claim, so it gets the extra samples the grid cells don't need.
+    let reps = if smoke { 1 } else { reps.max(9) };
+    let mut rows = Vec::new();
+    for (bench, variant) in [("fib", "basic"), ("fib", "restart"), ("uts", "restart")] {
+        let threads = 4usize;
+        let b = benchmark_by_name(bench, scale).expect("pinned benchmark exists");
+        let (cfg, kind) = cell_config(&*b, variant);
+        let pool = ThreadPool::new(threads);
+        let mut off = Vec::with_capacity(reps);
+        let mut on = Vec::with_capacity(reps);
+        let run_off = |off: &mut Vec<f64>| {
+            tb_obs::set_enabled(false);
+            off.push(b.blocked_par(&pool, cfg, kind, Tier::Block).stats.wall.as_secs_f64());
+        };
+        let run_on = |on: &mut Vec<f64>| {
+            tb_obs::set_enabled(true);
+            on.push(b.blocked_par(&pool, cfg.with_trace(true), kind, Tier::Block).stats.wall.as_secs_f64());
+            tb_obs::set_enabled(false);
+        };
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                run_off(&mut off);
+                run_on(&mut on);
+            } else {
+                run_on(&mut on);
+                run_off(&mut off);
+            }
+        }
+        let paired: Vec<f64> = off.iter().zip(&on).map(|(o, n)| n / o).collect();
+        let row = TraceAbRow {
+            bench,
+            variant,
+            threads,
+            off_wall_s: median(off),
+            on_wall_s: median(on),
+            on_over_off: median(paired),
+        };
+        println!(
+            "{bench:>10} {variant:>8} w={threads} off={:>9.4}s on={:>9.4}s ratio={:.3}",
+            row.off_wall_s, row.on_wall_s, row.on_over_off
+        );
+        rows.push(row);
+    }
+    // The snapshot totals what the traced side recorded; rings are left
+    // undrained (ring capacity bounds memory), so `events_recorded` counts
+    // every record call and `events_dropped` the overwritten tail.
+    let metrics = tb_obs::metrics_snapshot();
+    (rows, metrics)
+}
+
+/// The pinned-grid cell mapping shared by `trace` and the overhead A/B.
+fn cell_config(b: &dyn tb_suite::Benchmark, variant: &str) -> (SchedConfig, SchedulerKind) {
+    match variant {
+        "basic" => (SchedConfig::basic(b.q(), T_DFE), SchedulerKind::ReExpansion),
+        "restart" => (SchedConfig::restart(b.q(), T_DFE, T_RESTART), SchedulerKind::RestartIdeal),
+        other => panic!("variant must be basic|restart, got {other:?}"),
+    }
+}
+
+/// The `trace` subcommand: run one pinned-grid cell with tracing enabled
+/// and export the drained rings as Chrome trace-event JSON for Perfetto.
+/// Exit status 1 when the exported file fails the schema checker.
+fn run_trace(argv: &[String]) -> i32 {
+    let mut cell: Option<String> = None;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = Some(argv[i].clone());
+            }
+            other => {
+                assert!(cell.is_none(), "unexpected extra argument {other:?}");
+                cell = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    let Some(cell) = cell else {
+        eprintln!("usage: trajectory trace <bench>/<variant>/w<N> [--smoke] [--out PATH]");
+        return 2;
+    };
+    let parts: Vec<&str> = cell.split('/').collect();
+    let [bench, variant, w] = parts[..] else {
+        eprintln!("cell must be <bench>/<variant>/w<N>, e.g. fib/restart/w4; got {cell:?}");
+        return 2;
+    };
+    let threads: usize = w.strip_prefix('w').and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+        panic!("worker count must be wN, got {w:?}");
+    });
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    let b = benchmark_by_name(bench, scale)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench:?} (pinned: {:?})", traj::TRAJ_BENCHES));
+    let (cfg, kind) = cell_config(&*b, variant);
+
+    tb_obs::set_enabled(true);
+    let pool = ThreadPool::new(threads);
+    let summary = b.blocked_par(&pool, cfg.with_trace(true), kind, Tier::Block);
+    tb_obs::set_enabled(false);
+    let snapshot = tb_obs::metrics_snapshot();
+    let tracks = tb_obs::drain_all();
+    let json = tb_obs::chrome_trace_json(&tracks);
+
+    let path = out.unwrap_or_else(|| {
+        std::fs::create_dir_all("results").expect("create results dir");
+        format!("results/trace_{bench}_{variant}_{w}.json")
+    });
+    std::fs::write(&path, &json).expect("write trace json");
+    println!(
+        "trace | {cell} | wall={:.4}s tasks={} | {} events recorded, {} dropped, {} track(s)",
+        summary.stats.wall.as_secs_f64(),
+        summary.stats.tasks_executed,
+        snapshot.events_recorded,
+        snapshot.events_dropped,
+        tracks.len(),
+    );
+    match check_chrome_trace(&json) {
+        Ok(s) => {
+            println!(
+                "schema ok: {} events, {} tracks, {} duration pair(s), {} async pair(s), {} instant(s)",
+                s.events, s.tracks, s.duration_pairs, s.async_pairs, s.instants
+            );
+            println!("[trace written to {path} — load it at https://ui.perfetto.dev]");
+            0
+        }
+        Err(e) => {
+            eprintln!("exported trace FAILED its own schema check: {e}");
+            1
+        }
+    }
 }
 
 fn run_ab<P>(
@@ -379,7 +586,14 @@ where
     row
 }
 
-fn render_json(args: &TrajArgs, runs: &[RunRow], spec_rows: &[traj::SpecRow], ab: &[AbRow]) -> String {
+fn render_json(
+    args: &TrajArgs,
+    runs: &[RunRow],
+    spec_rows: &[traj::SpecRow],
+    ab: &[AbRow],
+    trace_ab: &[TraceAbRow],
+    metrics: &tb_obs::MetricsSnapshot,
+) -> String {
     let mut s = traj::render_header(&args.tag, args.common.scale_name(), args.reps, runs);
     s.push_str(&traj::render_spec_family(spec_rows));
     let _ = writeln!(
@@ -406,7 +620,30 @@ fn render_json(args: &TrajArgs, runs: &[RunRow], spec_rows: &[traj::SpecRow], ab
             r.mutex_min_s / r.lockfree_min_s
         );
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"trace_overhead\": [");
+    for (i, r) in trace_ab.iter().enumerate() {
+        let comma = if i + 1 < trace_ab.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"off_wall_s\": {:.6}, \
+             \"on_wall_s\": {:.6}, \"on_over_off\": {:.4} }}{comma}",
+            r.bench, r.variant, r.threads, r.off_wall_s, r.on_wall_s, r.on_over_off
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"metrics\": {{");
+    let _ = writeln!(s, "    \"enabled\": {},", metrics.enabled);
+    let _ = writeln!(s, "    \"events_recorded\": {},", metrics.events_recorded);
+    let _ = writeln!(s, "    \"events_dropped\": {},", metrics.events_dropped);
+    let _ = writeln!(s, "    \"trace_bytes\": {},", metrics.trace_bytes);
+    let _ = writeln!(s, "    \"by_kind\": {{");
+    for (i, (name, count)) in metrics.by_kind.iter().enumerate() {
+        let comma = if i + 1 < metrics.by_kind.len() { "," } else { "" };
+        let _ = writeln!(s, "      \"{name}\": {count}{comma}");
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
 }

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 
 use tb_suite::Scale;
 
+pub mod trace_check;
 pub mod traj;
 
 /// Common command-line arguments for the harness binaries.

@@ -1,0 +1,101 @@
+//! The schema checker against the real exporter: every document
+//! `tb_obs::chrome_trace_json` produces — including ones built from
+//! deliberately damaged event streams that exercise its repair paths —
+//! must pass `check_chrome_trace`. This is the pairing that lets CI's
+//! `trace-smoke` step treat a checker failure as an exporter regression.
+
+use tb_bench::trace_check::check_chrome_trace;
+use tb_obs::{chrome_trace_json, Event, EventKind, Track};
+
+fn ev(ts_ns: u64, kind: EventKind, arg0: u32, arg: u64) -> Event {
+    // seq = ts here: these synthetic streams never need the recording
+    // order to break timestamp ties.
+    Event { seq: ts_ns, ts_ns, kind, arg0, arg }
+}
+
+#[test]
+fn clean_multi_track_export_validates() {
+    let tracks = vec![
+        Track {
+            name: "worker-0".into(),
+            events: vec![
+                ev(1_000, EventKind::Spawn, 0, 0),
+                ev(2_000, EventKind::TierBegin, 4, 16),
+                ev(3_000, EventKind::Superstep, 1, 16),
+                ev(4_000, EventKind::TierEnd, 4, 0),
+                ev(5_000, EventKind::Park, 8, 7), // job 7 parks here...
+            ],
+        },
+        Track {
+            name: "worker-1".into(),
+            events: vec![
+                ev(1_500, EventKind::StealAttempt, 1, 0),
+                ev(2_500, EventKind::StealHit, 1, 0),
+                ev(6_000, EventKind::Resume, 0, 7), // ...and resumes here
+                ev(7_000, EventKind::JobDone, 0, 7),
+            ],
+        },
+    ];
+    let doc = chrome_trace_json(&tracks);
+    let s = check_chrome_trace(&doc).expect("clean export validates");
+    assert_eq!(s.tracks, 2);
+    assert_eq!(s.duration_pairs, 1, "TierBegin/TierEnd");
+    assert_eq!(s.async_pairs, 1, "the park/resume of job 7, across tracks");
+    assert!(s.instants >= 5, "every other event is an instant");
+}
+
+#[test]
+fn exporter_repairs_produce_checker_clean_documents() {
+    // Unclosed TierBegin (run killed mid-expand), an orphan TierEnd (its
+    // Begin fell off the ring), and a Park with no Resume (job still
+    // parked at drain time). The exporter's contract is that all three
+    // repair into a balanced document rather than leak through.
+    let tracks = vec![
+        Track {
+            name: "worker-0".into(),
+            events: vec![
+                ev(1_000, EventKind::TierEnd, 4, 0), // orphan E: dropped
+                ev(2_000, EventKind::TierBegin, 4, 32),
+                ev(3_000, EventKind::Superstep, 2, 32),
+                // no TierEnd: closed at this track's last timestamp
+            ],
+        },
+        Track {
+            name: "worker-1".into(),
+            events: vec![
+                ev(2_500, EventKind::Park, 3, 42),
+                // no Resume: closed at the trace's last timestamp
+                ev(9_000, EventKind::StealAttempt, 1, 0),
+            ],
+        },
+    ];
+    let doc = chrome_trace_json(&tracks);
+    let s = check_chrome_trace(&doc).expect("repaired export validates");
+    assert_eq!(s.duration_pairs, 1, "the unclosed TierBegin was closed, the orphan TierEnd dropped");
+    assert_eq!(s.async_pairs, 1, "the unmatched Park was closed at trace end");
+}
+
+#[test]
+fn unsorted_input_is_sorted_before_export() {
+    // drain order within a ring is recording order, but a caller may
+    // concatenate tracks from multiple drains; the exporter re-sorts per
+    // track so the checker's monotonicity rule holds.
+    let tracks = vec![Track {
+        name: "worker-0".into(),
+        events: vec![
+            ev(5_000, EventKind::Superstep, 1, 8),
+            ev(1_000, EventKind::Spawn, 0, 0),
+            ev(3_000, EventKind::StealAttempt, 0, 0),
+        ],
+    }];
+    let doc = chrome_trace_json(&tracks);
+    let s = check_chrome_trace(&doc).expect("exporter sorts tracks");
+    assert_eq!(s.instants, 3);
+}
+
+#[test]
+fn empty_trace_still_validates() {
+    let doc = chrome_trace_json(&[]);
+    let s = check_chrome_trace(&doc).expect("an empty trace is a valid document");
+    assert_eq!((s.duration_pairs, s.async_pairs, s.instants), (0, 0, 0));
+}

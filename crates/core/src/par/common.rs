@@ -42,6 +42,9 @@ impl<'e, P: BlockProgram> Env<'e, P> {
     /// next-level block (the BFE gather).
     pub fn execute_bfe(&self, ctx: &WorkerCtx<'_>, mut block: TaskBlock<P::Store>) -> TaskBlock<P::Store> {
         let partial_below = self.partial_below();
+        if self.cfg.trace {
+            tb_obs::record(tb_obs::EventKind::Superstep, block.level as u32, block.len() as u64);
+        }
         self.state.with(ctx, |st| {
             st.stats.bfe_actions += 1;
             st.stats.account_block(block.len(), partial_below);
@@ -59,6 +62,9 @@ impl<'e, P: BlockProgram> Env<'e, P> {
         mut block: TaskBlock<P::Store>,
     ) -> Vec<TaskBlock<P::Store>> {
         let partial_below = self.partial_below();
+        if self.cfg.trace {
+            tb_obs::record(tb_obs::EventKind::Superstep, block.level as u32, block.len() as u64);
+        }
         self.state.with(ctx, |st| {
             st.stats.dfe_actions += 1;
             st.stats.account_block(block.len(), partial_below);
@@ -167,12 +173,14 @@ where
     B: for<'e> FnOnce(Env<'e, P>, &WorkerCtx<'_>),
 {
     let state = Env::make_state(prog, &cfg, ctx.num_workers());
-    let before = PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals() };
+    let before =
+        PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals(), ..Default::default() };
     let start = std::time::Instant::now();
     let env = Env { prog, cfg, state: &state };
     body(env, ctx);
     let wall = start.elapsed();
-    let after = PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals() };
+    let after =
+        PoolMetrics { steal_attempts: ctx.steal_attempts(), steals: ctx.steals(), ..Default::default() };
     let (red, mut stats) = collect(prog, state, after.since(&before));
     stats.wall = wall;
     (red, stats)

@@ -166,6 +166,11 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
             //    merge-scan; lock-free detach/republish per level).
             let mine = self.mine().find_restart_full(self.cfg.t_restart, &mut self.stats.merges);
             if let Some(b) = mine {
+                // The restart trigger: the owner merge-scan assembled a
+                // full block below the frontier.
+                if self.cfg.trace {
+                    tb_obs::record(tb_obs::EventKind::Restart, b.level as u32, b.len() as u64);
+                }
                 self.descend(b);
                 idle = 0;
                 continue;
@@ -234,6 +239,9 @@ impl<'e, P: BlockProgram> Worker<'e, P> {
     fn expand(&mut self, mut block: TaskBlock<P::Store>, bfe: bool) -> Vec<TaskBlock<P::Store>> {
         let executed = block.len();
         debug_assert!(executed > 0);
+        if self.cfg.trace {
+            tb_obs::record(tb_obs::EventKind::Superstep, block.level as u32, executed as u64);
+        }
         if bfe {
             self.stats.bfe_actions += 1;
         } else {

@@ -93,13 +93,28 @@ pub struct SchedConfig {
     /// actions", §3.4). Sequentially this bounds a BFE burst; 0 means
     /// "until `t_restart` is reached".
     pub restart_bfe_burst: usize,
+    /// Record scheduler-seam events (superstep boundaries, restart
+    /// triggers, park/resume) into `tb-obs` rings. Default off; even when
+    /// on, events only flow if tracing is also enabled globally
+    /// (`tb_obs::set_enabled` / `TB_TRACE=1`). The per-config knob exists
+    /// so a traced run can be reproduced cell-by-cell without flooding the
+    /// rings from every other scheduler sharing the process.
+    pub trace: bool,
 }
 
 impl SchedConfig {
     /// Basic scheduler: BFE until `t_dfe`, then DFE only.
     pub fn basic(q: usize, t_dfe: usize) -> Self {
-        SchedConfig { policy: PolicyKind::Basic, q, t_dfe, t_bfe: t_dfe, t_restart: 0, restart_bfe_burst: 0 }
-            .validated()
+        SchedConfig {
+            policy: PolicyKind::Basic,
+            q,
+            t_dfe,
+            t_bfe: t_dfe,
+            t_restart: 0,
+            restart_bfe_burst: 0,
+            trace: false,
+        }
+        .validated()
     }
 
     /// Re-expansion scheduler with `t_bfe = t_dfe` (the theory-recommended
@@ -110,15 +125,37 @@ impl SchedConfig {
 
     /// Re-expansion scheduler with an explicit `t_bfe ≤ t_dfe`.
     pub fn reexpansion_with(q: usize, t_dfe: usize, t_bfe: usize) -> Self {
-        SchedConfig { policy: PolicyKind::ReExpansion, q, t_dfe, t_bfe, t_restart: 0, restart_bfe_burst: 0 }
-            .validated()
+        SchedConfig {
+            policy: PolicyKind::ReExpansion,
+            q,
+            t_dfe,
+            t_bfe,
+            t_restart: 0,
+            restart_bfe_burst: 0,
+            trace: false,
+        }
+        .validated()
     }
 
     /// Restart scheduler with restart threshold `t_restart` (the paper's
     /// "RB size").
     pub fn restart(q: usize, t_dfe: usize, t_restart: usize) -> Self {
-        SchedConfig { policy: PolicyKind::Restart, q, t_dfe, t_bfe: t_dfe, t_restart, restart_bfe_burst: 0 }
-            .validated()
+        SchedConfig {
+            policy: PolicyKind::Restart,
+            q,
+            t_dfe,
+            t_bfe: t_dfe,
+            t_restart,
+            restart_bfe_burst: 0,
+            trace: false,
+        }
+        .validated()
+    }
+
+    /// The same config with scheduler-seam event tracing switched on.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
     }
 
     /// A config with the same thresholds but a different policy.

@@ -12,6 +12,8 @@
 
 use std::time::Instant;
 
+use tb_obs::EventKind;
+
 use crate::block::{TaskBlock, TaskStore};
 use crate::deque::{LeveledDeque, RestartFind};
 use crate::policy::{PolicyKind, SchedConfig};
@@ -167,6 +169,9 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
     /// observable, which is the superstep-boundary seam of the paper.
     pub fn park(self) -> SeqFrontier<P::Store, P::Reducer> {
         debug_assert!(self.out.is_empty(), "spawn buckets drain every step; park found them non-empty");
+        if self.cfg.trace {
+            tb_obs::record(EventKind::Park, 0, self.deque.task_count() as u64);
+        }
         SeqFrontier {
             cfg: self.cfg,
             deque: self.deque,
@@ -189,6 +194,9 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
     /// resumed engine continues exactly where [`SeqScheduler::park`]
     /// stopped: same decisions, same reductions, same task counts.
     pub fn resume(prog: &'p P, frontier: SeqFrontier<P::Store, P::Reducer>) -> Self {
+        if frontier.cfg.trace {
+            tb_obs::record(EventKind::Resume, 0, frontier.deque.task_count() as u64);
+        }
         SeqScheduler {
             prog,
             cfg: frontier.cfg,
@@ -337,6 +345,25 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
     /// Perform one scheduling action. Returns what happened; `Done` means
     /// the computation has finished and `step` will keep returning `Done`.
     pub fn step(&mut self) -> StepEvent {
+        let event = self.step_inner();
+        // The superstep-boundary seam: every executed block is one event,
+        // so summing `tasks` over superstep events reconstructs
+        // `stats.tasks_executed` exactly (the trace-conservation test).
+        if self.cfg.trace {
+            match event {
+                StepEvent::Bfe { level, tasks } | StepEvent::Dfe { level, tasks } => {
+                    tb_obs::record(EventKind::Superstep, level as u32, tasks as u64);
+                }
+                StepEvent::Restart { level, tasks } => {
+                    tb_obs::record(EventKind::Restart, level as u32, tasks as u64);
+                }
+                _ => {}
+            }
+        }
+        event
+    }
+
+    fn step_inner(&mut self) -> StepEvent {
         if self.done {
             return StepEvent::Done;
         }

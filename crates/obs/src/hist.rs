@@ -1,0 +1,212 @@
+//! Log-bucketed histogram: bounded memory at millions of samples.
+//!
+//! Values are bucketed log-linearly — each power-of-two octave is split
+//! into 16 linear sub-buckets — so quantile estimates carry at most
+//! ~6% relative error while the whole histogram is a fixed ~8 KiB.
+//! `min`/`max` are tracked exactly.
+
+/// Sub-bucket resolution: each octave is split into `1 << SUB_BITS` buckets.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16
+/// Values below 2 * SUB index directly; above, log-linear indexing.
+const LINEAR_LIMIT: u64 = (2 * SUB) as u64; // 32
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB; // 960: covers all u64
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        ((shift as usize) << SUB_BITS) + (v >> shift) as usize
+    }
+}
+
+/// Midpoint of the bucket's value range (exact for the linear region).
+#[inline]
+fn bucket_value(index: usize) -> u64 {
+    if index < LINEAR_LIMIT as usize {
+        index as u64
+    } else {
+        let shift = (index >> SUB_BITS) as u32 - 1;
+        let top = ((index & (SUB - 1)) | SUB) as u64;
+        let low = top << shift;
+        low + (1u64 << shift) / 2
+    }
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples (typically
+/// nanoseconds). `record` is O(1) and allocation-free after construction.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        LogHistogram { counts: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (nearest-rank over buckets).
+    /// Returns 0 on an empty histogram. Clamped to the exact observed
+    /// `min`/`max`, so `quantile(0.0) == min` and `quantile(1.0) == max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..100_000u64 {
+            let b = bucket_index(v);
+            assert!(b == prev || b == prev + 1, "gap at v={v}: {prev} -> {b}");
+            prev = b;
+        }
+        // The representative value always falls inside its own bucket.
+        for v in [0, 1, 31, 32, 33, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let b = bucket_index(v);
+            assert_eq!(bucket_index(bucket_value(b)), b, "v={v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        let mut vals: Vec<u64> = (0..10_000).map(|i| (i * i) % 1_000_003).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for (q, idx) in [(0.5, 4999), (0.99, 9899)] {
+            let exact = vals[idx as usize] as f64;
+            let est = h.quantile(q) as f64;
+            let err = (est - exact).abs() / exact.max(1.0);
+            assert!(err < 0.07, "q={q}: exact={exact} est={est} err={err}");
+        }
+        assert_eq!(h.quantile(0.0), *vals.first().unwrap());
+        assert_eq!(h.quantile(1.0), *vals.last().unwrap());
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..5000u64 {
+            let v = i * 37 % 99_991;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

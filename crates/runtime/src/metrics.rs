@@ -1,24 +1,116 @@
 //! Pool-wide counters.
 
+/// One worker's steal-sweep counters (a row of [`PoolMetrics::per_worker`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSteals {
+    /// Steal sweeps this worker performed.
+    pub attempts: u64,
+    /// Sweeps that found a job (from the injector or a victim deque).
+    pub steals: u64,
+    /// The subset of `steals` satisfied from the global injector.
+    pub injector_pops: u64,
+}
+
+impl WorkerSteals {
+    fn since(&self, earlier: &WorkerSteals) -> WorkerSteals {
+        WorkerSteals {
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            steals: self.steals.saturating_sub(earlier.steals),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+        }
+    }
+}
+
 /// Steal counters accumulated over a pool's lifetime.
 ///
 /// `steal_attempts` is the `S` of the paper's Lemma 3/7 analysis
 /// (`O(n/QP + S/P)` completion time, `E[S] = O(kPh)` for restart).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolMetrics {
     /// Steal sweeps performed (each sweep visits the injector and every
     /// victim once).
     pub steal_attempts: u64,
     /// Sweeps that found a job.
     pub steals: u64,
+    /// Jobs pushed into the global injector (`install`/`spawn` roots).
+    pub injector_pushes: u64,
+    /// Sweeps satisfied from the injector (a subset of `steals`; the
+    /// remainder came from victim deques).
+    pub injector_pops: u64,
+    /// Per-worker breakdown of the pool-wide sweep totals above.
+    pub per_worker: Vec<WorkerSteals>,
 }
 
 impl PoolMetrics {
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturating: comparing against
+    /// a *fresher* snapshot (e.g. one taken from a pool restarted after
+    /// the "earlier" one) clamps to zero instead of panicking in debug
+    /// builds. Workers missing from `earlier` (pool grew) count from zero.
     pub fn since(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        let zero = WorkerSteals::default();
         PoolMetrics {
-            steal_attempts: self.steal_attempts - earlier.steal_attempts,
-            steals: self.steals - earlier.steals,
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            steals: self.steals.saturating_sub(earlier.steals),
+            injector_pushes: self.injector_pushes.saturating_sub(earlier.injector_pushes),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            per_worker: self
+                .per_worker
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w.since(earlier.per_worker.get(i).unwrap_or(&zero)))
+                .collect(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        let newer = PoolMetrics {
+            steal_attempts: 10,
+            steals: 4,
+            injector_pushes: 3,
+            injector_pops: 2,
+            per_worker: vec![WorkerSteals { attempts: 10, steals: 4, injector_pops: 2 }],
+        };
+        let older = PoolMetrics {
+            steal_attempts: 3,
+            steals: 1,
+            injector_pushes: 1,
+            injector_pops: 1,
+            per_worker: vec![WorkerSteals { attempts: 3, steals: 1, injector_pops: 1 }],
+        };
+        let d = newer.since(&older);
+        assert_eq!(d.steal_attempts, 7);
+        assert_eq!(d.steals, 3);
+        assert_eq!(d.injector_pushes, 2);
+        assert_eq!(d.injector_pops, 1);
+        assert_eq!(d.per_worker[0], WorkerSteals { attempts: 7, steals: 3, injector_pops: 1 });
+
+        // The inverted comparison (earlier snapshot vs fresher pool, e.g.
+        // after a pool restart) clamps to zero rather than underflowing.
+        let d = older.since(&newer);
+        assert_eq!(d, PoolMetrics { per_worker: vec![WorkerSteals::default()], ..Default::default() });
+    }
+
+    #[test]
+    fn since_tolerates_worker_count_mismatch() {
+        let newer = PoolMetrics {
+            per_worker: vec![
+                WorkerSteals { attempts: 5, steals: 2, injector_pops: 0 },
+                WorkerSteals { attempts: 7, steals: 3, injector_pops: 1 },
+            ],
+            ..Default::default()
+        };
+        let older = PoolMetrics {
+            per_worker: vec![WorkerSteals { attempts: 1, steals: 1, injector_pops: 0 }],
+            ..Default::default()
+        };
+        let d = newer.since(&older);
+        assert_eq!(d.per_worker[0], WorkerSteals { attempts: 4, steals: 1, injector_pops: 0 });
+        assert_eq!(d.per_worker[1], WorkerSteals { attempts: 7, steals: 3, injector_pops: 1 });
     }
 }

@@ -18,12 +18,13 @@ use std::time::Duration;
 
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
+use tb_obs::EventKind;
 
 use crate::deque::{Steal, Stealer, Worker};
 use crate::injector::{Injector, InjectorMetrics};
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{SpinLatch, SyncLatch};
-use crate::metrics::PoolMetrics;
+use crate::metrics::{PoolMetrics, WorkerSteals};
 
 /// How many fruitless steal sweeps a worker performs (yielding in between)
 /// before it parks on the condvar.
@@ -43,6 +44,7 @@ const SLEEP_RECHECK: Duration = Duration::from_micros(500);
 struct StealCounters {
     attempts: AtomicU64,
     steals: AtomicU64,
+    injector_pops: AtomicU64,
 }
 
 impl StealCounters {
@@ -60,6 +62,10 @@ pub(crate) struct Shared {
     /// One counter pair per worker, cache-padded so a worker's bumps never
     /// bounce another worker's line.
     counters: Vec<CachePadded<StealCounters>>,
+    /// Jobs ever pushed into the injector. Multi-producer (any client
+    /// thread), so this one is a real `fetch_add` — but it sits on the
+    /// submission path, not the worker hot path.
+    injector_pushes: AtomicU64,
     sleep_mutex: Mutex<()>,
     sleep_cv: Condvar,
     sleepers: AtomicUsize,
@@ -87,9 +93,17 @@ impl Shared {
     fn merged_metrics(&self) -> PoolMetrics {
         let mut m = PoolMetrics::default();
         for c in &self.counters {
-            m.steal_attempts += c.attempts.load(Ordering::Relaxed);
-            m.steals += c.steals.load(Ordering::Relaxed);
+            let w = WorkerSteals {
+                attempts: c.attempts.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+                injector_pops: c.injector_pops.load(Ordering::Relaxed),
+            };
+            m.steal_attempts += w.attempts;
+            m.steals += w.steals;
+            m.injector_pops += w.injector_pops;
+            m.per_worker.push(w);
         }
+        m.injector_pushes = self.injector_pushes.load(Ordering::Relaxed);
         m
     }
 }
@@ -106,6 +120,7 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Spawn a pool of `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
+        tb_obs::init_from_env();
         let threads = threads.max(1);
         let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
@@ -113,6 +128,7 @@ impl ThreadPool {
             injector: Injector::new(),
             stealers,
             counters: (0..threads).map(|_| CachePadded::new(StealCounters::default())).collect(),
+            injector_pushes: AtomicU64::new(0),
             sleep_mutex: Mutex::new(()),
             sleep_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
@@ -149,6 +165,8 @@ impl ThreadPool {
         let job = StackJob::<SyncLatch, F, R>::new(SyncLatch::new(), f);
         // SAFETY: we block on the latch below; the job outlives execution.
         unsafe { self.shared.injector.push(job.as_job_ref()) };
+        self.shared.injector_pushes.fetch_add(1, Ordering::Relaxed);
+        tb_obs::record(EventKind::InjectorPush, 0, 0);
         self.shared.wake_all();
         job.latch.wait();
         // SAFETY: latch set => result written exactly once.
@@ -167,6 +185,8 @@ impl ThreadPool {
         F: FnOnce(&WorkerCtx<'_>) + Send + 'static,
     {
         self.shared.injector.push(HeapJob::into_job_ref(f));
+        self.shared.injector_pushes.fetch_add(1, Ordering::Relaxed);
+        tb_obs::record(EventKind::InjectorPush, 0, 0);
         self.shared.wake_one();
     }
 
@@ -272,6 +292,7 @@ impl<'a> WorkerCtx<'a> {
 
     pub(crate) fn push_job(&self, job: JobRef) {
         self.local.push(job);
+        tb_obs::record(EventKind::Spawn, self.index as u32, 0);
         self.shared.wake_one();
     }
 
@@ -290,11 +311,14 @@ impl<'a> WorkerCtx<'a> {
     pub(crate) fn try_steal(&self) -> Option<JobRef> {
         let counters = &self.shared.counters[self.index];
         StealCounters::bump(&counters.attempts);
+        tb_obs::record(EventKind::StealAttempt, self.index as u32, 0);
         // The global injector first: install()/spawn() roots land there.
         loop {
             match self.shared.injector.steal() {
                 Steal::Success(job) => {
                     StealCounters::bump(&counters.steals);
+                    StealCounters::bump(&counters.injector_pops);
+                    tb_obs::record(EventKind::InjectorPop, self.index as u32, 0);
                     return Some(job);
                 }
                 Steal::Retry => continue,
@@ -312,6 +336,7 @@ impl<'a> WorkerCtx<'a> {
                 match self.shared.stealers[victim].steal() {
                     Steal::Success(job) => {
                         StealCounters::bump(&counters.steals);
+                        tb_obs::record(EventKind::StealHit, self.index as u32, victim as u64);
                         return Some(job);
                     }
                     Steal::Retry => continue,

@@ -8,6 +8,7 @@ use tb_core::{
     run_scheduler_on_ctx, BlockProgram, CancelToken, Cancellable, RunOutput, SchedConfig, SchedulerKind,
     SeqFrontier, SeqScheduler,
 };
+use tb_obs::EventKind;
 use tb_runtime::{InjectorMetrics, ThreadPool, WorkerCtx};
 use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode, SpecTier, VectorSpec};
 
@@ -95,6 +96,12 @@ pub struct ServiceStats {
     /// `injector.full_waits == 0` is the "submission never spin-blocks"
     /// invariant.
     pub injector: InjectorMetrics,
+    /// Trace events lost to ring overflow or torn drains, process-wide
+    /// (`tb_obs`); 0 when tracing is disabled.
+    pub dropped_events: u64,
+    /// Bytes of trace events recorded process-wide (`tb_obs`); 0 when
+    /// tracing is disabled.
+    pub trace_bytes: u64,
 }
 
 #[derive(Default)]
@@ -262,6 +269,7 @@ impl Runtime {
         let (inflight, waiting, parked, parked_tasks) = adm.queue_depths();
         let policy = adm.policy();
         let (preemptions, resumes) = adm.preemption_totals();
+        let (dropped_events, trace_bytes) = tb_obs::trace_totals();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -281,6 +289,8 @@ impl Runtime {
             backpressure_waits: adm.backpressure_waits(),
             tenants: adm.snapshot(),
             injector: self.inner.pool.injector_metrics(),
+            dropped_events,
+            trace_bytes,
         }
     }
 
@@ -523,6 +533,8 @@ impl Runtime {
             ));
         }
         self.inner.admission.gate(DEFAULT_TENANT).acquire();
+        // arg0 = effective lane width (1 = scalar tier), arg = root calls.
+        tb_obs::record(EventKind::SpecDispatch, tier.lane_width().max(1) as u32, calls.len() as u64);
         match tier.lane_width() {
             0 | 1 => self.spawn_admitted_as(DEFAULT_TENANT, CompiledSpec::from_code(code, &calls), cfg, kind),
             q => self.spawn_admitted_as(
@@ -583,6 +595,8 @@ impl Runtime {
     {
         let total = items.len();
         let chunk_len = adaptive_chunk_len(total, self.threads(), self.pending_jobs());
+        // arg0 = adaptive chunk length chosen, arg = items being cut.
+        tb_obs::record(EventKind::ChunkSize, chunk_len as u32, total as u64);
         let chunks = total.div_ceil(chunk_len.max(1));
         let core = Arc::new(BulkCore::new(chunks));
         let token = core.cancel_token();
@@ -758,6 +772,11 @@ where
     match outcome {
         Ok(Segment::Parked(frontier)) => {
             let tasks = frontier.tasks();
+            // arg = job id so the exporter can pair this with the
+            // scheduler's Resume event into one cross-worker async span.
+            // Recorded *before* `adm.parked` — the matching Resume action
+            // cannot fire until the core learns of the park.
+            tb_obs::record(EventKind::Park, tasks as u32, run.id);
             run.frontier = Some(frontier);
             let (adm, id) = (Arc::clone(&run.adm), run.id);
             let cont: crate::sched::ReadyJob =
@@ -767,6 +786,7 @@ where
             }
         }
         Ok(Segment::Done(out)) => {
+            tb_obs::record(EventKind::JobDone, 0, run.id);
             let result = if run.token.is_cancelled() { Err(JobError::Cancelled) } else { Ok(out.reducer) };
             run.counters.finish(&result.as_ref().map(|_| ()).map_err(Clone::clone));
             for job in run.adm.finished(run.id) {

@@ -62,8 +62,10 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use tb_obs::{EventKind, LogHistogram};
 use tb_runtime::WorkerCtx;
 
 use crate::gate::Gate;
@@ -228,6 +230,15 @@ pub struct TenantSnapshot {
     /// Times a submitter blocked on this tenant's gate (filled in by the
     /// shell; always 0 in a bare core).
     pub backpressure_waits: u64,
+    /// Median wall-clock admission latency (submit → `Start` action) in
+    /// microseconds, from the shell's log-bucketed histogram (0 in a bare
+    /// core, or before the first admission).
+    pub admit_p50_us: u64,
+    /// 99th-percentile wall-clock admission latency in microseconds.
+    pub admit_p99_us: u64,
+    /// Admission-latency samples recorded (= wall-clock admissions seen by
+    /// the shell).
+    pub admit_samples: u64,
 }
 
 /// The pure admission state machine. See the module docs for the
@@ -562,6 +573,9 @@ impl SchedCore {
                     pending: 0,
                     max_pending: 0,
                     backpressure_waits: 0,
+                    admit_p50_us: 0,
+                    admit_p99_us: 0,
+                    admit_samples: 0,
                 }
             })
             .collect()
@@ -603,6 +617,13 @@ enum Slot {
 struct Shared {
     core: SchedCore,
     slots: BTreeMap<JobId, Slot>,
+    /// Wall-clock submit times of jobs not yet admitted, for the
+    /// admission-latency histograms (the core's `wait_ticks` measure the
+    /// same delay in virtual-clock events).
+    submitted_at: BTreeMap<JobId, Instant>,
+    /// Per-tenant log-bucketed admission-latency histograms (nanoseconds),
+    /// indexed by [`TenantId`].
+    admit_hists: Vec<LogHistogram>,
 }
 
 /// The threaded admission scheduler: [`SchedCore`] under a mutex,
@@ -622,7 +643,12 @@ pub(crate) struct Admission {
 impl Admission {
     pub(crate) fn new(policy: AdmissionPolicy) -> Self {
         Admission {
-            state: Mutex::new(Shared { core: SchedCore::new(policy), slots: BTreeMap::new() }),
+            state: Mutex::new(Shared {
+                core: SchedCore::new(policy),
+                slots: BTreeMap::new(),
+                submitted_at: BTreeMap::new(),
+                admit_hists: Vec::new(),
+            }),
             gates: Mutex::new(Vec::new()),
         }
     }
@@ -631,6 +657,7 @@ impl Admission {
         let mut state = self.state.lock();
         let max_pending = spec.max_pending.max(1);
         let id = state.core.add_tenant(spec);
+        state.admit_hists.push(LogHistogram::new());
         let mut gates = self.gates.lock();
         debug_assert_eq!(gates.len(), id as usize, "gate vector tracks tenant ids");
         gates.push(Arc::new(Gate::new(max_pending)));
@@ -659,6 +686,7 @@ impl Admission {
         let mut state = self.state.lock();
         let id = state.core.submit(tenant, preemptible);
         state.slots.insert(id, Slot::Waiting { job: make_job(id), flag });
+        state.submitted_at.insert(id, Instant::now());
         let ready = Self::apply(&mut state);
         (id, ready)
     }
@@ -671,6 +699,7 @@ impl Admission {
             let tenant = state.core.tenant_of(id);
             state.core.complete(id);
             state.slots.remove(&id);
+            state.submitted_at.remove(&id); // cancelled-while-waiting cleanup
             (Self::apply(&mut state), tenant)
         };
         if let Some(tenant) = tenant {
@@ -702,6 +731,15 @@ impl Admission {
         for act in state.core.schedule() {
             match act {
                 Action::Start(id) | Action::Resume(id) => {
+                    let tenant = state.core.tenant_of(id).expect("scheduled job is live");
+                    if let Action::Start(_) = act {
+                        if let Some(t0) = state.submitted_at.remove(&id) {
+                            state.admit_hists[tenant as usize].record(t0.elapsed().as_nanos() as u64);
+                        }
+                        tb_obs::record(EventKind::Admit, tenant, id);
+                    } else {
+                        tb_obs::record(EventKind::Resume, tenant, id);
+                    }
                     let slot = state.slots.get_mut(&id).expect("scheduled job has a slot");
                     let taken = std::mem::replace(slot, Slot::Running { flag: None });
                     match taken {
@@ -713,6 +751,8 @@ impl Admission {
                     }
                 }
                 Action::Preempt(id) => {
+                    let tenant = state.core.tenant_of(id).expect("preempted job is live");
+                    tb_obs::record(EventKind::Preempt, tenant, id);
                     match state.slots.get(&id) {
                         Some(Slot::Running { flag: Some(flag) }) => flag.store(true, Ordering::Release),
                         _ => unreachable!("core preempted a job without a flag"),
@@ -723,15 +763,29 @@ impl Admission {
         ready
     }
 
-    /// Point-in-time tenant views with gate backpressure counts merged in.
+    /// Point-in-time tenant views with gate backpressure counts and
+    /// admission-latency quantiles merged in.
     pub(crate) fn snapshot(&self) -> Vec<TenantSnapshot> {
-        let mut snaps = self.state.lock().core.snapshot();
+        let (mut snaps, admit) = {
+            let state = self.state.lock();
+            let admit: Vec<(u64, u64, u64)> = state
+                .admit_hists
+                .iter()
+                .map(|h| (h.quantile(0.5) / 1_000, h.quantile(0.99) / 1_000, h.count()))
+                .collect();
+            (state.core.snapshot(), admit)
+        };
         let gates = self.gates.lock();
         for s in &mut snaps {
             let gate = &gates[s.id as usize];
             s.pending = gate.inflight();
             s.max_pending = gate.max();
             s.backpressure_waits = gate.blocked();
+            if let Some(&(p50, p99, n)) = admit.get(s.id as usize) {
+                s.admit_p50_us = p50;
+                s.admit_p99_us = p99;
+                s.admit_samples = n;
+            }
         }
         snaps
     }

@@ -1138,7 +1138,9 @@ impl<S: SpecStore> BlockProgram for CompiledSpec<S> {
             "block width matches the compiled method"
         );
         let store = block.take();
+        tb_obs::record(tb_obs::EventKind::TierBegin, 1, store.len() as u64);
         crate::simd_exec::run_scalar(&self.code, &store, out, red);
+        tb_obs::record(tb_obs::EventKind::TierEnd, 1, 0);
     }
 }
 

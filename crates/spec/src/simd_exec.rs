@@ -430,12 +430,14 @@ impl<S: SpecStore> BlockProgram for VectorSpec<S> {
         }
         debug_assert_eq!(block.stride(), self.code.params().max(1), "block width matches the method");
         let store = block.take();
+        tb_obs::record(tb_obs::EventKind::TierBegin, self.q as u32, store.len() as u64);
         match self.q {
             8 => run_groups::<S, 8>(&self.code, &store, out, red),
             4 => run_groups::<S, 4>(&self.code, &store, out, red),
             2 => run_groups::<S, 2>(&self.code, &store, out, red),
             _ => run_scalar(&self.code, &store, out, red),
         }
+        tb_obs::record(tb_obs::EventKind::TierEnd, self.q as u32, 0);
     }
 }
 

@@ -114,6 +114,8 @@ impl BlockProgram for BlockedSpec {
     }
 
     fn expand(&self, block: &mut Self::Store, out: &mut BucketSet<Self::Store>, red: &mut i64) {
+        // q = 1: the interpreter tier is scalar by construction.
+        tb_obs::record(tb_obs::EventKind::TierBegin, 1, block.len() as u64);
         for task in block.drain(..) {
             let mut site = 0;
             if self.spec.base_cond.eval(&task) != 0 {
@@ -122,6 +124,7 @@ impl BlockProgram for BlockedSpec {
                 self.run_stmts(&self.spec.inductive, &task, &mut site, out, red);
             }
         }
+        tb_obs::record(tb_obs::EventKind::TierEnd, 1, 0);
     }
 }
 

@@ -1,0 +1,221 @@
+//! Trace-conservation: the per-kind event counts of a traced run must
+//! reconcile with the counters the runtime already keeps (`ExecStats`,
+//! `PoolMetrics`, `ServiceStats`). A lost event (torn ring slot, a record
+//! call on the wrong side of a gate) or a double-recorded one breaks an
+//! equality here even when the trace still *renders* fine in Perfetto.
+//!
+//! One `#[test]` fn: the tb-obs registry and enable flag are process
+//! global, so the three phases below must not interleave with each other
+//! or with any other test in this binary. Each phase starts from a fresh
+//! `drain_all()` so it only ever counts its own events.
+//!
+//! The equalities and their recording-site justifications:
+//!
+//! * seq + parallel: `sum(Superstep.arg)` == `ExecStats.tasks_executed`.
+//!   Every scheduler records exactly one `Superstep` per executed block,
+//!   carrying the block's task count, at the same place it calls
+//!   `account_block` — and `Restart` events carry re-anchored (not
+//!   executed) blocks, so they are deliberately excluded from the sum.
+//! * pool: `count(StealHit) + count(InjectorPop)` == the `steals` delta of
+//!   `PoolMetrics::since`, exactly. Hits can only happen while the run's
+//!   jobs exist, so the counter is stable on both edges of the window.
+//!   `count(StealAttempt)` only matches the `steal_attempts` delta up to a
+//!   small slack: idle workers sweep continuously, so a few sweeps
+//!   straddle each window edge (counter bumped on one side, event drained
+//!   on the other).
+//! * service: the `Park` job-id multiset equals the `Resume` job-id
+//!   multiset at quiescence (every parked frontier resumed), and
+//!   `count(Admit)` equals the summed per-tenant `admissions` counter.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use taskblocks::prelude::*;
+use tb_obs::{EventKind, Track};
+use tb_service::TenantSpec;
+
+/// The doc-example Fib: arity 2, one task per call-tree node.
+struct Fib(u32);
+
+impl BlockProgram for Fib {
+    type Store = Vec<u32>;
+    type Reducer = u64;
+    fn arity(&self) -> usize {
+        2
+    }
+    fn make_root(&self) -> Vec<u32> {
+        vec![self.0]
+    }
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+    fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+        for n in block.drain(..) {
+            if n < 2 {
+                *red += u64::from(n);
+            } else {
+                out.bucket(0).push(n - 1);
+                out.bucket(1).push(n - 2);
+            }
+        }
+    }
+}
+
+/// Respawns its single task until `release` fires — the preemption target
+/// (same shape as the admission integration tests' plug).
+struct SpinUntil {
+    release: Arc<AtomicBool>,
+    started: Arc<AtomicBool>,
+}
+
+impl BlockProgram for SpinUntil {
+    type Store = Vec<u32>;
+    type Reducer = u64;
+    fn arity(&self) -> usize {
+        1
+    }
+    fn make_root(&self) -> Vec<u32> {
+        vec![0]
+    }
+    fn make_reducer(&self) -> u64 {
+        0
+    }
+    fn merge_reducers(&self, a: &mut u64, b: u64) {
+        *a += b;
+    }
+    fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+        self.started.store(true, Ordering::Release);
+        for t in block.drain(..) {
+            if self.release.load(Ordering::Acquire) {
+                *red += 1;
+            } else {
+                out.bucket(0).push(t);
+            }
+        }
+    }
+}
+
+fn count(tracks: &[Track], kind: EventKind) -> u64 {
+    tracks.iter().flat_map(|t| &t.events).filter(|e| e.kind == kind).count() as u64
+}
+
+fn sum_args(tracks: &[Track], kind: EventKind) -> u64 {
+    tracks.iter().flat_map(|t| &t.events).filter(|e| e.kind == kind).map(|e| e.arg).sum()
+}
+
+/// Job-id multiset (sorted args) of one event kind.
+fn ids(tracks: &[Track], kind: EventKind) -> Vec<u64> {
+    let mut v: Vec<u64> =
+        tracks.iter().flat_map(|t| &t.events).filter(|e| e.kind == kind).map(|e| e.arg).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn traced_runs_reconcile_with_scheduler_counters() {
+    // Big rings so nothing overflows mid-phase — the final drop check
+    // below is what makes every equality here exact rather than "modulo
+    // whatever the ring overwrote".
+    tb_obs::set_ring_capacity(1 << 18);
+    tb_obs::set_enabled(true);
+    let _ = tb_obs::drain_all();
+
+    // ---- Phase A: sequential engine, superstep accounting -------------
+    let cfg = SchedConfig::restart(4, 64, 16).with_trace(true);
+    let out = SeqScheduler::new(&Fib(20), cfg).run();
+    assert_eq!(out.reducer, 6_765);
+    let tracks = tb_obs::drain_all();
+    assert_eq!(
+        sum_args(&tracks, EventKind::Superstep),
+        out.stats.tasks_executed,
+        "seq: one Superstep per executed block, arg = its task count"
+    );
+    assert_eq!(count(&tracks, EventKind::StealHit), 0, "no pool exists in phase A");
+
+    // Same invariant through the spec pipeline: `CompiledSpec::expand`
+    // brackets every block in TierBegin/TierEnd, with TierBegin carrying
+    // the block's task count — so the tier spans replay `tasks_executed`
+    // too, and the bracket counts must balance.
+    let spec = taskblocks::spec::examples::fib_spec();
+    let compiled = taskblocks::spec::CompiledSpec::new(&spec, vec![20]).unwrap();
+    let out = SeqScheduler::new(&compiled, cfg).run();
+    assert_eq!(out.reducer, 6_765);
+    let tracks = tb_obs::drain_all();
+    assert_eq!(sum_args(&tracks, EventKind::TierBegin), out.stats.tasks_executed);
+    assert_eq!(count(&tracks, EventKind::TierBegin), count(&tracks, EventKind::TierEnd));
+
+    // ---- Phase B: work-stealing pool, steal accounting ----------------
+    let pool = ThreadPool::new(4);
+    let before = pool.metrics();
+    let _ = tb_obs::drain_all(); // window starts here: idle sweeps before this are out
+    let out = run_scheduler(SchedulerKind::RestartIdeal, &Fib(22), cfg, Some(&pool));
+    assert_eq!(out.reducer, 17_711);
+    let tracks = tb_obs::drain_all();
+    let delta = pool.metrics().since(&before);
+
+    // Exact: a hit only ever happens while the run's jobs are live, so no
+    // hit can straddle either window edge.
+    let hits = count(&tracks, EventKind::StealHit);
+    let pops = count(&tracks, EventKind::InjectorPop);
+    assert_eq!(
+        hits + pops,
+        delta.steals,
+        "every found job is exactly one StealHit (deque) or InjectorPop (injector) event"
+    );
+    assert_eq!(count(&tracks, EventKind::InjectorPush), delta.injector_pushes);
+    assert_eq!(sum_args(&tracks, EventKind::Superstep), out.stats.tasks_executed);
+    // Bounded slack: idle workers sweep continuously, so at each window
+    // edge every worker can have one sweep counted on one side and drained
+    // on the other, plus whatever the pop-after-drain gap admits.
+    let attempts = count(&tracks, EventKind::StealAttempt);
+    assert!(attempts >= hits + pops, "every hit came from a recorded sweep");
+    assert!(
+        attempts.abs_diff(delta.steal_attempts) <= 2 * 4 + 16,
+        "steal-attempt events ({attempts}) drifted from the counter delta ({})",
+        delta.steal_attempts
+    );
+    drop(pool);
+
+    // ---- Phase C: service admission, park/resume pairing ---------------
+    let _ = tb_obs::drain_all();
+    let rt = Runtime::with_config(RuntimeConfig { threads: 1, max_inflight: 1, max_parked: 4, fifo: false });
+    let batch = rt.register_tenant(TenantSpec::new("batch", 8));
+    let interactive = rt.register_tenant(TenantSpec::new("interactive", 8).priority(1));
+    let (release, started) = (Arc::new(AtomicBool::new(false)), Arc::new(AtomicBool::new(false)));
+
+    let svc_cfg = SchedConfig::basic(4, 64); // trace=false: no engine-level Park/Resume mixed in
+    let b = rt.submit_preemptible(
+        batch,
+        SpinUntil { release: Arc::clone(&release), started: Arc::clone(&started) },
+        svc_cfg,
+    );
+    while !started.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    // The interactive job can only complete by preempting the batch job
+    // out of the single slot.
+    let i = rt.submit_as(interactive, Fib(10), svc_cfg, SchedulerKind::Seq);
+    assert_eq!(i.wait(), Ok(55));
+    release.store(true, Ordering::Release);
+    assert_eq!(b.wait(), Ok(1));
+
+    let stats = rt.stats();
+    let tracks = tb_obs::drain_all();
+    let parks = ids(&tracks, EventKind::Park);
+    let resumes = ids(&tracks, EventKind::Resume);
+    assert!(!parks.is_empty(), "the batch job must have parked: {stats:?}");
+    assert_eq!(parks, resumes, "at quiescence every parked job id resumed exactly as often");
+    let admissions: u64 = stats.tenants.iter().map(|t| t.counters.admissions).sum();
+    assert_eq!(count(&tracks, EventKind::Admit), admissions, "one Admit per Action::Start");
+    assert!(count(&tracks, EventKind::Preempt) >= 1);
+    assert_eq!(count(&tracks, EventKind::JobDone), 1, "one preemptible job ran to completion");
+    assert!(stats.trace_bytes > 0, "ServiceStats surfaces process-wide trace totals");
+
+    // No ring ever overflowed: the equalities above counted every event.
+    let snap = tb_obs::metrics_snapshot();
+    assert_eq!(snap.events_dropped, 0, "rings were sized to hold every phase");
+    tb_obs::set_enabled(false);
+}
