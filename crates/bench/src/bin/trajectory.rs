@@ -110,7 +110,14 @@
 //! artifact come from the same process on the same host seconds, so this
 //! ratio survives the cross-session host drift that makes absolute
 //! artifact-vs-artifact scalar walls incomparable (see README, "reading
-//! the trajectory"); CI enforces it on the committed `BENCH_PR6.json`.
+//! the trajectory"); CI enforces it on the committed artifact.
+//!
+//! Since PR 9, `--adaptive-band R` adds a second in-artifact check over
+//! the pinned grid: on every (bench, threads) cell the knob-free
+//! `adaptive` variant must reach at least `R` (CI uses 0.9) times the
+//! speed of the best hand-tuned variant, and beat that best outright on
+//! at least 3 cells — the acceptance criterion for steal-driven grain
+//! control replacing the tuned cutoffs.
 //!
 //! # `trajectory trace <bench>/<variant>/w<N>`
 //!
@@ -430,7 +437,8 @@ fn cell_config(b: &dyn tb_suite::Benchmark, variant: &str) -> (SchedConfig, Sche
     match variant {
         "basic" => (SchedConfig::basic(b.q(), T_DFE), SchedulerKind::ReExpansion),
         "restart" => (SchedConfig::restart(b.q(), T_DFE, T_RESTART), SchedulerKind::RestartIdeal),
-        other => panic!("variant must be basic|restart, got {other:?}"),
+        "adaptive" => (SchedConfig::adaptive(b.q()), SchedulerKind::Adaptive),
+        other => panic!("variant must be basic|restart|adaptive, got {other:?}"),
     }
 }
 
@@ -721,19 +729,30 @@ fn run_compare(argv: &[String]) -> i32 {
     }
 }
 
-/// The `gate` subcommand: check a single artifact's *internal* vector-tier
-/// invariant — for every named bench, on every shared
-/// (variant, threads) cell measured over the column-major store,
-/// `compiled_simd` must be at least `--min-simd-gain` times faster than
-/// `compiled`. Both walls come from the same process, the same rep loop
-/// and the same host seconds, so the ratio is immune to the
-/// session-to-session host drift that pollutes artifact-vs-artifact
-/// scalar comparisons; it is the acceptance criterion the PR 6 layout
-/// work makes enforceable. Exit status 1 on any cell below the gain (or
-/// a named bench with no gated cells at all).
+/// The `gate` subcommand: check a single artifact's *internal* invariants.
+///
+/// * Vector tier — for every named bench, on every shared
+///   (variant, threads) cell measured over the column-major store,
+///   `compiled_simd` must be at least `--min-simd-gain` times faster than
+///   `compiled`. Both walls come from the same process, the same rep loop
+///   and the same host seconds, so the ratio is immune to the
+///   session-to-session host drift that pollutes artifact-vs-artifact
+///   scalar comparisons; it is the acceptance criterion the PR 6 layout
+///   work makes enforceable.
+/// * Adaptive band (`--adaptive-band R`, e.g. 0.9) — on every pinned-grid
+///   (bench, threads) cell, the knob-free `adaptive` variant must reach at
+///   least `R` times the speed of the *best* hand-tuned variant
+///   (`min(basic, restart)` wall), and must be strictly faster than that
+///   best on at least [`ADAPTIVE_MIN_WINS`] cells overall — i.e. the grain
+///   controller replaces the tuned cutoffs without giving the speed back.
+///   Same-artifact walls again, so host drift cancels.
+///
+/// Exit status 1 on any failed cell (or a named bench with no gated
+/// cells at all).
 fn run_gate(argv: &[String]) -> i32 {
     let mut path: Option<String> = None;
     let mut min_gain = 1.5f64;
+    let mut adaptive_band: Option<f64> = None;
     let mut benches: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -741,6 +760,10 @@ fn run_gate(argv: &[String]) -> i32 {
             "--min-simd-gain" => {
                 i += 1;
                 min_gain = argv[i].parse().expect("--min-simd-gain RATIO");
+            }
+            "--adaptive-band" => {
+                i += 1;
+                adaptive_band = Some(argv[i].parse().expect("--adaptive-band RATIO"));
             }
             "--bench" => {
                 i += 1;
@@ -757,7 +780,9 @@ fn run_gate(argv: &[String]) -> i32 {
         benches = vec!["spec-fib".to_string(), "spec-binomial".to_string()];
     }
     let Some(path) = path else {
-        eprintln!("usage: trajectory gate BENCH.json [--min-simd-gain R] [--bench NAME]...");
+        eprintln!(
+            "usage: trajectory gate BENCH.json [--min-simd-gain R] [--adaptive-band R] [--bench NAME]..."
+        );
         return 2;
     };
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -820,13 +845,87 @@ fn run_gate(argv: &[String]) -> i32 {
             failures += 1;
         }
     }
+    if let Some(band) = adaptive_band {
+        failures += gate_adaptive_band(&doc, band);
+    }
     if failures > 0 {
-        eprintln!("\nVECTOR-TIER GATE FAILED: {failures} cell(s) under {min_gain}x");
+        eprintln!("\nGATE FAILED: {failures} cell(s)/check(s)");
         1
     } else {
-        println!("\nall gated cells at or above {min_gain}x");
+        println!("\nall gated cells passed");
         0
     }
+}
+
+/// Minimum number of pinned-grid cells where `adaptive` must be strictly
+/// faster than the best hand-tuned variant for the band gate to pass.
+const ADAPTIVE_MIN_WINS: usize = 3;
+
+/// The `--adaptive-band` half of the gate: walk the artifact's pinned-grid
+/// `runs`, and for every (bench, threads) cell holding all three variants
+/// require `best_hand_tuned_wall / adaptive_wall >= band`. Counts strict
+/// wins along the way and fails if they come up short of
+/// [`ADAPTIVE_MIN_WINS`]. Returns the number of failures.
+fn gate_adaptive_band(doc: &traj::Json, band: f64) -> usize {
+    // (bench, threads) -> (basic wall, restart wall, adaptive wall)
+    type Cell = (String, Option<f64>, Option<f64>, Option<f64>);
+    let rows = doc.get("runs").and_then(traj::Json::as_arr).unwrap_or(&[]);
+    let mut cells: Vec<Cell> = Vec::new();
+    for row in rows {
+        let (Some(bench), Some(variant), Some(threads), Some(wall)) = (
+            row.get("bench").and_then(traj::Json::as_str),
+            row.get("variant").and_then(traj::Json::as_str),
+            row.get("threads").and_then(traj::Json::as_f64),
+            row.get("wall_s").and_then(traj::Json::as_f64),
+        ) else {
+            continue;
+        };
+        let key = format!("{bench}/w{}", threads as usize);
+        let slot = match cells.iter_mut().find(|(k, ..)| *k == key) {
+            Some(slot) => slot,
+            None => {
+                cells.push((key, None, None, None));
+                cells.last_mut().unwrap()
+            }
+        };
+        match variant {
+            "basic" => slot.1 = Some(wall),
+            "restart" => slot.2 = Some(wall),
+            "adaptive" => slot.3 = Some(wall),
+            _ => {}
+        }
+    }
+    println!("\ntrajectory gate | adaptive band={band} (wins required: {ADAPTIVE_MIN_WINS})\n");
+    let mut failures = 0usize;
+    let mut gated = 0usize;
+    let mut wins = 0usize;
+    for (key, basic, restart, adaptive) in &cells {
+        let (Some(basic), Some(restart), Some(adaptive)) = (basic, restart, adaptive) else { continue };
+        gated += 1;
+        let best = basic.min(*restart);
+        let ratio = best / adaptive;
+        let ok = ratio >= band;
+        if !ok {
+            failures += 1;
+        }
+        if adaptive < &best {
+            wins += 1;
+        }
+        println!(
+            "{mark} {key:<24} best-tuned={best:>8.4}s adaptive={adaptive:>8.4}s speed-ratio={ratio:>5.2}",
+            mark = if ok { "    ok" } else { "  FAIL" },
+        );
+    }
+    if gated == 0 {
+        eprintln!("no adaptive cells in artifact — grid missing its data");
+        failures += 1;
+    } else if wins < ADAPTIVE_MIN_WINS {
+        eprintln!("adaptive strictly faster on only {wins} cell(s); {ADAPTIVE_MIN_WINS} required");
+        failures += 1;
+    } else {
+        println!("\nadaptive strictly faster than best hand-tuned on {wins}/{gated} cells");
+    }
+    failures
 }
 
 // ---------------------------------------------------------------------------

@@ -63,19 +63,25 @@ pub fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
     xs[rank.min(xs.len()) - 1]
 }
 
-/// Run the pinned grid (`TRAJ_BENCHES` × `TRAJ_THREADS` × basic/restart) at
-/// `scale` with `reps` repetitions per cell, printing one line per cell.
+/// Run the pinned grid (`TRAJ_BENCHES` × `TRAJ_THREADS` ×
+/// basic/restart/adaptive) at `scale` with `reps` repetitions per cell,
+/// printing one line per cell. The `adaptive` variant carries no tuning
+/// knobs — `SchedConfig::adaptive(q)` takes only the block width — which is
+/// exactly what the `gate --adaptive-band` check enforces against the two
+/// hand-tuned variants.
 pub fn run_pinned_grid(scale: Scale, reps: usize) -> Vec<RunRow> {
     let mut runs = Vec::new();
     for name in TRAJ_BENCHES {
         let b = benchmark_by_name(name, scale).expect("pinned benchmark exists");
         let basic = SchedConfig::basic(b.q(), T_DFE);
         let restart = SchedConfig::restart(b.q(), T_DFE, T_RESTART);
+        let adaptive = SchedConfig::adaptive(b.q());
         for &threads in TRAJ_THREADS {
             let pool = ThreadPool::new(threads);
             for (variant, cfg, kind) in [
                 ("basic", basic, SchedulerKind::ReExpansion),
                 ("restart", restart, SchedulerKind::RestartIdeal),
+                ("adaptive", adaptive, SchedulerKind::Adaptive),
             ] {
                 let mut walls = Vec::with_capacity(reps);
                 let mut last = None;
@@ -276,11 +282,13 @@ fn run_spec_family_col(scale: Scale, reps: usize) -> Vec<SpecRow> {
         let simd = VectorSpec::from_code(std::sync::Arc::clone(compiled.code()), &calls);
         let basic = SchedConfig::basic(16, T_DFE);
         let restart = SchedConfig::restart(16, T_DFE, T_RESTART);
+        let adaptive = SchedConfig::adaptive(16);
         for &threads in TRAJ_THREADS {
             let pool = ThreadPool::new(threads);
             for (variant, cfg, kind) in [
                 ("basic", basic, SchedulerKind::ReExpansion),
                 ("restart", restart, SchedulerKind::RestartIdeal),
+                ("adaptive", adaptive, SchedulerKind::Adaptive),
             ] {
                 let mut bw = Vec::with_capacity(reps);
                 let mut cw = Vec::with_capacity(reps);
@@ -426,11 +434,13 @@ fn run_spec_family_row(scale: Scale, reps: usize) -> Vec<SpecRow> {
             VectorSpec::<RowArgBlock>::from_code_with_width_in(std::sync::Arc::clone(&code), &calls, lane_q);
         let basic = SchedConfig::basic(16, T_DFE);
         let restart = SchedConfig::restart(16, T_DFE, T_RESTART);
+        let adaptive = SchedConfig::adaptive(16);
         for &threads in TRAJ_THREADS {
             let pool = ThreadPool::new(threads);
             for (variant, cfg, kind) in [
                 ("basic", basic, SchedulerKind::ReExpansion),
                 ("restart", restart, SchedulerKind::RestartIdeal),
+                ("adaptive", adaptive, SchedulerKind::Adaptive),
             ] {
                 let mut cw = Vec::with_capacity(reps);
                 let mut sw = Vec::with_capacity(reps);

@@ -630,6 +630,18 @@ pub struct SharedLeveledDeque<S> {
     /// rebaselined whenever the caller's threshold changes, which in
     /// practice happens once per run). Owner-only.
     qualify_t: std::cell::UnsafeCell<usize>,
+    /// Candidate levels for the merge-scan, stored in *increasing* level
+    /// order so `pop` yields the deepest first. One walk collects every
+    /// qualifying level; a burst of successful scans then consumes them one
+    /// `pop`-plus-revalidation at a time instead of re-walking the mirror
+    /// per success, and [`note_mirror_change`](Self::note_mirror_change)
+    /// inserts any level a later push lifts across the threshold — keeping
+    /// the cache a **superset** of the qualifying set, so the deepest pop
+    /// is always the level a fresh walk would have chosen (the schedule
+    /// never deviates from §3.4 deepest-first). Entries are hints, not
+    /// truth — each is re-checked against the live mirror before being
+    /// consumed. Owner-only by the struct's concurrency contract.
+    pending_full: std::cell::UnsafeCell<Vec<usize>>,
 }
 
 /// Cap on the owner's recycled-cell cache.
@@ -672,17 +684,23 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             spare_cells: std::cell::UnsafeCell::new(Vec::new()),
             maybe_full: std::cell::UnsafeCell::new(0),
             qualify_t: std::cell::UnsafeCell::new(usize::MAX),
+            pending_full: std::cell::UnsafeCell::new(Vec::new()),
         }
     }
 
-    /// Owner-only bookkeeping for `maybe_full`: called with a mirror
+    /// Owner-only bookkeeping for the merge-scan: called with a mirror
     /// entry's value before and after a write, it keeps the count of
-    /// threshold-qualifying entries exact. A no-op until the first
-    /// merge-scan establishes the threshold.
+    /// threshold-qualifying entries (`maybe_full`) exact, and keeps the
+    /// candidate cache (`pending_full`) a *superset* of the qualifying
+    /// set — a write that lifts `level` across the threshold inserts it in
+    /// sorted position, so the scan's deepest-first pop order matches what
+    /// a fresh walk would find (a late deep qualifier must not be shadowed
+    /// by shallower cached candidates). A no-op until the first merge-scan
+    /// establishes the threshold.
     ///
     /// # Safety
     /// Caller must be the owner.
-    unsafe fn note_mirror_change(&self, old: (usize, usize), new: (usize, usize)) {
+    unsafe fn note_mirror_change(&self, level: usize, old: (usize, usize), new: (usize, usize)) {
         // SAFETY: owner operation per the caller contract.
         let t = unsafe { *self.qualify_t.get() };
         if t == usize::MAX {
@@ -698,6 +716,13 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             } else {
                 debug_assert!(*c > 0, "maybe_full underflow");
                 *c = c.saturating_sub(1);
+            }
+        }
+        if is && !was {
+            // SAFETY: owner operation per the caller contract.
+            let pending = unsafe { &mut *self.pending_full.get() };
+            if let Err(pos) = pending.binary_search(&level) {
+                pending.insert(pos, level);
             }
         }
     }
@@ -762,6 +787,18 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             ((net >> OCC_BLOCK_SHIFT) as usize).saturating_sub((taken >> OCC_BLOCK_SHIFT) as usize),
             ((net & MASK) as usize).saturating_sub((taken & MASK) as usize),
         )
+    }
+
+    /// The deque's steal epoch: a monotone count of tasks thieves have
+    /// ever taken from it — the owner's cheap "stolen since last check"
+    /// signal, mirroring `tb_runtime::deque::Worker::steal_epoch` on the
+    /// job deque. Relaxed on both sides: the owner only compares it
+    /// against a cached snapshot to decide grain, never synchronizes with
+    /// the stolen data through it. Owner removals (`take_level`, the
+    /// merge-scan) never advance it.
+    pub fn steal_epoch(&self) -> u64 {
+        const MASK: u64 = (1 << OCC_BLOCK_SHIFT) - 1;
+        self.thief_taken.load(Ordering::Relaxed) & MASK
     }
 
     /// Approximate number of parked blocks (exact at quiescent points).
@@ -868,6 +905,7 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
             return false;
         }
         let len = block.len();
+        let level_idx = block.level;
         let slot = self.slot_or_alloc(block.level);
         // Monotone hint: RMW only when the deque actually deepens.
         if self.deepest.load(Ordering::Relaxed) < block.level {
@@ -928,7 +966,7 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         // One note covers the net mirror change, including the transient
         // `(0, 0)` reset on the stale-mirror path above.
         // SAFETY: push is an owner operation.
-        unsafe { self.note_mirror_change(entry_before, *entry) };
+        unsafe { self.note_mirror_change(level_idx, entry_before, *entry) };
         // Count before publishing so a thief that immediately steals the
         // cell never drives the counters negative.
         self.owner_account(occ(usize::from(!merged), len), true);
@@ -947,7 +985,7 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         let entry_before = *entry;
         *entry = (0, 0);
         // SAFETY: take_level is an owner operation.
-        unsafe { self.note_mirror_change(entry_before, (0, 0)) };
+        unsafe { self.note_mirror_change(level, entry_before, (0, 0)) };
         let slot = self.slot(level)?;
         let mut cell = Self::detach(slot)?;
         self.owner_account(occ(cell.blocks(), cell.tasks()), false);
@@ -987,11 +1025,20 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
     /// even walking the private array — which is what lets the restart
     /// scheduler spin its scan-steal-descend loop without serializing
     /// against its thieves.
+    ///
+    /// The *success* path is amortized the same way: a walk collects every
+    /// qualifying level in its single pass (into `pending_full`), consumes
+    /// the deepest, and leaves the rest as candidates, so a burst of
+    /// successful scans — the steady state of a restart scheduler draining
+    /// a deep deque — costs one walk total instead of one walk each.
+    /// Candidates are re-validated against the live mirror before being
+    /// consumed, so intervening pushes, steals and `take_level`s are safe.
     pub fn find_restart_full(&self, t_restart: usize, merges: &mut u64) -> Option<TaskBlock<S>> {
         // SAFETY: the merge-scan is an owner operation; nothing in the loop
         // body touches the mirror through another path.
         let mirror = unsafe { &mut *self.mirror.get() };
         let hi = unsafe { &mut *self.mirror_hi.get() };
+        let pending = unsafe { &mut *self.pending_full.get() };
         // A returnable level has a present cell (≥ 1 task, mirror exact)
         // and meets `t_restart`, so counting against `max(t_restart, 1)`
         // never undercounts one; stale thief-emptied entries only ever
@@ -1001,65 +1048,107 @@ impl<S: TaskStore> SharedLeveledDeque<S> {
         unsafe {
             if *self.qualify_t.get() != t_eff {
                 // Threshold changed (in practice: first scan of the run) —
-                // rebaseline the counter with one mirror walk.
+                // rebaseline the counter with one mirror walk and drop any
+                // candidates collected against the old threshold.
                 *self.maybe_full.get() = mirror.iter().filter(|(d, r)| d + r >= t_eff).count();
                 *self.qualify_t.get() = t_eff;
+                pending.clear();
             }
             if *self.maybe_full.get() == 0 {
+                pending.clear();
                 return None; // no entry can qualify: O(1) failing scan
             }
         }
         if mirror.is_empty() {
             return None;
         }
-        let start = (*hi).min(mirror.len() - 1);
-        // The deepest level this walk actually saw occupied: becomes the
-        // new shrinking bound, so the next scan skips the empty tail.
-        let mut seen_hi: Option<usize> = None;
-        for level in (0..=start).rev() {
+        // Fast path: drain candidates from the last walk, deepest first.
+        // The mirror re-check is the §3.4 qualification test on live data;
+        // a candidate that shrank (consumed, stolen) is just dropped.
+        while let Some(level) = pending.pop() {
             let entry = &mut mirror[level];
-            let (dfe_len, restart_len) = *entry;
-            if dfe_len + restart_len > 0 && seen_hi.is_none() {
-                seen_hi = Some(level);
-            }
-            // Mirror lengths are exact while the cell is present, so this
-            // is the §3.4 qualification test itself, not a heuristic.
-            if dfe_len + restart_len < t_restart {
+            if entry.0 + entry.1 < t_eff {
                 continue;
             }
-            let Some(slot) = self.slot(level) else { continue };
-            let Some(mut cell) = Self::detach(slot) else {
-                // A thief emptied the level since the mirror last saw it.
-                *entry = (0, 0);
-                // SAFETY: the merge-scan is an owner operation.
-                unsafe { self.note_mirror_change((dfe_len, restart_len), (0, 0)) };
-                continue;
-            };
-            // Consume the level: physically merge its two blocks now.
-            let (store, removed_blocks) = match (cell.dfe.take(), cell.restart.take()) {
-                (Some(d), Some(mut r)) => {
-                    let mut d = d;
-                    r.append(&mut d);
-                    *merges += 1;
-                    (r, 2)
-                }
-                (Some(d), None) => (d, 1),
-                (None, Some(r)) => (r, 1),
-                (None, None) => unreachable!("mirror said level {level} was non-empty"),
-            };
-            debug_assert!(store.len() >= t_restart, "mirror lengths must be exact");
-            *entry = (0, 0);
             // SAFETY: the merge-scan is an owner operation.
-            unsafe { self.note_mirror_change((dfe_len, restart_len), (0, 0)) };
-            self.owner_account(occ(removed_blocks, store.len()), false);
-            // SAFETY: owner operation; cell fully drained above.
-            unsafe { self.cache_cell(cell) };
-            // The consumed level is a safe (over)estimate of the new bound.
-            *hi = seen_hi.unwrap_or(level);
-            return Some(TaskBlock::new(level, store));
+            if let Some(block) = unsafe { self.consume_full_level(level, entry, merges) } {
+                return Some(block);
+            }
         }
-        *hi = seen_hi.unwrap_or(0);
+        let start = (*hi).min(mirror.len() - 1);
+        // Slow path: one walk over the occupied band, collecting *every*
+        // qualifying level. Mirror lengths are exact while a cell is
+        // present, so the test is the §3.4 qualification itself, not a
+        // heuristic. The deepest level the walk saw occupied becomes the
+        // new shrinking bound, so the next walk skips the empty tail.
+        let mut seen_hi = 0usize;
+        for level in (0..=start).rev() {
+            let (dfe_len, restart_len) = mirror[level];
+            if dfe_len + restart_len > 0 {
+                seen_hi = seen_hi.max(level);
+            }
+            if dfe_len + restart_len >= t_eff {
+                pending.push(level);
+            }
+        }
+        *hi = seen_hi;
+        // Collected deepest-to-shallowest; flip so `pop` yields deepest.
+        pending.reverse();
+        while let Some(level) = pending.pop() {
+            let entry = &mut mirror[level];
+            if entry.0 + entry.1 < t_eff {
+                continue;
+            }
+            // SAFETY: the merge-scan is an owner operation.
+            if let Some(block) = unsafe { self.consume_full_level(level, entry, merges) } {
+                return Some(block);
+            }
+        }
         None
+    }
+
+    /// Detach, physically merge, and account the cell at `level`, whose
+    /// mirror `entry` claims a qualifying block. Returns `None` — zeroing
+    /// the entry — when a thief emptied the level since the mirror last
+    /// saw it.
+    ///
+    /// # Safety
+    /// Caller must be the owner, and `entry` must be this deque's mirror
+    /// entry for `level`.
+    unsafe fn consume_full_level(
+        &self,
+        level: usize,
+        entry: &mut (usize, usize),
+        merges: &mut u64,
+    ) -> Option<TaskBlock<S>> {
+        let before = *entry;
+        let slot = self.slot(level)?;
+        let Some(mut cell) = Self::detach(slot) else {
+            // A thief emptied the level since the mirror last saw it.
+            *entry = (0, 0);
+            // SAFETY: owner operation per the caller contract.
+            unsafe { self.note_mirror_change(level, before, (0, 0)) };
+            return None;
+        };
+        // Consume the level: physically merge its two blocks now.
+        let (store, removed_blocks) = match (cell.dfe.take(), cell.restart.take()) {
+            (Some(d), Some(mut r)) => {
+                let mut d = d;
+                r.append(&mut d);
+                *merges += 1;
+                (r, 2)
+            }
+            (Some(d), None) => (d, 1),
+            (None, Some(r)) => (r, 1),
+            (None, None) => unreachable!("mirror said level {level} was non-empty"),
+        };
+        *entry = (0, 0);
+        // SAFETY: owner operation per the caller contract.
+        unsafe { self.note_mirror_change(level, before, (0, 0)) };
+        self.owner_account(occ(removed_blocks, store.len()), false);
+        // SAFETY: owner operation; cell fully drained above.
+        unsafe { self.cache_cell(cell) };
+        Some(TaskBlock::new(level, store))
     }
 
     /// Steal the shallowest occupied level — both its blocks — with one
@@ -1241,6 +1330,67 @@ mod shared_tests {
     }
 
     #[test]
+    fn successful_scan_burst_drains_deepest_first() {
+        // Several qualifying levels at once: the first scan's walk caches
+        // the rest, and the follow-up scans consume them deepest-first
+        // without re-walking (same answers either way — this pins order).
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        for lvl in [2usize, 5, 9, 13] {
+            d.push_dfe(blk(lvl, 6));
+        }
+        d.push_dfe(blk(7, 1)); // underfull: must stay parked throughout
+        let mut merges = 0;
+        for expect in [13usize, 9, 5, 2] {
+            let got = d.find_restart_full(4, &mut merges).expect("qualifying level");
+            assert_eq!(got.level, expect);
+            assert_eq!(got.len(), 6);
+        }
+        assert!(d.find_restart_full(4, &mut merges).is_none());
+        assert_eq!(d.task_count(), 1, "the underfull block is still parked");
+    }
+
+    #[test]
+    fn cached_candidates_survive_interleaved_traffic() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        for lvl in [3usize, 6, 10] {
+            d.push_dfe(blk(lvl, 5));
+        }
+        let mut merges = 0;
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 10);
+        // A thief empties a cached candidate between scans: the stale
+        // entry must be dropped, not returned.
+        let loot = d.steal_half(4).expect("level 3 is shallowest");
+        assert_eq!(loot.primary.level, 3);
+        // A push deepens the deque between scans: the fresh level wins
+        // once the (shallower) cached candidates are exhausted or beaten.
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 6);
+        d.push_dfe(blk(12, 8));
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 12);
+        assert!(d.find_restart_full(4, &mut merges).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_epoch_advances_only_on_thief_removals() {
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        assert_eq!(d.steal_epoch(), 0);
+        d.push_dfe(blk(2, 5));
+        d.push_dfe(blk(6, 4));
+        assert_eq!(d.steal_epoch(), 0, "owner pushes never advance the epoch");
+        // Owner removals are not steals.
+        assert_eq!(d.take_level(6).unwrap().len(), 4);
+        let mut merges = 0;
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().len(), 5);
+        assert_eq!(d.steal_epoch(), 0, "owner takes and merge-scans never advance the epoch");
+        // A thief's steal_half advances it by the tasks it took.
+        d.push_dfe(blk(3, 7));
+        let loot = d.steal_half(4).expect("level 3 is stealable");
+        let took = (loot.primary.len() + loot.leftover.as_ref().map_or(0, TaskBlock::len)) as u64;
+        assert_eq!(d.steal_epoch(), took);
+        assert!(took >= 1);
+    }
+
+    #[test]
     fn drop_with_parked_blocks_frees_everything() {
         let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
         for lvl in 0..100 {
@@ -1248,6 +1398,26 @@ mod shared_tests {
             d.push_restart(blk(lvl, 2));
         }
         drop(d); // boxes + segments reclaimed; Miri/leak checkers agree
+    }
+
+    #[test]
+    fn late_deep_qualifier_takes_priority_over_cached_candidates() {
+        // A level that crosses the threshold *after* the walk populated the
+        // candidate cache must still be returned deepest-first — the cache
+        // may never shadow it behind shallower leftovers.
+        let d: SharedLeveledDeque<Vec<u32>> = SharedLeveledDeque::new();
+        for lvl in [2usize, 5] {
+            d.push_dfe(blk(lvl, 6));
+        }
+        let mut merges = 0;
+        // First scan walks, consumes 5, leaves 2 cached.
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 5);
+        // Two pushes that only qualify once merged: 2 + 4 crosses t=4.
+        d.push_dfe(blk(9, 2));
+        d.push_restart(blk(9, 4));
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 9);
+        assert_eq!(d.find_restart_full(4, &mut merges).unwrap().level, 2);
+        assert!(d.find_restart_full(4, &mut merges).is_none());
     }
 
     #[test]
@@ -1270,8 +1440,19 @@ mod shared_tests {
                             stolen_tasks.fetch_add(n, Ordering::Relaxed);
                         }
                         None => {
-                            if done.load(Ordering::Acquire) && d.steal_half(4).is_none() {
-                                break;
+                            // Re-steal after observing `done`: a miss can be
+                            // transient (stale `deepest`, owner mid-merge), so
+                            // the confirmation steal may itself return loot —
+                            // count it, don't drop it.
+                            if done.load(Ordering::Acquire) {
+                                match d.steal_half(4) {
+                                    Some(loot) => {
+                                        let n = loot.primary.len()
+                                            + loot.leftover.as_ref().map_or(0, TaskBlock::len);
+                                        stolen_tasks.fetch_add(n, Ordering::Relaxed);
+                                    }
+                                    None => break,
+                                }
                             }
                             std::hint::spin_loop();
                         }

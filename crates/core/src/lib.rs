@@ -26,7 +26,10 @@
 //! Combining these yields the scheduler families analysed in the paper:
 //! [`PolicyKind::Basic`], [`PolicyKind::ReExpansion`] (Ren et al. PLDI'15),
 //! and [`PolicyKind::Restart`] (new in PPoPP'17, asymptotically optimal).
-//! The [`par`] module extends all of them with Cilk-style work stealing.
+//! The [`par`] module extends all of them with Cilk-style work stealing,
+//! and adds [`PolicyKind::Adaptive`]: steal-driven per-worker grain control
+//! (a [`GrainController`] per worker) that replaces the hand-tuned
+//! `t_dfe`/`t_bfe`/`t_restart` cutoffs entirely.
 //!
 //! ## Plugging in a program
 //!
@@ -66,7 +69,7 @@
 //!
 //! Passing a [`tb_runtime::ThreadPool`] to the same [`run_policy`] call
 //! dispatches to the policy's multicore scheduler; [`run_scheduler`] picks
-//! one of the four implementations explicitly. See the [`scheduler`]
+//! one of the five implementations explicitly. See the [`scheduler`]
 //! module for the trait behind both.
 
 pub mod block;
@@ -83,7 +86,7 @@ pub mod stats;
 pub use block::{TaskBlock, TaskStore};
 pub use cancel::{CancelToken, Cancellable};
 pub use deque::{LeveledDeque, RestartFind, SharedLeveledDeque, StolenLevel};
-pub use policy::{PolicyKind, SchedConfig};
+pub use policy::{GrainController, PolicyKind, SchedConfig};
 pub use program::{merge_sum, BlockProgram, BucketSet, ProgramShape, RunOutput};
 pub use scheduler::{
     run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,
@@ -96,8 +99,8 @@ pub use stats::ExecStats;
 pub mod prelude {
     pub use crate::block::{TaskBlock, TaskStore};
     pub use crate::cancel::{CancelToken, Cancellable};
-    pub use crate::par::{ParReExpansion, ParRestartIdeal, ParRestartSimplified};
-    pub use crate::policy::{PolicyKind, SchedConfig};
+    pub use crate::par::{ParAdaptive, ParReExpansion, ParRestartIdeal, ParRestartSimplified};
+    pub use crate::policy::{GrainController, PolicyKind, SchedConfig};
     pub use crate::program::{merge_sum, BlockProgram, BucketSet, ProgramShape, RunOutput};
     pub use crate::scheduler::{
         run_policy, run_policy_on_ctx, run_scheduler, run_scheduler_on, run_scheduler_on_ctx, Scheduler,

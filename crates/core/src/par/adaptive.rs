@@ -1,0 +1,219 @@
+//! Parallel adaptive scheduler: steal-driven per-worker grain control.
+//!
+//! The fixed-cutoff schedulers pick one `t_dfe`/`t_bfe`/`t_restart`
+//! triple per run and live with it. This scheduler replaces the triple
+//! with a per-worker [`GrainController`]: every worker carries a block
+//! budget ("grain") that starts at `Q`, grows geometrically while the
+//! worker's own deque is not being stolen from, and snaps back to `Q` the
+//! moment its steal epoch advances. The loop shape is re-expansion's —
+//! blocks below the budget are executed breadth-first (merged, regrowing
+//! parallelism), blocks at or above it depth-first with their children
+//! forked — but the threshold is the *live* grain, so:
+//!
+//! * quiet worker → grain at the cap → big depth-first blocks, few
+//!   scheduling actions (the regime the hand-tuned `t_dfe` approximates);
+//! * stolen-from worker → grain back at `Q` → the very next blocks split
+//!   at fine granularity, and the DFE forks republish stealable work for
+//!   the hungry thief (the rayon-adaptive "split only when stolen" idiom
+//!   in blocked form).
+//!
+//! Growth also blends the DCAFE injector-depth signal: a deep pool
+//! injector means parallelism is over-published, so the grain quadruples
+//! instead of doubling. See `DESIGN.md` §11 for the controller state
+//! machine and the steal-epoch memory-ordering argument.
+
+use tb_runtime::{ThreadPool, WorkerCtx};
+
+use crate::block::TaskBlock;
+use crate::par::common::{drive, split_strips, Env};
+use crate::policy::{PolicyKind, SchedConfig};
+use crate::program::{BlockProgram, RunOutput};
+
+/// Multicore adaptive scheduler (steal-driven grain control).
+pub struct ParAdaptive<'p, P: BlockProgram> {
+    prog: &'p P,
+    cfg: SchedConfig,
+}
+
+impl<'p, P: BlockProgram> ParAdaptive<'p, P> {
+    /// Schedule `prog` adaptively. The policy field is coerced to
+    /// `Adaptive`; a fixed-cutoff `cfg` keeps its `t_dfe` as the grain
+    /// cap, while [`SchedConfig::adaptive`] configs use the default cap.
+    pub fn new(prog: &'p P, cfg: SchedConfig) -> Self {
+        ParAdaptive { prog, cfg: cfg.with_policy(PolicyKind::Adaptive) }
+    }
+
+    /// Run on `pool`, returning the merged reduction and pooled stats.
+    pub fn run(&self, pool: &ThreadPool) -> RunOutput<P::Reducer> {
+        let (reducer, stats) = drive(self.prog, self.cfg, pool, root_body);
+        RunOutput { reducer, stats }
+    }
+
+    /// Run from inside the pool, on the worker driving `ctx` (the service
+    /// layer's entry point — see `drive_on_ctx`).
+    pub fn run_on(&self, ctx: &WorkerCtx<'_>) -> RunOutput<P::Reducer> {
+        let (reducer, stats) = crate::par::common::drive_on_ctx(self.prog, self.cfg, ctx, root_body);
+        RunOutput { reducer, stats }
+    }
+}
+
+impl<P: BlockProgram> crate::scheduler::Scheduler<P> for ParAdaptive<'_, P> {
+    fn name(&self) -> &'static str {
+        crate::scheduler::SchedulerKind::Adaptive.name()
+    }
+
+    fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    fn run_with(&self, pool: Option<&ThreadPool>) -> RunOutput<P::Reducer> {
+        crate::scheduler::with_pool(pool, |pool| self.run(pool))
+    }
+}
+
+/// Strip-mine the root and hand each strip to the blocked recursion.
+fn root_body<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>) {
+    let root = TaskBlock::new(0, env.prog.make_root());
+    if !root.is_empty() {
+        split_strips(env, ctx, root, blocked_adaptive);
+    }
+}
+
+/// The blocked adaptive recursion over one block: re-expansion's loop with
+/// the live grain in place of `t_bfe`.
+///
+/// Controller access happens in its own `PerWorker::with` windows, never
+/// nested inside `execute_bfe`/`execute_dfe` (which take their own) and
+/// never across a fork point — `ctx.join` can run stolen work on this
+/// worker, and `with` is non-reentrant by contract.
+fn blocked_adaptive<P: BlockProgram>(env: Env<'_, P>, ctx: &WorkerCtx<'_>, mut cur: TaskBlock<P::Store>) {
+    loop {
+        if cur.is_empty() {
+            return;
+        }
+        // Poll the steal signal: one relaxed load, compared against the
+        // controller's snapshot. Any advance resets the grain to Q.
+        let (grain, advanced) = env.state.with(ctx, |st| {
+            let advanced = st.ctrl.observe(ctx.steal_epoch());
+            (st.ctrl.grain(), advanced)
+        });
+        if advanced > 0 && env.cfg.trace {
+            tb_obs::record(tb_obs::EventKind::GrainReset, ctx.index() as u32, advanced);
+        }
+        if cur.len() < grain {
+            // Under budget: breadth-first (children merged — re-expansion
+            // regrows the block), then grow the budget for having gone one
+            // interval unstolen. The DCAFE blend: a deep injector
+            // quadruples instead of doubling.
+            cur = env.execute_bfe(ctx, cur);
+            let (depth, workers) = (ctx.injector_depth(), ctx.num_workers());
+            let grown = env.state.with(ctx, |st| st.ctrl.grow(depth, workers).then(|| st.ctrl.grain()));
+            if env.cfg.trace {
+                if let Some(g) = grown {
+                    tb_obs::record(tb_obs::EventKind::GrainGrow, ctx.index() as u32, g as u64);
+                }
+            }
+        } else {
+            // At budget: depth-first, forking the child blocks. After a
+            // reset this is what republishes stealable work — the grain
+            // is Q, so forks come thick and fine-grained.
+            let mut children = env.execute_dfe(ctx, cur);
+            match children.len() {
+                0 => return,
+                1 => cur = children.pop().expect("one child"),
+                _ => {
+                    fork_children(env, ctx, children);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Fork a set of sibling blocks as a balanced join tree. The left half runs
+/// first on this worker (depth-first order); right halves are stealable.
+fn fork_children<P: BlockProgram>(
+    env: Env<'_, P>,
+    ctx: &WorkerCtx<'_>,
+    mut blocks: Vec<TaskBlock<P::Store>>,
+) {
+    match blocks.len() {
+        0 => {}
+        1 => blocked_adaptive(env, ctx, blocks.pop().expect("one block")),
+        _ => {
+            let right = blocks.split_off(blocks.len() / 2);
+            ctx.join(move |c| fork_children(env, c, blocks), move |c| fork_children(env, c, right));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BucketSet;
+    use crate::seq::SeqScheduler;
+
+    struct Fib(u32);
+
+    impl BlockProgram for Fib {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+
+        fn arity(&self) -> usize {
+            2
+        }
+
+        fn make_root(&self) -> Vec<u32> {
+            vec![self.0]
+        }
+
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n < 2 {
+                    *red += u64::from(n);
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_scheduler() {
+        let prog = Fib(24);
+        let cfg = SchedConfig::adaptive(8);
+        let seq = SeqScheduler::new(&prog, cfg).run();
+        let pool = ThreadPool::new(4);
+        let par = ParAdaptive::new(&prog, cfg).run(&pool);
+        assert_eq!(par.reducer, seq.reducer);
+        assert_eq!(par.stats.tasks_executed, seq.stats.tasks_executed);
+    }
+
+    #[test]
+    fn single_worker_matches_too() {
+        let prog = Fib(20);
+        let pool = ThreadPool::new(1);
+        let par = ParAdaptive::new(&prog, SchedConfig::adaptive(4)).run(&pool);
+        assert_eq!(par.reducer, 6765);
+    }
+
+    #[test]
+    fn coerced_fixed_configs_run_unchanged() {
+        // The scheduler-matrix doctest drives a restart config through
+        // every kind; the coercion must accept it and stay correct.
+        let prog = Fib(22);
+        let cfg = SchedConfig::restart(4, 64, 16);
+        let pool = ThreadPool::new(2);
+        let par = ParAdaptive::new(&prog, cfg).run(&pool);
+        assert_eq!(par.reducer, 17_711);
+    }
+}

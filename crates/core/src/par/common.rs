@@ -3,15 +3,17 @@
 use tb_runtime::{PerWorker, PoolMetrics, ThreadPool, WorkerCtx};
 
 use crate::block::{TaskBlock, TaskStore};
-use crate::policy::SchedConfig;
+use crate::policy::{GrainController, SchedConfig};
 use crate::program::{BlockProgram, BucketSet};
 use crate::stats::ExecStats;
 
-/// Per-worker scratch: spawn buckets, private reducer, private stats.
+/// Per-worker scratch: spawn buckets, private reducer, private stats, and
+/// the adaptive policy's grain controller (idle for the fixed policies).
 pub(crate) struct WorkerState<P: BlockProgram> {
     pub out: BucketSet<P::Store>,
     pub red: P::Reducer,
     pub stats: ExecStats,
+    pub ctrl: GrainController,
 }
 
 /// Cheap-to-copy environment threaded through the blocked recursion.
@@ -35,6 +37,7 @@ impl<'e, P: BlockProgram> Env<'e, P> {
             out: BucketSet::new(prog.arity()),
             red: prog.make_reducer(),
             stats: ExecStats::new(cfg.q),
+            ctrl: GrainController::for_config(cfg),
         })
     }
 

@@ -1,6 +1,6 @@
 //! Multicore schedulers (§3.4 and §6 of the paper).
 //!
-//! Three parallel instantiations of the framework:
+//! Four parallel instantiations of the framework:
 //!
 //! * [`ParReExpansion`] — blocked re-expansion as a Cilk program
 //!   (Fig. 3(a)): child blocks are forked with `join`, so idle workers steal
@@ -14,12 +14,18 @@
 //!   dedicated workers, per-worker leveled deques, steals take the top block
 //!   of a random victim (possibly yourself), with a bounded BFE burst on
 //!   undersized loot.
+//! * [`ParAdaptive`] — steal-driven per-worker grain control: the
+//!   re-expansion loop with its threshold replaced by a live grain that
+//!   grows while the worker's deque stays unstolen and resets when a
+//!   thief strikes. No hand-tuned cutoffs.
 
+mod adaptive;
 mod common;
 mod reexp;
 mod restart_ideal;
 mod restart_simplified;
 
+pub use adaptive::ParAdaptive;
 pub use reexp::ParReExpansion;
 pub use restart_ideal::ParRestartIdeal;
 pub use restart_simplified::{ParRestartSimplified, RestartStack};

@@ -1,8 +1,9 @@
-//! One driving surface for all four schedulers.
+//! One driving surface for all five schedulers.
 //!
-//! The framework ships four scheduler implementations — the sequential
-//! engine ([`SeqScheduler`]) and three multicore schedulers
-//! ([`ParReExpansion`], [`ParRestartSimplified`], [`ParRestartIdeal`]) —
+//! The framework ships five scheduler implementations — the sequential
+//! engine ([`SeqScheduler`]) and four multicore schedulers
+//! ([`ParReExpansion`], [`ParRestartSimplified`], [`ParRestartIdeal`],
+//! [`ParAdaptive`]) —
 //! which historically exposed ad-hoc entry points (`run()`, `run(&pool)`,
 //! `run()` with a worker count baked in at construction). Everything that
 //! *drives* schedulers — the benchmark suite, the figure/table harness
@@ -10,10 +11,10 @@
 //! program under that policy on these cores", so this module provides
 //! exactly that:
 //!
-//! * [`Scheduler`] — the uniform trait, implemented by all four types:
+//! * [`Scheduler`] — the uniform trait, implemented by all five types:
 //!   a name for tables, the [`SchedConfig`] it runs with, and
 //!   [`Scheduler::run_with`] taking an optional [`ThreadPool`];
-//! * [`SchedulerKind`] — a value-level selector for the four
+//! * [`SchedulerKind`] — a value-level selector for the five
 //!   implementations, so harness code can iterate over them;
 //! * [`run_policy`] — the one-call dispatcher: sequential when no pool is
 //!   given, the policy's multicore scheduler when one is;
@@ -26,16 +27,16 @@
 
 use tb_runtime::{ThreadPool, WorkerCtx};
 
-use crate::par::{ParReExpansion, ParRestartIdeal, ParRestartSimplified};
+use crate::par::{ParAdaptive, ParReExpansion, ParRestartIdeal, ParRestartSimplified};
 use crate::policy::{PolicyKind, SchedConfig};
 use crate::program::{BlockProgram, RunOutput};
 use crate::seq::SeqScheduler;
 
-/// The four scheduler implementations, as a value.
+/// The five scheduler implementations, as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Single-core engine; honours `cfg.policy` exactly
-    /// (basic / re-expansion / restart).
+    /// (basic / re-expansion / restart / adaptive).
     Seq,
     /// Fig. 3(a): blocked re-expansion on the work-stealing pool.
     ReExpansion,
@@ -45,15 +46,20 @@ pub enum SchedulerKind {
     /// §3.4: ideal restart on dedicated workers with stealable leveled
     /// deques (the formulation the theory analyses).
     RestartIdeal,
+    /// Steal-driven per-worker grain control on the work-stealing pool:
+    /// re-expansion's loop with a live grain instead of fixed cutoffs
+    /// (see [`crate::GrainController`]).
+    Adaptive,
 }
 
 impl SchedulerKind {
-    /// All four kinds, sequential first.
-    pub const ALL: [SchedulerKind; 4] = [
+    /// All five kinds, sequential first.
+    pub const ALL: [SchedulerKind; 5] = [
         SchedulerKind::Seq,
         SchedulerKind::ReExpansion,
         SchedulerKind::RestartSimplified,
         SchedulerKind::RestartIdeal,
+        SchedulerKind::Adaptive,
     ];
 
     /// Short name used in tables and CSV headers.
@@ -63,6 +69,7 @@ impl SchedulerKind {
             SchedulerKind::ReExpansion => "par-reexp",
             SchedulerKind::RestartSimplified => "par-restart",
             SchedulerKind::RestartIdeal => "par-restart-ideal",
+            SchedulerKind::Adaptive => "par-adaptive",
         }
     }
 
@@ -82,6 +89,7 @@ impl SchedulerKind {
                 // warm-up phase, so Basic maps there (§3.2).
                 PolicyKind::Basic | PolicyKind::ReExpansion => SchedulerKind::ReExpansion,
                 PolicyKind::Restart => SchedulerKind::RestartSimplified,
+                PolicyKind::Adaptive => SchedulerKind::Adaptive,
             }
         }
     }
@@ -247,6 +255,7 @@ pub fn run_scheduler<P: BlockProgram>(
             let workers = pool.map_or_else(default_workers, ThreadPool::threads);
             ParRestartIdeal::new(prog, cfg, workers).run_with(pool)
         }
+        SchedulerKind::Adaptive => ParAdaptive::new(prog, cfg).run_with(pool),
     }
 }
 
@@ -278,6 +287,7 @@ pub fn run_scheduler_on_ctx<P: BlockProgram>(
         SchedulerKind::ReExpansion => ParReExpansion::new(prog, cfg).run_on(ctx),
         SchedulerKind::RestartSimplified => ParRestartSimplified::new(prog, cfg).run_on(ctx),
         SchedulerKind::RestartIdeal => ParRestartIdeal::new(prog, cfg, ctx.num_workers()).run(),
+        SchedulerKind::Adaptive => ParAdaptive::new(prog, cfg).run_on(ctx),
     }
 }
 
@@ -305,7 +315,7 @@ pub fn run_scheduler_on<P: BlockProgram>(
 ) -> RunOutput<P::Reducer> {
     match kind {
         SchedulerKind::Seq => SeqScheduler::new(prog, cfg).run(),
-        SchedulerKind::ReExpansion | SchedulerKind::RestartSimplified => {
+        SchedulerKind::ReExpansion | SchedulerKind::RestartSimplified | SchedulerKind::Adaptive => {
             let pool = ThreadPool::new(workers);
             run_scheduler(kind, prog, cfg, Some(&pool))
         }
@@ -387,9 +397,12 @@ mod tests {
     #[test]
     fn parallel_kinds_work_without_a_pool() {
         let cfg = SchedConfig::restart(4, 64, 16);
-        for kind in
-            [SchedulerKind::ReExpansion, SchedulerKind::RestartSimplified, SchedulerKind::RestartIdeal]
-        {
+        for kind in [
+            SchedulerKind::ReExpansion,
+            SchedulerKind::RestartSimplified,
+            SchedulerKind::RestartIdeal,
+            SchedulerKind::Adaptive,
+        ] {
             let out = run_scheduler(kind, &Fib(16), cfg, None);
             assert_eq!(out.reducer, 987, "{kind:?}");
         }
@@ -403,6 +416,10 @@ mod tests {
         assert_eq!(SchedulerKind::for_policy(PolicyKind::Restart, true), SchedulerKind::RestartSimplified);
         assert_eq!(SchedulerKind::for_policy(PolicyKind::Basic, true), SchedulerKind::ReExpansion);
         assert_eq!(SchedulerKind::for_policy(PolicyKind::Restart, false), SchedulerKind::Seq);
+        assert_eq!(SchedulerKind::Adaptive.name(), "par-adaptive");
+        assert!(SchedulerKind::Adaptive.is_parallel());
+        assert_eq!(SchedulerKind::for_policy(PolicyKind::Adaptive, true), SchedulerKind::Adaptive);
+        assert_eq!(SchedulerKind::for_policy(PolicyKind::Adaptive, false), SchedulerKind::Seq);
     }
 
     #[test]
@@ -413,7 +430,8 @@ mod tests {
         let reexp = ParReExpansion::new(&prog, cfg);
         let simplified = ParRestartSimplified::new(&prog, cfg);
         let ideal = ParRestartIdeal::new(&prog, cfg, 2);
-        let schedulers: [&dyn Scheduler<Fib>; 4] = [&seq, &reexp, &simplified, &ideal];
+        let adaptive = ParAdaptive::new(&prog, cfg);
+        let schedulers: [&dyn Scheduler<Fib>; 5] = [&seq, &reexp, &simplified, &ideal, &adaptive];
         let pool = ThreadPool::new(2);
         for s in schedulers {
             assert_eq!(s.run_with(Some(&pool)).reducer, 610, "{}", s.name());

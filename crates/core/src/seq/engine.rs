@@ -1,6 +1,6 @@
 //! The sequential scheduling engine (§3.1–§3.3 of the paper).
 //!
-//! One engine implements all three policy families; the policy only changes
+//! One engine implements all four policy families; the policy only changes
 //! (a) which action is chosen for the current block ([`SeqScheduler::decide`])
 //! and (b) how the next block is acquired when the current one dies out
 //! ([`SeqScheduler::acquire`]).
@@ -16,7 +16,7 @@ use tb_obs::EventKind;
 
 use crate::block::{TaskBlock, TaskStore};
 use crate::deque::{LeveledDeque, RestartFind};
-use crate::policy::{PolicyKind, SchedConfig};
+use crate::policy::{GrainController, PolicyKind, SchedConfig};
 use crate::program::{BlockProgram, BucketSet, RunOutput};
 use crate::stats::ExecStats;
 
@@ -86,6 +86,7 @@ pub struct SeqFrontier<S, R> {
     warmed: bool,
     bfe_forced: bool,
     bfe_burst: usize,
+    ctrl: GrainController,
     root_rest: Option<S>,
     red: R,
     stats: ExecStats,
@@ -130,6 +131,10 @@ pub struct SeqScheduler<'p, P: BlockProgram> {
     bfe_forced: bool,
     /// Consecutive forced-BFE actions taken in the current burst.
     bfe_burst: usize,
+    /// Adaptive: the live grain. Single-core has no thieves, so the grain
+    /// only ever grows — `Q, 2Q, …` up to the cap — which makes the policy
+    /// fully deterministic (and therefore park/resume-exact).
+    ctrl: GrainController,
     /// Remainder of an oversized root block, fed strip by strip.
     root_rest: Option<P::Store>,
     out: BucketSet<P::Store>,
@@ -154,6 +159,7 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
             warmed: false,
             bfe_forced: false,
             bfe_burst: 0,
+            ctrl: GrainController::for_config(&cfg),
             root_rest: if root.is_empty() { None } else { Some(root) },
             out: BucketSet::new(prog.arity()),
             red: prog.make_reducer(),
@@ -180,6 +186,7 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
             warmed: self.warmed,
             bfe_forced: self.bfe_forced,
             bfe_burst: self.bfe_burst,
+            ctrl: self.ctrl,
             root_rest: self.root_rest,
             red: self.red,
             stats: self.stats,
@@ -206,6 +213,7 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
             warmed: frontier.warmed,
             bfe_forced: frontier.bfe_forced,
             bfe_burst: frontier.bfe_burst,
+            ctrl: frontier.ctrl,
             root_rest: frontier.root_rest,
             out: BucketSet::new(prog.arity()),
             red: frontier.red,
@@ -329,6 +337,19 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
                     Action::Restart
                 }
             }
+            PolicyKind::Adaptive => {
+                // The single-core embedding of the grain controller: no
+                // steal signal exists, so the grain ratchets up — one
+                // doubling per BFE interval — until blocks reach it and
+                // the engine goes depth-first, mirroring basic's ramp-up
+                // without a hand-set `t_dfe`.
+                if len >= self.ctrl.grain() {
+                    Action::Dfe
+                } else {
+                    self.ctrl.grow(0, 1);
+                    Action::Bfe
+                }
+            }
         }
     }
 
@@ -437,7 +458,7 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
     fn acquire(&mut self) -> StepEvent {
         debug_assert!(self.current.is_none());
         match self.cfg.policy {
-            PolicyKind::Basic | PolicyKind::ReExpansion => {
+            PolicyKind::Basic | PolicyKind::ReExpansion | PolicyKind::Adaptive => {
                 if let Some(b) = self.deque.pop_deepest_dfe() {
                     self.current = Some(b);
                     return StepEvent::Acquired;
@@ -473,6 +494,7 @@ impl<'p, P: BlockProgram> SeqScheduler<'p, P> {
             self.warmed = false;
             self.mode = Mode::Bfe;
             self.bfe_forced = false;
+            self.ctrl = GrainController::for_config(&self.cfg);
             return StepEvent::AcquiredStrip;
         }
         self.done = true;
@@ -588,14 +610,50 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_computes_fib() {
+        for n in [0, 1, 5, 18, 22] {
+            let out = SeqScheduler::new(&Fib(n), SchedConfig::adaptive(4)).run();
+            assert_eq!(out.reducer, fib_ref(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn adaptive_is_park_resume_exact() {
+        // The grain is part of the frontier: parking mid-ramp and resuming
+        // must reproduce the uninterrupted run's superstep count exactly.
+        let cfg = SchedConfig::adaptive(4);
+        let straight = SeqScheduler::new(&Fib(16), cfg).run();
+        let prog = Fib(16);
+        let mut eng = SeqScheduler::new(&prog, cfg);
+        let out = loop {
+            let mut finished = false;
+            for _ in 0..3 {
+                if eng.step() == StepEvent::Done {
+                    finished = true;
+                    break;
+                }
+            }
+            if finished {
+                break eng.into_output();
+            }
+            eng = SeqScheduler::resume(&prog, eng.park());
+        };
+        assert_eq!(out.reducer, straight.reducer);
+        assert_eq!(out.stats.supersteps, straight.stats.supersteps);
+    }
+
+    #[test]
     fn all_policies_execute_every_task_once() {
         // fib(n) executes exactly T(n) tasks where T(n) = 1 + T(n-1) + T(n-2),
         // T(0) = T(1) = 1  =>  T(n) = 2*fib(n+1) - 1.
         let n = 18;
         let expected_tasks = 2 * fib_ref(n + 1) - 1;
-        for cfg in
-            [SchedConfig::basic(8, 128), SchedConfig::reexpansion(8, 128), SchedConfig::restart(8, 128, 32)]
-        {
+        for cfg in [
+            SchedConfig::basic(8, 128),
+            SchedConfig::reexpansion(8, 128),
+            SchedConfig::restart(8, 128, 32),
+            SchedConfig::adaptive(8),
+        ] {
             let out = SeqScheduler::new(&Fib(n), cfg).run();
             assert_eq!(out.stats.tasks_executed, expected_tasks, "{:?}", cfg.policy);
         }

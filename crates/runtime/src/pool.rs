@@ -263,6 +263,25 @@ impl<'a> WorkerCtx<'a> {
         self.shared.merged_metrics().steals
     }
 
+    /// This worker's local-deque steal epoch: how many jobs thieves have
+    /// ever taken *from this worker*. A Relaxed owner-side load; compare
+    /// against a cached snapshot for a cheap "was I stolen from since I
+    /// last looked" signal (the adaptive grain controller's input). The
+    /// worker's own pops never advance it.
+    #[inline]
+    pub fn steal_epoch(&self) -> u64 {
+        self.local.steal_epoch()
+    }
+
+    /// Jobs currently queued in the pool's injector and not yet claimed (a
+    /// snapshot). Deep injector ⇒ plenty of parallelism already published;
+    /// the DCAFE-style signal the adaptive controller blends with the
+    /// steal epoch.
+    #[inline]
+    pub fn injector_depth(&self) -> usize {
+        self.shared.injector.len()
+    }
+
     #[inline]
     fn next_rand(&self) -> u64 {
         // xorshift64*: cheap, good-enough victim selection.

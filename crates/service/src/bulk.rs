@@ -83,12 +83,38 @@ impl<R> BulkHandle<R> {
 
     /// Block until every chunk completes and return the per-chunk results
     /// in chunk (input) order.
+    ///
+    /// The result mutex is held only long enough to take the completed
+    /// vector out; unwrapping (and anything the caller does with the
+    /// results) runs with the lock released.
     pub fn wait(self) -> Vec<Result<R, JobError>> {
-        let mut results = self.core.results.lock();
-        while !self.core.done.load(Ordering::Acquire) {
-            self.core.cv.wait(&mut results);
+        let taken = {
+            let mut results = self.core.results.lock();
+            while !self.core.done.load(Ordering::Acquire) {
+                self.core.cv.wait(&mut results);
+            }
+            std::mem::take(&mut *results)
+        };
+        taken.into_iter().map(|slot| slot.expect("all chunks completed")).collect()
+    }
+
+    /// Block until every chunk completes, then fold the chunk reductions in
+    /// chunk (input) order with `merge`, short-circuiting on the first
+    /// chunk error.
+    ///
+    /// The fold runs strictly *after* the result mutex is released (it
+    /// operates on the taken vector, never inside the lock), so a slow —
+    /// or re-entrant, e.g. one that submits and waits on further work —
+    /// merge closure cannot block chunk completion or other waiters.
+    pub fn wait_merged<T, F>(self, init: T, mut merge: F) -> Result<T, JobError>
+    where
+        F: FnMut(T, R) -> T,
+    {
+        let mut acc = init;
+        for result in self.wait() {
+            acc = merge(acc, result?);
         }
-        results.iter_mut().map(|slot| slot.take().expect("all chunks completed")).collect()
+        Ok(acc)
     }
 }
 
@@ -97,20 +123,13 @@ impl<R> BulkHandle<R> {
 /// current injector depth — a backed-up queue gets fewer, larger jobs
 /// instead of being flooded with one task per item. Returns the chunk
 /// length in items (at least 1, at most `items`).
+///
+/// The actual policy lives in [`tb_core::GrainController::chunk_len`] —
+/// the same controller that drives `Policy::Adaptive`'s per-worker grain —
+/// so the service's bulk seam and the scheduler's block seam share one
+/// depth-coarsening rule instead of two hand-tuned copies.
 pub(crate) fn adaptive_chunk_len(items: usize, workers: usize, queue_depth: usize) -> usize {
-    /// Target chunks per worker on an idle queue: enough slack for stealing
-    /// to balance uneven chunk costs, few enough that per-job overhead
-    /// stays negligible.
-    const CHUNKS_PER_WORKER: usize = 4;
-    if items == 0 {
-        return 1;
-    }
-    let w = workers.max(1);
-    let base = items.div_ceil(w * CHUNKS_PER_WORKER).max(1);
-    // Each backlog of `w` pending jobs doubles the chunk: depth signals the
-    // pool is oversubscribed, so cut coarser.
-    let factor = 1 + queue_depth / w;
-    base.saturating_mul(factor).min(items)
+    tb_core::GrainController::chunk_len(items, workers, queue_depth)
 }
 
 #[cfg(test)]
@@ -160,5 +179,40 @@ mod tests {
         core.complete_chunk(1, Err(JobError::Cancelled));
         assert!(h.is_finished());
         assert_eq!(h.wait(), vec![Ok(10), Err(JobError::Cancelled), Ok(30)]);
+    }
+
+    #[test]
+    fn wait_merged_folds_in_chunk_order() {
+        let core = Arc::new(BulkCore::new(3));
+        core.complete_chunk(1, Ok(2u64));
+        core.complete_chunk(0, Ok(1));
+        core.complete_chunk(2, Ok(3));
+        let h = BulkHandle::new(core, 3);
+        let digits = h.wait_merged(0u64, |acc, r| acc * 10 + r).unwrap();
+        assert_eq!(digits, 123, "fold order is chunk order, not completion order");
+    }
+
+    #[test]
+    fn wait_merged_short_circuits_on_chunk_error() {
+        let core = Arc::new(BulkCore::new(2));
+        core.complete_chunk(0, Err(JobError::Panicked));
+        core.complete_chunk(1, Ok(7u64));
+        let h = BulkHandle::new(core, 2);
+        assert_eq!(h.wait_merged(0u64, |acc, r| acc + r), Err(JobError::Panicked));
+    }
+
+    #[test]
+    fn merge_runs_outside_the_result_mutex() {
+        let core = Arc::new(BulkCore::new(2));
+        core.complete_chunk(0, Ok(1u64));
+        core.complete_chunk(1, Ok(2));
+        let h = BulkHandle::new(Arc::clone(&core), 2);
+        let sum = h
+            .wait_merged(0u64, |acc, r| {
+                assert!(core.results.try_lock().is_some(), "merge held the result mutex");
+                acc + r
+            })
+            .unwrap();
+        assert_eq!(sum, 3);
     }
 }

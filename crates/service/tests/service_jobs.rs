@@ -357,7 +357,7 @@ fn spec_source_jobs_run_under_every_kind() {
     }
     let stats = rt.stats();
     assert_eq!(stats.spec_compiles, 1, "compiled once");
-    assert_eq!(stats.spec_cache_hits, 3, "three resubmissions hit the cache");
+    assert_eq!(stats.spec_cache_hits, 4, "four resubmissions hit the cache");
     assert_eq!(stats.rejected, 0);
 }
 

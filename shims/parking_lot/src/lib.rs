@@ -40,6 +40,16 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)) }
     }
 
+    /// Acquire the lock only if it is free right now, `parking_lot` style:
+    /// `Some(guard)` on success, `None` when another thread holds it.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: Some(p.into_inner()) }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Exclusive access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)

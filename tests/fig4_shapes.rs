@@ -11,6 +11,8 @@ fn utilization(name: &str, policy: PolicyKind, block: usize) -> f64 {
         PolicyKind::ReExpansion => SchedConfig::reexpansion(b.q(), block),
         PolicyKind::Restart => SchedConfig::restart(b.q(), block, block),
         PolicyKind::Basic => SchedConfig::basic(b.q(), block),
+        // Not part of Figure 4 — adaptive has no fixed block size to sweep.
+        PolicyKind::Adaptive => SchedConfig::adaptive(b.q()),
     };
     b.blocked_seq(cfg, Tier::Block).stats.simd_utilization()
 }

@@ -256,6 +256,82 @@ fn chase_lev_last_element_race_owner_vs_thief() {
 }
 
 #[test]
+fn steal_epoch_counts_exactly_the_successful_steals_under_storm() {
+    // The adaptive grain controller's input signal, tortured: three
+    // thieves hammer one owner while the owner interleaves pushes, pops
+    // and epoch polls. The epoch must (a) be monotone from the owner's
+    // seat, (b) never advance on owner pops or failed/empty steal
+    // attempts, and (c) land exactly on the number of successful steals —
+    // an over-count would make `Policy::Adaptive` reset its grain without
+    // a thief, an under-count would leave it coarse while being robbed.
+    const ITEMS: u64 = 60_000;
+    for seed in 1..=3u64 {
+        let w: Worker<u64> = Worker::new();
+        let stolen_cnt = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mut rng = 0xA5A5_5A5A_0000_0000u64 | seed;
+        let mut popped_cnt = 0u64;
+        let mut last_epoch = 0u64;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let st = w.stealer();
+                let (stolen_cnt, done) = (&stolen_cnt, &done);
+                s.spawn(move || loop {
+                    match st.steal() {
+                        Steal::Success(_) => {
+                            stolen_cnt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && st.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut next = 0u64;
+            while next < ITEMS {
+                let burst = 1 + xorshift(&mut rng) % 64;
+                for _ in 0..burst {
+                    if next == ITEMS {
+                        break;
+                    }
+                    w.push(next);
+                    next += 1;
+                }
+                let pops = xorshift(&mut rng) % 8;
+                for _ in 0..pops {
+                    if w.pop().is_some() {
+                        popped_cnt += 1;
+                    }
+                }
+                // The controller's poll, mid-storm: always monotone. (No
+                // comparison against the thieves' counter here — their
+                // Relaxed bookkeeping may lag the epoch bump — the exact
+                // equality is asserted at quiescence below.)
+                let e = w.steal_epoch();
+                assert!(e >= last_epoch, "seed {seed}: epoch went backwards ({last_epoch} -> {e})");
+                last_epoch = e;
+            }
+            while w.pop().is_some() {
+                popped_cnt += 1;
+            }
+            done.store(true, Ordering::Release);
+        });
+        let stolen = stolen_cnt.load(Ordering::Relaxed);
+        assert_eq!(popped_cnt + stolen, ITEMS, "seed {seed}: item lost or double-delivered");
+        assert_eq!(
+            w.steal_epoch(),
+            stolen,
+            "seed {seed}: epoch must count successful steals exactly — owner pops \
+             ({popped_cnt}) and failed races must not advance it"
+        );
+    }
+}
+
+#[test]
 fn shared_leveled_deque_steal_half_storm_conserves_tasks() {
     // Owner parks/merges/scans across many levels while thieves strip
     // whole levels with steal_half; total tasks across owner takes, thief
@@ -279,8 +355,19 @@ fn shared_leveled_deque_steal_half_storm_conserves_tasks() {
                             stolen.fetch_add(n as u64, Ordering::Relaxed);
                         }
                         None => {
-                            if done.load(Ordering::Acquire) && d.steal_half(8).is_none() {
-                                break;
+                            // The confirmation steal after `done` may itself
+                            // succeed (the first miss can be transient under
+                            // contention); its loot must be counted, not
+                            // dropped.
+                            if done.load(Ordering::Acquire) {
+                                match d.steal_half(8) {
+                                    Some(loot) => {
+                                        let n = loot.primary.len()
+                                            + loot.leftover.as_ref().map_or(0, TaskBlock::len);
+                                        stolen.fetch_add(n as u64, Ordering::Relaxed);
+                                    }
+                                    None => break,
+                                }
                             }
                             std::hint::spin_loop();
                         }

@@ -6,17 +6,22 @@
 use taskblocks::prelude::*;
 use taskblocks::suite::{all_benchmarks, benchmark_by_name, Scale, SchedulerKind, Tier};
 
-/// The satellite matrix: all four schedulers return identical reducers on
+/// The satellite matrix: all five schedulers return identical reducers on
 /// fib, nqueens and uts, for every policy family, on 1/2/4 threads.
 #[test]
-fn four_schedulers_agree_on_fib_nqueens_uts_across_policies_and_threads() {
+fn five_schedulers_agree_on_fib_nqueens_uts_across_policies_and_threads() {
     let q = 4;
     let (t_dfe, t_restart) = (64, 16);
     for name in ["fib", "nqueens", "uts"] {
         let b = benchmark_by_name(name, Scale::Tiny).expect("known benchmark");
         let reference = b.serial().outcome;
-        for policy in [PolicyKind::Basic, PolicyKind::ReExpansion, PolicyKind::Restart] {
-            let cfg = SchedConfig::restart(q, t_dfe, t_restart).with_policy(policy);
+        for policy in [PolicyKind::Basic, PolicyKind::ReExpansion, PolicyKind::Restart, PolicyKind::Adaptive]
+        {
+            // Adaptive carries no cutoffs to tune — its config is just Q.
+            let cfg = match policy {
+                PolicyKind::Adaptive => SchedConfig::adaptive(q),
+                _ => SchedConfig::restart(q, t_dfe, t_restart).with_policy(policy),
+            };
             // The sequential engine honours the policy exactly...
             let seq = b.blocked_seq(cfg, Tier::Block);
             assert_eq!(seq.outcome, reference, "{name}: seq under {policy:?} disagrees with serial");
@@ -29,6 +34,7 @@ fn four_schedulers_agree_on_fib_nqueens_uts_across_policies_and_threads() {
                     SchedulerKind::ReExpansion,
                     SchedulerKind::RestartSimplified,
                     SchedulerKind::RestartIdeal,
+                    SchedulerKind::Adaptive,
                 ] {
                     let got = b.blocked_par(&pool, cfg, kind, Tier::Block);
                     assert_eq!(
@@ -54,7 +60,8 @@ fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
             for tier in [Tier::Block, Tier::Soa, Tier::Simd] {
                 let reexp = SchedConfig::reexpansion(b.q(), t_dfe);
                 let restart = SchedConfig::restart(b.q(), t_dfe, t_r);
-                for (cfg, label) in [(reexp, "reexp"), (restart, "restart")] {
+                let adaptive = SchedConfig::adaptive(b.q());
+                for (cfg, label) in [(reexp, "reexp"), (restart, "restart"), (adaptive, "adaptive")] {
                     let got = b.blocked_seq(cfg, tier);
                     assert!(
                         got.outcome.matches(&want, tol),
@@ -68,8 +75,13 @@ fn every_benchmark_agrees_across_all_schedulers_and_tiers() {
                     SchedulerKind::ReExpansion,
                     SchedulerKind::RestartSimplified,
                     SchedulerKind::RestartIdeal,
+                    SchedulerKind::Adaptive,
                 ] {
-                    let cfg = if kind == SchedulerKind::ReExpansion { reexp } else { restart };
+                    let cfg = match kind {
+                        SchedulerKind::ReExpansion => reexp,
+                        SchedulerKind::Adaptive => adaptive,
+                        _ => restart,
+                    };
                     let got = b.blocked_par(&pool, cfg, kind, tier);
                     assert!(
                         got.outcome.matches(&want, tol),
@@ -95,6 +107,7 @@ fn task_counts_are_identical_across_schedulers() {
             SchedConfig::basic(b.q(), 256),
             SchedConfig::restart(b.q(), 256, 64),
             SchedConfig::restart(b.q(), 32, 32),
+            SchedConfig::adaptive(b.q()),
         ] {
             for tier in [Tier::Block, Tier::Soa] {
                 let got = b.blocked_seq(cfg, tier).stats.tasks_executed;

@@ -23,6 +23,13 @@
 //!   small slack: idle workers sweep continuously, so a few sweeps
 //!   straddle each window edge (counter bumped on one side, event drained
 //!   on the other).
+//! * adaptive: per victim worker `w`, the epochs consumed by `GrainReset`
+//!   events (`sum(arg where arg0 == w)`) never exceed `count(StealHit
+//!   where arg == w)` — every reset is backed by real successful steals of
+//!   that worker's jobs (each steal bumps the victim's epoch exactly once;
+//!   steals the worker never got around to observing make this `<=`, not
+//!   `==`). And on one worker there are no thieves at all, so a run must
+//!   record zero `GrainReset` events.
 //! * service: the `Park` job-id multiset equals the `Resume` job-id
 //!   multiset at quiescence (every parked frontier resumed), and
 //!   `count(Admit)` equals the summed per-tenant `admissions` counter.
@@ -176,6 +183,54 @@ fn traced_runs_reconcile_with_scheduler_counters() {
         attempts.abs_diff(delta.steal_attempts) <= 2 * 4 + 16,
         "steal-attempt events ({attempts}) drifted from the counter delta ({})",
         delta.steal_attempts
+    );
+    drop(pool);
+
+    // ---- Phase B2: adaptive grain control, steal-epoch accounting ------
+    let _ = tb_obs::drain_all();
+    let acfg = SchedConfig::adaptive(4).with_trace(true);
+    let pool = ThreadPool::new(4);
+    let out = run_scheduler(SchedulerKind::Adaptive, &Fib(22), acfg, Some(&pool));
+    assert_eq!(out.reducer, 17_711);
+    let tracks = tb_obs::drain_all();
+    assert_eq!(sum_args(&tracks, EventKind::Superstep), out.stats.tasks_executed);
+    for w in 0..4u64 {
+        let consumed: u64 = tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == EventKind::GrainReset && u64::from(e.arg0) == w)
+            .map(|e| e.arg)
+            .sum();
+        let hits = tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == EventKind::StealHit && e.arg == w)
+            .count() as u64;
+        assert!(
+            consumed <= hits,
+            "worker {w}: grain resets consumed {consumed} epochs but thieves only \
+             landed {hits} steals on it — a reset without a thief"
+        );
+    }
+    // Every grown grain stays inside the controller's envelope: strictly
+    // above Q (a grow always doubles at least) and never past the cap.
+    let cap = 4u64 << 10;
+    for e in tracks.iter().flat_map(|t| &t.events).filter(|e| e.kind == EventKind::GrainGrow) {
+        assert!(e.arg > 4 && e.arg <= cap, "GrainGrow published grain {} outside (Q, cap]", e.arg);
+    }
+    drop(pool);
+
+    // A lone worker is never stolen from: its grain must only ever grow.
+    let _ = tb_obs::drain_all();
+    let pool = ThreadPool::new(1);
+    let out = run_scheduler(SchedulerKind::Adaptive, &Fib(20), acfg, Some(&pool));
+    assert_eq!(out.reducer, 6_765);
+    let tracks = tb_obs::drain_all();
+    assert_eq!(sum_args(&tracks, EventKind::Superstep), out.stats.tasks_executed);
+    assert_eq!(
+        count(&tracks, EventKind::GrainReset),
+        0,
+        "one worker has no thieves — the grain must never reset"
     );
     drop(pool);
 
