@@ -48,9 +48,26 @@
 //! old sort-based percentiles (~6% bucket error, irrelevant at the
 //! millisecond magnitudes reported here).
 //!
+//! Since PR 10 the document also carries a `"shard_family"` section: the
+//! same mixed-overhead question asked of `ShardedRuntime` — a fixed total
+//! worker budget (4) split 1×4 / 2×2 / 4×1 shards, 8 closed-loop clients
+//! hammering tiny `spec fib(10)` jobs through the shedding try-submit
+//! path, reps interleaved across shard counts (the spec-family idiom —
+//! host drift cancels), medians over `max(--reps, 5)`:
+//!
+//! ```json
+//! "shard_family": [
+//!   { "shards": 1, "workers_per_shard": 4, "clients": 8, "jobs": 1200,
+//!     "wall_s": 0.8, "jobs_per_sec": 1500.0, "p50_us": 900, "p99_us": 4800,
+//!     "shed": 0, "rejected": 0 },
+//!   ...
+//! ]
+//! ```
+//!
 //! Flags: `--clients N` (default 4), `--jobs N` per client (default 25),
 //! `--pool N` workers (default: available parallelism), `--inflight N`
-//! (default 8 × pool), `--scale`, `--tag` (default PR3), `--file PATH`,
+//! (default 8 × pool), `--shards N` (cap the shard family, default 4),
+//! `--scale`, `--tag` (default PR3), `--file PATH`,
 //! `--smoke` (tiny scale, 2 jobs/client, skip the pinned grid, write under
 //! `results/`). Every job's reduction is verified against the workload's
 //! known answer, smoke or not, and the run aborts if the segmented
@@ -64,7 +81,8 @@ use tb_bench::traj::{self, RunRow};
 use tb_bench::HarnessArgs;
 use tb_core::prelude::*;
 use tb_obs::LogHistogram;
-use tb_service::{Runtime, RuntimeConfig, TenantSpec};
+use tb_service::{PlacementPolicy, Runtime, RuntimeConfig, ShardConfig, ShardedRuntime, TenantSpec};
+use tb_spec::SpecTier;
 use tb_suite::jobs::{FibJob, NQueensJob, UtsJob};
 use tb_suite::Scale;
 
@@ -74,6 +92,8 @@ struct ServiceArgs {
     jobs_per_client: usize,
     pool: usize,
     inflight: Option<usize>,
+    /// Largest shard count in the `shard_family` sweep (1/2/4, capped here).
+    shards: usize,
     reps: usize,
     tag: String,
     /// Was `--tag` given explicitly? Guards committed baselines against
@@ -91,6 +111,7 @@ impl ServiceArgs {
             jobs_per_client: 25,
             pool: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             inflight: None,
+            shards: 4,
             reps: 3,
             tag: "PR3".to_string(),
             tag_explicit: false,
@@ -116,6 +137,10 @@ impl ServiceArgs {
                 "--inflight" => {
                     i += 1;
                     a.inflight = Some(argv[i].parse().expect("--inflight N"));
+                }
+                "--shards" => {
+                    i += 1;
+                    a.shards = argv[i].parse().expect("--shards N");
                 }
                 "--reps" => {
                     i += 1;
@@ -194,6 +219,153 @@ fn submit_one(rt: &Runtime, scale: Scale, slot: usize) -> (&'static str, tb_serv
             ("fib/seq", rt.submit(job, SchedConfig::basic(16, 1 << 10), SchedulerKind::Seq), want)
         }
     }
+}
+
+/// One measured configuration of the shard family sweep.
+struct ShardRow {
+    shards: usize,
+    workers_per_shard: usize,
+    clients: usize,
+    jobs: usize,
+    wall_s: f64,
+    jobs_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    shed: u64,
+    rejected: u64,
+}
+
+/// The shard family's fixed worker budget: every configuration splits the
+/// same 4 workers (1×4, 2×2, 4×1), so jobs/sec differences come from the
+/// submission-path contention the split removes, not from extra CPU.
+const FAMILY_WORKERS: usize = 4;
+/// Fixed total admission window, split evenly across shards, so the family
+/// compares contention — not capacity.
+const FAMILY_INFLIGHT: usize = 32;
+const FAMILY_FIB_SRC: &str =
+    "spec fib(n) { base (n < 2) { reduce n; } else { spawn fib(n - 1); spawn fib(n - 2); } }";
+const FAMILY_FIB_N: i64 = 10;
+const FAMILY_FIB_WANT: i64 = 55;
+
+/// One rep of one family configuration: closed-loop clients pushing tiny
+/// spec jobs through the shedding try-submit path (the same path `tb-server`
+/// uses), spin-retrying on rejection so every job eventually lands.
+fn shard_family_rep(shards: usize, clients: usize, jobs_per_client: usize) -> ShardRow {
+    let per = RuntimeConfig {
+        threads: FAMILY_WORKERS / shards,
+        max_inflight: FAMILY_INFLIGHT / shards,
+        max_parked: 0,
+        fifo: false,
+    };
+    let rt = ShardedRuntime::with_config(ShardConfig {
+        shards: vec![per; shards],
+        policy: PlacementPolicy::LeastLoaded,
+    });
+    // One bench tenant with a constant pending bound regardless of the
+    // shard split (the default tenant's bound tracks per-shard capacity,
+    // which would hand narrow-shard configs a smaller admission window).
+    let tenant = rt.register_tenant(TenantSpec::new("bench", FAMILY_INFLIGHT));
+
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let rt = rt.clone();
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(jobs_per_client);
+                    for _ in 0..jobs_per_client {
+                        let j0 = Instant::now();
+                        let mut call = vec![FAMILY_FIB_N];
+                        let handle = loop {
+                            match rt.try_submit_spec_tier_as(
+                                tenant,
+                                FAMILY_FIB_SRC,
+                                call,
+                                SchedConfig::restart(8, 1 << 10, 64),
+                                SchedulerKind::RestartSimplified,
+                                SpecTier::Auto,
+                            ) {
+                                Ok(h) => break h,
+                                Err(back) => {
+                                    call = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        };
+                        let got = handle.wait().expect("family spec job failed");
+                        assert_eq!(got, FAMILY_FIB_WANT, "fib(10) under shard family load");
+                        lats.push(j0.elapsed().as_secs_f64());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("family client panicked")).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut hist = LogHistogram::new();
+    for lat in latencies.into_iter().flatten() {
+        hist.record((lat * 1e9) as u64);
+    }
+    let jobs = hist.count() as usize;
+    assert_eq!(jobs, clients * jobs_per_client);
+
+    // The family must leave clean books: every placed-or-shed job completed,
+    // no booking abandoned, no gate slot leaked.
+    let snap = rt.snapshot();
+    let p = snap.placement;
+    assert_eq!(p.placed + p.shed, p.completed, "family run leaves placement books balanced");
+    assert_eq!(p.abandoned, 0);
+    assert_eq!(snap.gate_slots_held(), 0, "family run leaks no gate slots");
+    assert_eq!(snap.completed() as usize, jobs);
+
+    ShardRow {
+        shards,
+        workers_per_shard: FAMILY_WORKERS / shards,
+        clients,
+        jobs,
+        wall_s,
+        jobs_per_sec: jobs as f64 / wall_s,
+        p50_us: hist.quantile(0.50) / 1_000,
+        p99_us: hist.quantile(0.99) / 1_000,
+        shed: p.shed,
+        rejected: p.rejected,
+    }
+}
+
+/// Sweep shard counts 1/2/4 (capped at `max_shards`), `reps` reps each,
+/// keeping the median row by jobs/sec.
+fn run_shard_family(max_shards: usize, clients: usize, jobs_per_client: usize, reps: usize) -> Vec<ShardRow> {
+    let family: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&s| s <= max_shards).collect();
+    // Reps are interleaved across shard counts (1,2,4,1,2,4,…) and the
+    // rotation offset shifts each round, the spec-family idiom: host-speed
+    // drift lands on every configuration equally instead of biasing
+    // whichever one happened to run during the slow minutes.
+    let mut samples: Vec<Vec<ShardRow>> = family.iter().map(|_| Vec::new()).collect();
+    for rep in 0..reps.max(1) {
+        for slot in 0..family.len() {
+            let idx = (slot + rep) % family.len();
+            samples[idx].push(shard_family_rep(family[idx], clients, jobs_per_client));
+        }
+    }
+    let mut rows = Vec::new();
+    for mut reps_rows in samples {
+        reps_rows.sort_by(|a, b| a.jobs_per_sec.total_cmp(&b.jobs_per_sec));
+        let row = reps_rows.remove(reps_rows.len() / 2);
+        println!(
+            "shard family: {}x{} -> {:.1} jobs/s (p50 {}us, p99 {}us, shed {}, rejected {})",
+            row.shards,
+            row.workers_per_shard,
+            row.jobs_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.shed,
+            row.rejected,
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 fn main() {
@@ -394,6 +566,14 @@ fn main() {
         adv_stats.preemptions, adv_stats.resumes,
     );
 
+    // ---- shard family: fixed worker budget, split 1/2/4 ways ------------
+    println!();
+    let family_jobs = if args.smoke { 8 } else { 400 };
+    // The family phase is cheap (~50ms per sample), so it can afford more
+    // reps than the pinned grid; 5 medians flatten this host's drift.
+    let family_reps = if args.smoke { 1 } else { args.reps.max(5) };
+    let family_rows = run_shard_family(args.shards, 8, family_jobs, family_reps);
+
     // ---- pinned grid (skipped in smoke: `trajectory --smoke` covers it) --
     let runs: Vec<RunRow> = if args.smoke {
         Vec::new()
@@ -469,7 +649,28 @@ fn main() {
         "    \"dropped_events\": {}, \"trace_bytes\": {}",
         adv_stats.dropped_events, adv_stats.trace_bytes
     );
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"shard_family\": [");
+    for (i, r) in family_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {}, \"workers_per_shard\": {}, \"clients\": {}, \"jobs\": {}, \
+             \"wall_s\": {:.6}, \"jobs_per_sec\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"shed\": {}, \"rejected\": {} }}{}",
+            r.shards,
+            r.workers_per_shard,
+            r.clients,
+            r.jobs,
+            r.wall_s,
+            r.jobs_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.shed,
+            r.rejected,
+            if i + 1 == family_rows.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
     let path = args.out_path();

@@ -42,7 +42,7 @@ mod tentative;
 pub use injector::InjectorMetrics;
 pub use metrics::PoolMetrics;
 pub use per_worker::PerWorker;
-pub use pool::{ThreadPool, WorkerCtx};
+pub use pool::{PoolLoad, ThreadPool, WorkerCtx};
 pub use tentative::Resolved;
 
 #[cfg(test)]

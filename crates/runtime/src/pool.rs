@@ -209,6 +209,33 @@ impl ThreadPool {
     pub fn metrics(&self) -> PoolMetrics {
         self.shared.merged_metrics()
     }
+
+    /// A point-in-time load probe of this pool, cheap enough to call on
+    /// every placement decision: the injector depth (queued, unclaimed
+    /// jobs) and the number of workers currently awake. Both readings are
+    /// racy snapshots — they order placement *preferences* across pools,
+    /// they are not admission bounds (those live in `tb-service`'s gates).
+    pub fn load(&self) -> PoolLoad {
+        let sleepers = self.shared.sleepers.load(Ordering::Relaxed).min(self.threads);
+        PoolLoad {
+            injector_depth: self.shared.injector.len(),
+            active_workers: self.threads - sleepers,
+            threads: self.threads,
+        }
+    }
+}
+
+/// What [`ThreadPool::load`] reports: the per-pool load signals a
+/// multi-pool placement layer ranks siblings by.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolLoad {
+    /// Jobs queued in the injector, not yet claimed by a worker.
+    pub injector_depth: usize,
+    /// Workers currently awake (running or stealing, i.e. not parked on
+    /// the sleep condvar).
+    pub active_workers: usize,
+    /// Total workers in the pool.
+    pub threads: usize,
 }
 
 impl Drop for ThreadPool {

@@ -1,0 +1,162 @@
+//! `tb-server` — the line-delimited TCP front-end over a sharded runtime.
+//!
+//! Subcommands:
+//!
+//! * `serve  [--addr A] [--shards N] [--threads N] [--policy affinity|least-loaded]`
+//!   — bind and serve until a wire `SHUTDOWN` request drains it.
+//! * `client --addr A <request line>` — send one request, print the
+//!   (unescaped) response. Handy without netcat.
+//! * `smoke` — self-contained CI check: start a server on an ephemeral
+//!   loopback port, submit one good spec job and one malformed line,
+//!   assert `OK`/`ERR`, then drain and join cleanly.
+
+use std::process::ExitCode;
+
+use tb_service::wire::{client_roundtrip, unescape_line, WireServer};
+use tb_service::{PlacementPolicy, ShardConfig, ShardedRuntime};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tb-server serve [--addr A] [--shards N] [--threads N] [--policy affinity|least-loaded]\n\
+         \x20      tb-server client --addr A <request line>\n\
+         \x20      tb-server smoke"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some("smoke") => smoke(),
+        _ => usage(),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let addr = match parse_flag(args, "--addr", "127.0.0.1:7077".to_string()) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let shards = match parse_flag(args, "--shards", 2usize) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => return fail("--shards must be >= 1"),
+        Err(e) => return fail(&e),
+    };
+    let threads = match parse_flag(args, "--threads", 2usize) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => return fail("--threads must be >= 1"),
+        Err(e) => return fail(&e),
+    };
+    let policy = match parse_flag(args, "--policy", "affinity".to_string()) {
+        Ok(p) => match p.as_str() {
+            "affinity" => PlacementPolicy::Affinity,
+            "least-loaded" => PlacementPolicy::LeastLoaded,
+            other => return fail(&format!("bad --policy {other:?}")),
+        },
+        Err(e) => return fail(&e),
+    };
+
+    let rt = ShardedRuntime::with_config(ShardConfig::uniform(shards, threads).policy(policy));
+    let server = match WireServer::bind(addr.as_str(), rt) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bind {addr}: {e}")),
+    };
+    eprintln!(
+        "tb-server listening on {} ({} shard(s) x {} worker(s), {:?} placement)",
+        server.local_addr(),
+        shards,
+        threads,
+        policy
+    );
+    server.spawn().join();
+    eprintln!("tb-server drained");
+    ExitCode::SUCCESS
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let addr = match parse_flag(args, "--addr", String::new()) {
+        Ok(a) if !a.is_empty() => a,
+        Ok(_) => return fail("client needs --addr"),
+        Err(e) => return fail(&e),
+    };
+    // The request is everything after the --addr pair, joined back up.
+    let skip = args.iter().position(|a| a == "--addr").map(|i| i + 2).unwrap_or(0);
+    let line = args[skip..].join(" ");
+    if line.is_empty() {
+        return fail("client needs a request line");
+    }
+    match client_roundtrip(addr.as_str(), &[line.as_str()]) {
+        Ok(responses) => {
+            for r in responses {
+                println!("{}", unescape_line(&r));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{addr}: {e}")),
+    }
+}
+
+/// CI smoke: one good job must come back `OK` with the right value, one
+/// malformed line must come back `ERR`, and shutdown must drain cleanly.
+fn smoke() -> ExitCode {
+    const FIB: &str =
+        "spec fib(n) { base (n < 2) { reduce n; } else { spawn fib(n - 1); spawn fib(n - 2); } }";
+
+    let rt = ShardedRuntime::with_config(ShardConfig::uniform(2, 1));
+    let server = match WireServer::bind("127.0.0.1:0", rt) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bind: {e}")),
+    };
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let good = format!("SUBMIT default auto [20] {FIB}");
+    let responses = match client_roundtrip(addr, &[good.as_str(), "SUBMIT default warp [20] nope"]) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("smoke round-trip: {e}")),
+    };
+    let [ok, err] = &responses[..] else {
+        return fail(&format!("expected 2 responses, got {responses:?}"));
+    };
+    if !ok.starts_with("OK ") || !ok.ends_with(" 6765") {
+        return fail(&format!("expected `OK <id> 6765`, got {ok:?}"));
+    }
+    if !err.starts_with("ERR ") {
+        return fail(&format!("expected `ERR ...` for the malformed line, got {err:?}"));
+    }
+
+    // A caret diagnostic must also travel as a single escaped ERR line.
+    let bad_spec = "SUBMIT default auto [3] spec f(n) { base (n < 2) { reduce n; } else { oops; } }";
+    match client_roundtrip(addr, &[bad_spec]) {
+        Ok(r) if r.len() == 1 && r[0].starts_with("ERR ") && !r[0].contains('\n') => {}
+        Ok(r) => return fail(&format!("expected one-line ERR for bad spec, got {r:?}")),
+        Err(e) => return fail(&format!("bad-spec round-trip: {e}")),
+    }
+
+    match client_roundtrip(addr, &["SHUTDOWN"]) {
+        Ok(r) if r.len() == 1 && r[0].starts_with("OK ") => {}
+        Ok(r) => return fail(&format!("expected `OK <id> draining`, got {r:?}")),
+        Err(e) => return fail(&format!("shutdown round-trip: {e}")),
+    }
+    handle.join();
+    println!("tb-server smoke: OK ({addr} served, drained, joined)");
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tb-server: {msg}");
+    ExitCode::FAILURE
+}

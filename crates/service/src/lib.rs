@@ -114,10 +114,16 @@ mod gate;
 mod handle;
 mod runtime;
 pub mod sched;
+pub mod shard;
+pub mod wire;
 
 pub use bulk::BulkHandle;
 pub use handle::{JobError, JobHandle};
-pub use runtime::{Runtime, RuntimeConfig, ServiceStats, DEFAULT_TENANT};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeLoad, ServiceStats, DEFAULT_TENANT};
 pub use sched::{
     Action, AdmissionPolicy, JobId, JobPhase, SchedCore, TenantCounters, TenantId, TenantSnapshot, TenantSpec,
+};
+pub use shard::{
+    affinity_shard, Placement, PlacementCore, PlacementCounters, PlacementPolicy, ShardConfig, ShardId,
+    ShardSnapshot, ShardedRuntime,
 };

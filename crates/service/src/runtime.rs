@@ -14,7 +14,9 @@ use tb_spec::{compile, parse_spec, CompiledSpec, SpecCode, SpecTier, VectorSpec}
 
 use crate::bulk::{adaptive_chunk_len, BulkCore, BulkHandle};
 use crate::handle::{JobCore, JobError, JobHandle};
-use crate::sched::{Admission, AdmissionPolicy, JobId, PreemptFlag, TenantId, TenantSnapshot, TenantSpec};
+use crate::sched::{
+    Admission, AdmissionPolicy, FinishObserver, JobId, PreemptFlag, TenantId, TenantSnapshot, TenantSpec,
+};
 
 /// The tenant every runtime is born with; tenant-unaware entry points
 /// ([`Runtime::submit`], [`Runtime::submit_fn`], [`Runtime::submit_bulk`],
@@ -102,6 +104,33 @@ pub struct ServiceStats {
     /// Bytes of trace events recorded process-wide (`tb_obs`); 0 when
     /// tracing is disabled.
     pub trace_bytes: u64,
+}
+
+/// What [`Runtime::load`] reports: the signals a placement layer ranks
+/// sibling runtimes by. All readings are racy snapshots — preferences,
+/// not bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeLoad {
+    /// Jobs queued in the pool's injector, not yet claimed by a worker.
+    pub injector_depth: usize,
+    /// Pool workers currently awake.
+    pub active_workers: usize,
+    /// Total pool workers.
+    pub threads: usize,
+    /// Jobs occupying pool slots (running or preempting).
+    pub running: usize,
+    /// Jobs admitted past their gate but waiting for a pool slot.
+    pub waiting: usize,
+    /// Preempted jobs currently swapped out.
+    pub parked: usize,
+}
+
+impl RuntimeLoad {
+    /// The scalar a placement layer compares siblings by: queued work
+    /// (injector + admission queue) plus work in flight.
+    pub fn depth(&self) -> usize {
+        self.injector_depth + self.waiting + self.running
+    }
 }
 
 #[derive(Default)]
@@ -260,6 +289,31 @@ impl Runtime {
     /// Jobs queued in the pool's injector, not yet claimed by a worker.
     pub fn pending_jobs(&self) -> usize {
         self.inner.pool.pending_jobs()
+    }
+
+    /// A cheap point-in-time load probe of this runtime, for placement
+    /// across sibling runtimes ([`crate::shard::ShardedRuntime`]): the
+    /// pool's injector depth and awake-worker count plus the admission
+    /// scheduler's queue depths. Two mutex acquisitions, no allocation —
+    /// orders of magnitude lighter than [`Runtime::stats`].
+    pub fn load(&self) -> RuntimeLoad {
+        let pool = self.inner.pool.load();
+        let (running, waiting, parked, _) = self.inner.admission.queue_depths();
+        RuntimeLoad {
+            injector_depth: pool.injector_depth,
+            active_workers: pool.active_workers,
+            threads: pool.threads,
+            running,
+            waiting,
+            parked,
+        }
+    }
+
+    /// Install the per-completion observer (see
+    /// [`crate::sched::FinishObserver`]); called once by the sharded
+    /// front-end that owns this runtime.
+    pub(crate) fn set_finish_observer(&self, f: FinishObserver) {
+        self.inner.admission.set_finish_observer(f);
     }
 
     /// Lifetime counters snapshot.
@@ -520,29 +574,90 @@ impl Runtime {
         kind: SchedulerKind,
         tier: SpecTier,
     ) -> JobHandle<i64> {
-        let code = match self.compile_cached(source) {
+        self.submit_spec_foreach_tier_as(DEFAULT_TENANT, source, calls, cfg, kind, tier)
+    }
+
+    /// [`Runtime::submit_spec_foreach_tier`] on behalf of a registered
+    /// tenant: the submission passes `tenant`'s gate and is scheduled
+    /// under its weight and priority. Parse/validate/arity failures
+    /// complete the handle with [`JobError::Rejected`] without consuming
+    /// a gate slot.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn submit_spec_foreach_tier_as(
+        &self,
+        tenant: TenantId,
+        source: &str,
+        calls: Vec<Vec<i64>>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: SpecTier,
+    ) -> JobHandle<i64> {
+        let code = match self.validate_spec(source, &calls) {
             Ok(code) => code,
-            Err(diag) => return self.reject(diag),
+            Err(diag) => return self.reject(tenant, diag),
         };
+        self.inner.admission.gate(tenant).acquire();
+        self.spawn_spec_admitted(tenant, code, calls, cfg, kind, tier)
+    }
+
+    /// Like [`Runtime::submit_spec_foreach_tier_as`], but sheds load
+    /// instead of blocking: when `tenant` is at its pending bound the root
+    /// calls are handed back unchanged. A source that fails to
+    /// parse/validate still returns `Ok` with a handle completed as
+    /// [`JobError::Rejected`] — `Err` means *capacity*, nothing else.
+    ///
+    /// # Panics
+    /// If `tenant` was never registered.
+    pub fn try_submit_spec_foreach_tier_as(
+        &self,
+        tenant: TenantId,
+        source: &str,
+        calls: Vec<Vec<i64>>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: SpecTier,
+    ) -> Result<JobHandle<i64>, Vec<Vec<i64>>> {
+        let code = match self.validate_spec(source, &calls) {
+            Ok(code) => code,
+            Err(diag) => return Ok(self.reject(tenant, diag)),
+        };
+        if !self.inner.admission.gate(tenant).try_acquire() {
+            return Err(calls);
+        }
+        Ok(self.spawn_spec_admitted(tenant, code, calls, cfg, kind, tier))
+    }
+
+    /// Compile `source` (cached) and check every root call's arity.
+    fn validate_spec(&self, source: &str, calls: &[Vec<i64>]) -> Result<Arc<SpecCode>, String> {
+        let code = self.compile_cached(source)?;
         if let Some(bad) = calls.iter().find(|c| c.len() != code.params()) {
-            return self.reject(format!(
+            return Err(format!(
                 "root call supplies {} args, method {} has {} params",
                 bad.len(),
                 code.name(),
                 code.params()
             ));
         }
-        self.inner.admission.gate(DEFAULT_TENANT).acquire();
+        Ok(code)
+    }
+
+    /// Dispatch validated, gated spec code at `tier`.
+    fn spawn_spec_admitted(
+        &self,
+        tenant: TenantId,
+        code: Arc<SpecCode>,
+        calls: Vec<Vec<i64>>,
+        cfg: SchedConfig,
+        kind: SchedulerKind,
+        tier: SpecTier,
+    ) -> JobHandle<i64> {
         // arg0 = effective lane width (1 = scalar tier), arg = root calls.
         tb_obs::record(EventKind::SpecDispatch, tier.lane_width().max(1) as u32, calls.len() as u64);
         match tier.lane_width() {
-            0 | 1 => self.spawn_admitted_as(DEFAULT_TENANT, CompiledSpec::from_code(code, &calls), cfg, kind),
-            q => self.spawn_admitted_as(
-                DEFAULT_TENANT,
-                VectorSpec::from_code_with_width(code, &calls, q),
-                cfg,
-                kind,
-            ),
+            0 | 1 => self.spawn_admitted_as(tenant, CompiledSpec::from_code(code, &calls), cfg, kind),
+            q => self.spawn_admitted_as(tenant, VectorSpec::from_code_with_width(code, &calls, q), cfg, kind),
         }
     }
 
@@ -562,11 +677,14 @@ impl Runtime {
     }
 
     /// A handle pre-completed with [`JobError::Rejected`]; the job never
-    /// existed as far as the scheduler and the pool are concerned.
-    fn reject<R>(&self, diagnostic: impl std::fmt::Display) -> JobHandle<R> {
+    /// existed as far as the scheduler and the pool are concerned. The
+    /// finish observer still fires — a placement layer that booked this
+    /// submission must see it retire.
+    fn reject<R>(&self, tenant: TenantId, diagnostic: impl std::fmt::Display) -> JobHandle<R> {
         self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
         let core = Arc::new(JobCore::new());
         core.complete(Err(JobError::rejected(diagnostic)));
+        self.inner.admission.notify_rejected(tenant);
         JobHandle::new(core)
     }
 

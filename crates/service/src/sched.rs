@@ -604,6 +604,13 @@ enum Candidate {
 /// A stored job body: what the pool runs when the scheduler admits it.
 pub(crate) type ReadyJob = Box<dyn FnOnce(&WorkerCtx<'_>) + Send>;
 
+/// Installed by a multi-pool front-end ([`crate::shard::ShardedRuntime`])
+/// to observe every job completion on this runtime (the tenant whose job
+/// just finished). Called *outside* the scheduler's state lock and after
+/// the tenant's gate slot is released, so the observer may take its own
+/// locks (the placement core's) without ordering hazards.
+pub(crate) type FinishObserver = Box<dyn Fn(TenantId) + Send + Sync>;
+
 /// The flag a running preemptible job polls at superstep boundaries.
 pub(crate) type PreemptFlag = Arc<AtomicBool>;
 
@@ -638,6 +645,9 @@ pub(crate) struct Admission {
     /// (not inside `state`) so gate waits never hold the scheduler state;
     /// the hot path only clones an `Arc` out of the vector.
     gates: Mutex<Vec<Arc<Gate>>>,
+    /// Completion hook for a multi-pool front-end; set at most once, at
+    /// construction time of the owning `ShardedRuntime`.
+    finish_observer: std::sync::OnceLock<FinishObserver>,
 }
 
 impl Admission {
@@ -650,7 +660,14 @@ impl Admission {
                 admit_hists: Vec::new(),
             }),
             gates: Mutex::new(Vec::new()),
+            finish_observer: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Install the completion observer. Panics if one is already set —
+    /// two placement layers bookkeeping one runtime is a construction bug.
+    pub(crate) fn set_finish_observer(&self, f: FinishObserver) {
+        assert!(self.finish_observer.set(f).is_ok(), "finish observer already installed");
     }
 
     pub(crate) fn add_tenant(&self, spec: TenantSpec) -> TenantId {
@@ -704,8 +721,20 @@ impl Admission {
         };
         if let Some(tenant) = tenant {
             self.gate(tenant).release();
+            if let Some(observe) = self.finish_observer.get() {
+                observe(tenant);
+            }
         }
         ready
+    }
+
+    /// Run the finish observer for a job that never entered the scheduler
+    /// (a spec submission rejected before its gate was acquired): the
+    /// placement layer booked the submission and must still see it retire.
+    pub(crate) fn notify_rejected(&self, tenant: TenantId) {
+        if let Some(observe) = self.finish_observer.get() {
+            observe(tenant);
+        }
     }
 
     /// Job `id` honoured its preempt flag: its frontier (holding `tasks`

@@ -1,0 +1,344 @@
+//! The deterministic placement test rig: `PlacementCore` is a pure,
+//! thread-free state machine (the sharding counterpart of `SchedCore`), so
+//! every property of the placement discipline — affinity stability,
+//! least-loaded tie-breaking, the shed-then-reject overflow order,
+//! load-report staleness, and the placed/shed/rejected conservation
+//! invariant — is asserted here by *scripting* submit/complete/load-report
+//! event sequences against the core's virtual clock and reading back exact
+//! `Placement` outcomes. No threads, no sleeps, no timing assumptions: a
+//! failure reproduces identically on every run.
+
+use tb_service::shard::STALE_AFTER;
+use tb_service::{affinity_shard, Placement, PlacementCore, PlacementPolicy, ShardId, TenantId};
+
+/// A core with `shards` identical shards of `capacity` bookings each.
+fn core(policy: PlacementPolicy, shards: usize, capacity: usize) -> PlacementCore {
+    let mut core = PlacementCore::new(policy);
+    for _ in 0..shards {
+        core.add_shard(capacity);
+    }
+    core
+}
+
+/// Assert the conservation invariant from the counters alone.
+fn assert_conserved(core: &PlacementCore) {
+    let c = core.counters();
+    assert_eq!(
+        c.submitted,
+        c.placed + c.shed + c.rejected,
+        "every submit retires as exactly one of placed/shed/rejected: {c:?}"
+    );
+    assert_eq!(
+        core.pending_total() as u64,
+        c.placed + c.shed - c.completed - c.abandoned,
+        "outstanding bookings are placements minus retirements: {c:?}"
+    );
+}
+
+#[test]
+fn affinity_is_stable_and_submission_independent() {
+    // The home shard is a pure function of (tenant, shard count): the same
+    // tenant lands on the same shard no matter how many jobs anyone has
+    // submitted in between, and the public hash predicts every placement.
+    let mut core = core(PlacementPolicy::Affinity, 4, 1_000);
+    let tenants: Vec<TenantId> = (0..12).map(|_| core.add_tenant(1_000)).collect();
+    let homes: Vec<ShardId> = tenants.iter().map(|&t| affinity_shard(t, 4)).collect();
+
+    for round in 0..50 {
+        for (i, &t) in tenants.iter().enumerate() {
+            assert_eq!(
+                core.submit(t),
+                Placement::Placed(homes[i]),
+                "tenant {t} must stay on its home shard (round {round})"
+            );
+        }
+    }
+    // The hash actually spreads: 12 tenants over 4 shards must not pile
+    // onto one shard (a degenerate hash would defeat sharding entirely).
+    let mut per_shard = [0usize; 4];
+    for &h in &homes {
+        per_shard[h as usize] += 1;
+    }
+    assert!(per_shard.iter().all(|&n| n >= 1), "12 tenants left a shard unused: {per_shard:?}");
+    assert_conserved(&core);
+}
+
+#[test]
+fn least_loaded_breaks_ties_to_the_lowest_shard() {
+    // Equal loads: shard 0 wins. Each booking then tips the ranking, so an
+    // idle core round-robins 0,1,2 — and completions re-open the tie in
+    // favour of the lowest id again.
+    let mut core = core(PlacementPolicy::LeastLoaded, 3, 100);
+    let t = core.add_tenant(100);
+    assert_eq!(core.submit(t), Placement::Placed(0), "empty core: tie to lowest id");
+    assert_eq!(core.submit(t), Placement::Placed(1));
+    assert_eq!(core.submit(t), Placement::Placed(2));
+    assert_eq!(core.submit(t), Placement::Placed(0), "all equal again: tie to lowest id");
+
+    core.complete(1, t);
+    core.complete(2, t);
+    // Loads now 2,0,0 — shard 1 beats shard 2 on id.
+    assert_eq!(core.submit(t), Placement::Placed(1));
+    assert_conserved(&core);
+}
+
+#[test]
+fn overflow_sheds_to_least_loaded_sibling_then_rejects() {
+    // Capacity 2 per shard. The preferred shard fills first (placed), then
+    // overflow sheds — to the *least-loaded* sibling each time — and only
+    // with every shard full does the core reject. Strict order:
+    // placed*, shed*, rejected*.
+    let mut core = core(PlacementPolicy::Affinity, 3, 2);
+    let t = core.add_tenant(100);
+    let home = affinity_shard(t, 3);
+
+    let outcomes: Vec<Placement> = (0..8).map(|_| core.submit(t)).collect();
+    assert_eq!(outcomes[0], Placement::Placed(home));
+    assert_eq!(outcomes[1], Placement::Placed(home), "home has capacity 2");
+    // Four sheds fill the two siblings, least-loaded first (ties by id).
+    let siblings: Vec<ShardId> = (0..3).filter(|&s| s != home).collect();
+    assert_eq!(outcomes[2], Placement::Shed { from: home, to: siblings[0] });
+    assert_eq!(outcomes[3], Placement::Shed { from: home, to: siblings[1] }, "second shed balances");
+    assert_eq!(outcomes[4], Placement::Shed { from: home, to: siblings[0] });
+    assert_eq!(outcomes[5], Placement::Shed { from: home, to: siblings[1] });
+    // Everything is full: reject, repeatably.
+    assert_eq!(outcomes[6], Placement::Rejected);
+    assert_eq!(outcomes[7], Placement::Rejected);
+
+    let c = core.counters();
+    assert_eq!((c.placed, c.shed, c.rejected), (2, 4, 2));
+    assert_conserved(&core);
+
+    // One completion on the home shard re-opens it: the next submit is
+    // placed (preferred again), not shed.
+    core.complete(home, t);
+    assert_eq!(core.submit(t), Placement::Placed(home));
+    assert_conserved(&core);
+}
+
+#[test]
+fn per_tenant_bound_sheds_even_with_shard_capacity_to_spare() {
+    // Shard capacity 8 but the tenant's own per-shard bound is 1: the
+    // second job sheds (its home shard has room, just not for *it*), and
+    // the third — with its bound met on every shard — rejects while both
+    // shards still have seven free slots.
+    let mut core = core(PlacementPolicy::Affinity, 2, 8);
+    let t = core.add_tenant(1);
+    let home = affinity_shard(t, 2);
+    let sibling = 1 - home;
+
+    assert_eq!(core.submit(t), Placement::Placed(home));
+    assert_eq!(core.submit(t), Placement::Shed { from: home, to: sibling });
+    assert_eq!(core.submit(t), Placement::Rejected);
+    assert!(core.pending(home) < 8 && core.pending(sibling) < 8);
+
+    // Another tenant with a roomier bound is unaffected by the first
+    // tenant's exhaustion: per-tenant bounds are per-tenant.
+    let u = core.add_tenant(8);
+    assert_eq!(core.submit(u), Placement::Placed(affinity_shard(u, 2)));
+    assert_conserved(&core);
+}
+
+#[test]
+fn fresh_reports_bias_ranking_and_stale_reports_do_not() {
+    // A report makes a shard look busy (pending + reported depth); after
+    // STALE_AFTER core events it expires and the ranking falls back to the
+    // core's own exact pending counts — a shard that stopped reporting is
+    // judged by facts, not by its last word.
+    let mut core = core(PlacementPolicy::LeastLoaded, 2, 1_000);
+    let t = core.add_tenant(1_000);
+
+    core.load_report(0, 90, 10); // shard 0 claims depth 100
+    assert_eq!(core.load(0), 100);
+    assert_eq!(core.load(1), 0);
+    assert_eq!(core.submit(t), Placement::Placed(1), "the reported backlog on shard 0 must repel placement");
+
+    // Age the report out with unrelated events (each submit/complete pair
+    // advances the clock by 2 and cancels out in the pending counts).
+    for _ in 0..STALE_AFTER {
+        let p = core.submit(t);
+        core.complete(p.shard().expect("capacity is ample"), t);
+    }
+    assert_eq!(core.counters().stale_reports, 1, "the aged report expired exactly once");
+    assert_eq!(core.load(0), core.pending(0), "expired report biases nothing");
+
+    // With the report gone, only exact pending ranks the shards: shard 1
+    // carries the one early booking, so shard 0 wins again.
+    assert_eq!(core.pending(0), core.pending(1) - 1);
+    assert_eq!(core.submit(t), Placement::Placed(0));
+
+    // A replacement report re-biases immediately.
+    core.load_report(0, 50, 0);
+    assert_eq!(core.submit(t), Placement::Placed(1));
+    assert_conserved(&core);
+}
+
+#[test]
+fn report_refresh_protocol_is_wanted_then_satisfied() {
+    // wants_report drives the shell's amortized probing: owed before any
+    // report, satisfied right after one, owed again once the report ages
+    // (and certainly once it has expired entirely).
+    let mut core = core(PlacementPolicy::LeastLoaded, 2, 100);
+    let t = core.add_tenant(100);
+    assert!(core.wants_report(0) && core.wants_report(1), "no reports held yet");
+
+    core.load_report(0, 0, 0);
+    assert!(!core.wants_report(0), "a fresh report satisfies the shard");
+    assert!(core.wants_report(1), "sibling is still owed one");
+
+    for _ in 0..STALE_AFTER {
+        let p = core.submit(t);
+        core.complete(p.shard().expect("capacity is ample"), t);
+    }
+    assert!(core.wants_report(0), "an aged-out report is owed a refresh");
+    assert_conserved(&core);
+}
+
+#[test]
+fn blocking_route_never_rejects_and_may_overbook() {
+    // The blocking path models gate backpressure, not shedding: route()
+    // books the preferred shard unconditionally, even past its capacity —
+    // the shard's own gates make the caller wait, the core just keeps the
+    // books. (Affinity: all of a tenant's blocking jobs stay home.)
+    let mut core = core(PlacementPolicy::Affinity, 2, 2);
+    let t = core.add_tenant(100);
+    let home = affinity_shard(t, 2);
+    for _ in 0..5 {
+        assert_eq!(core.route(t), home);
+    }
+    assert_eq!(core.pending(home), 5, "overbooked past capacity 2");
+    assert_eq!(core.counters().rejected, 0);
+    // try-path overflow still sheds around the overbooked home shard.
+    assert_eq!(core.submit(t), Placement::Shed { from: home, to: 1 - home });
+    for _ in 0..6 {
+        core.complete(core_shard_of_next_completion(&core, t), t);
+    }
+    assert_eq!(core.pending_total(), 0);
+    assert_conserved(&core);
+}
+
+/// Pick any shard holding a booking for `tenant` (lowest id first) — the
+/// rig's stand-in for "some job finished".
+fn core_shard_of_next_completion(core: &PlacementCore, tenant: TenantId) -> ShardId {
+    (0..core.shard_count() as ShardId)
+        .find(|&s| core.tenant_pending(s, tenant) > 0)
+        .expect("a booking is outstanding")
+}
+
+#[test]
+fn conservation_holds_under_a_randomized_event_storm() {
+    // A scripted splitmix64 storm of submits, routes, completions and load
+    // reports over mixed policies and tight capacities. After *every*
+    // event: submitted == placed + shed + rejected, outstanding bookings
+    // match the counter delta, and no tenant exceeds its per-shard bound.
+    // Failures reproduce exactly from the printed seed.
+    for seed in 0..8u64 {
+        let policy = if seed % 2 == 0 { PlacementPolicy::Affinity } else { PlacementPolicy::LeastLoaded };
+        let mut core = core(policy, 3, 4);
+        let bounds = [1usize, 2, 4];
+        let tenants: Vec<TenantId> = bounds.iter().map(|&b| core.add_tenant(b)).collect();
+        let mut booked: Vec<(ShardId, TenantId)> = Vec::new();
+
+        let mut state = seed;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        for step in 0..600 {
+            let t = tenants[(rng() % tenants.len() as u64) as usize];
+            match rng() % 10 {
+                // Submits dominate so capacities actually fill.
+                0..=4 => {
+                    if let Some(s) = core.submit(t).shard() {
+                        booked.push((s, t));
+                    }
+                }
+                5 => booked.push((core.route(t), t)),
+                6..=8 => {
+                    if !booked.is_empty() {
+                        let (s, t) = booked.swap_remove((rng() % booked.len() as u64) as usize);
+                        core.complete(s, t);
+                    }
+                }
+                _ => core.load_report((rng() % 3) as ShardId, (rng() % 32) as usize, (rng() % 4) as usize),
+            }
+
+            assert_conserved(&core);
+            assert_eq!(
+                core.pending_total(),
+                booked.len(),
+                "seed {seed} step {step}: core bookings drifted from the rig's ledger"
+            );
+            // route() may overbook capacity by design, so the storm
+            // asserts exact agreement with its own ledger rather than the
+            // bounds (the try-only storm below asserts the bounds).
+            for si in 0..core.shard_count() as ShardId {
+                for &t in &tenants {
+                    assert_eq!(
+                        core.tenant_pending(si, t),
+                        booked.iter().filter(|&&(s, bt)| s == si && bt == t).count(),
+                        "seed {seed} step {step}: per-tenant pending drifted"
+                    );
+                }
+            }
+        }
+
+        // Drain and verify quiescence: all books balance to zero.
+        for (s, t) in booked.drain(..) {
+            core.complete(s, t);
+        }
+        assert_eq!(core.pending_total(), 0, "seed {seed}: drained core holds no bookings");
+        assert_conserved(&core);
+    }
+}
+
+#[test]
+fn try_only_storm_never_exceeds_any_bound() {
+    // The pure-try variant of the storm: with route() excluded, the core
+    // must never book past a shard's capacity or a tenant's per-shard
+    // bound — the shedding path's whole contract.
+    for seed in 100..104u64 {
+        let mut core = core(PlacementPolicy::LeastLoaded, 3, 3);
+        let bounds = [1usize, 2, 3];
+        let tenants: Vec<TenantId> = bounds.iter().map(|&b| core.add_tenant(b)).collect();
+        let mut booked: Vec<(ShardId, TenantId)> = Vec::new();
+
+        let mut state = seed;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        for step in 0..400 {
+            let t = tenants[(rng() % tenants.len() as u64) as usize];
+            if rng() % 3 < 2 {
+                if let Some(s) = core.submit(t).shard() {
+                    booked.push((s, t));
+                }
+            } else if !booked.is_empty() {
+                let (s, t) = booked.swap_remove((rng() % booked.len() as u64) as usize);
+                core.complete(s, t);
+            }
+            for (si, view) in core.shard_views().iter().enumerate() {
+                assert!(
+                    view.pending <= view.capacity,
+                    "seed {seed} step {step}: shard {si} booked past capacity"
+                );
+                for (ti, &bound) in bounds.iter().enumerate() {
+                    assert!(
+                        core.tenant_pending(si as ShardId, tenants[ti]) <= bound,
+                        "seed {seed} step {step}: tenant {ti} past its bound on shard {si}"
+                    );
+                }
+            }
+            assert_conserved(&core);
+        }
+    }
+}

@@ -10,7 +10,10 @@
 
 #![allow(dead_code)] // each test crate uses its own subset
 
-use taskblocks::spec::{Expr, RecursiveSpec, Stmt};
+// `tb_spec` (not `taskblocks::spec`) so this module also compiles when
+// included from `crates/service/tests/*` via `#[path]` — tb-service
+// depends on tb-spec but not on the root crate.
+use tb_spec::{Expr, RecursiveSpec, Stmt};
 
 /// A splitmix64 stream: all structural choices derive from one drawn seed,
 /// so failing cases reproduce from the printed seed alone.
@@ -115,4 +118,66 @@ pub fn gen_spec(seed: u64) -> (RecursiveSpec, Vec<i64>) {
         root.push(g.range(-3, 3));
     }
     (spec, root)
+}
+
+/// Render an expression back to surface syntax, fully parenthesised so no
+/// precedence reasoning is needed. The grammar has no negative literal,
+/// so `Const(-4)` renders as `(0 - 4)` — semantically identical under
+/// wrapping arithmetic.
+pub fn expr_source(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) if *v < 0 => format!("(0 - {})", v.unsigned_abs()),
+        Expr::Const(v) => v.to_string(),
+        Expr::Param(i) => format!("p{i}"),
+        Expr::Add(a, b) => format!("({} + {})", expr_source(a), expr_source(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr_source(a), expr_source(b)),
+        Expr::Mul(a, b) => format!("({} * {})", expr_source(a), expr_source(b)),
+        Expr::Lt(a, b) => format!("({} < {})", expr_source(a), expr_source(b)),
+        Expr::Le(a, b) => format!("({} <= {})", expr_source(a), expr_source(b)),
+        Expr::Eq(a, b) => format!("({} == {})", expr_source(a), expr_source(b)),
+        Expr::And(a, b) => format!("({} && {})", expr_source(a), expr_source(b)),
+        Expr::Or(a, b) => format!("({} || {})", expr_source(a), expr_source(b)),
+        Expr::Not(a) => format!("(!{})", expr_source(a)),
+    }
+}
+
+fn stmt_source(s: &Stmt, name: &str) -> String {
+    match s {
+        Stmt::Reduce(e) => format!("reduce {};", expr_source(e)),
+        Stmt::Spawn(args) => {
+            let args = args.iter().map(expr_source).collect::<Vec<_>>().join(", ");
+            format!("spawn {name}({args});")
+        }
+        Stmt::If(cond, then_b, else_b) => {
+            let then_b = block_source(then_b, name);
+            if else_b.is_empty() {
+                format!("if ({}) {then_b}", expr_source(cond))
+            } else {
+                format!("if ({}) {then_b} else {}", expr_source(cond), block_source(else_b, name))
+            }
+        }
+    }
+}
+
+fn block_source(stmts: &[Stmt], name: &str) -> String {
+    let body = stmts.iter().map(|s| stmt_source(s, name)).collect::<Vec<_>>().join(" ");
+    if body.is_empty() {
+        "{ }".into()
+    } else {
+        format!("{{ {body} }}")
+    }
+}
+
+/// Render a spec back to a single line of surface syntax that
+/// `tb_spec::parse_spec` accepts — parameters are named `p0..pK`, and the
+/// whole program stays newline-free so it frames as one wire request.
+pub fn spec_source(spec: &RecursiveSpec) -> String {
+    let params = (0..spec.params).map(|i| format!("p{i}")).collect::<Vec<_>>().join(", ");
+    format!(
+        "spec {}({params}) {{ base ({}) {} else {} }}",
+        spec.name,
+        expr_source(&spec.base_cond),
+        block_source(&spec.base, &spec.name),
+        block_source(&spec.inductive, &spec.name),
+    )
 }

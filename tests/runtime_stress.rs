@@ -519,3 +519,281 @@ fn pool_survives_many_workers_on_lock_free_deques() {
     let m = pool.metrics();
     assert!(m.steal_attempts >= m.steals);
 }
+
+#[test]
+fn cross_shard_conservation_with_one_shard_saturated() {
+    // The sharded-runtime conservation argument, end to end: four
+    // single-worker shards behind the placement layer, one shard pinned at
+    // capacity by flag-held blocker jobs, and M client threads hammering
+    // the try-submission path with a mix of fib specs, fan-out tree
+    // programs and malformed sources. Throughout the storm and at
+    // quiescence, the rolled-up `ShardSnapshot`s must show (a) the
+    // placement conservation identity `submitted == placed + shed +
+    // rejected`, (b) no tenant ever holding more gate slots than its
+    // `max_pending` on any shard, and (c) after the drain, zero held
+    // slots, zero inflight jobs and every booking retired — shedding
+    // around the saturated shard must lose nothing and leak nothing.
+    use std::sync::Arc;
+
+    use taskblocks::service::{
+        PlacementPolicy, RuntimeConfig, ShardConfig, ShardedRuntime, TenantId, TenantSpec,
+    };
+    use taskblocks::spec::SpecTier;
+
+    const SHARDS: usize = 4;
+    const CAPACITY: usize = 4; // per-shard max_inflight = placement capacity
+    const CLIENTS: u64 = 5;
+    const ITERS: u64 = 60;
+    const FIB: &str =
+        "spec fib(n) { base (n < 2) { reduce n; } else { spawn fib(n - 1); spawn fib(n - 2); } }";
+
+    /// Occupies its shard until the shared flag flips; its gate slot and
+    /// placement booking stay held the whole time.
+    struct Blocker(Arc<AtomicBool>);
+    impl BlockProgram for Blocker {
+        type Store = Vec<u8>;
+        type Reducer = i64;
+        fn arity(&self) -> usize {
+            1
+        }
+        fn make_root(&self) -> Vec<u8> {
+            vec![1]
+        }
+        fn make_reducer(&self) -> i64 {
+            0
+        }
+        fn merge_reducers(&self, a: &mut i64, b: i64) {
+            *a += b;
+        }
+        fn expand(&self, block: &mut Vec<u8>, _out: &mut BucketSet<Vec<u8>>, red: &mut i64) {
+            while !self.0.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            *red += block.drain(..).len() as i64;
+        }
+    }
+
+    /// A little fan-out tree (UTS-flavoured): count the leaves of a
+    /// depth-`n` binary tree.
+    struct Tree(u32);
+    impl BlockProgram for Tree {
+        type Store = Vec<u32>;
+        type Reducer = u64;
+        fn arity(&self) -> usize {
+            2
+        }
+        fn make_root(&self) -> Vec<u32> {
+            vec![self.0]
+        }
+        fn make_reducer(&self) -> u64 {
+            0
+        }
+        fn merge_reducers(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+        fn expand(&self, block: &mut Vec<u32>, out: &mut BucketSet<Vec<u32>>, red: &mut u64) {
+            for n in block.drain(..) {
+                if n == 0 {
+                    *red += 1;
+                } else {
+                    out.bucket(0).push(n - 1);
+                    out.bucket(1).push(n - 1);
+                }
+            }
+        }
+    }
+
+    let shard_cfg = RuntimeConfig { threads: 1, max_inflight: CAPACITY, max_parked: 0, fifo: false };
+    let rt = ShardedRuntime::with_config(ShardConfig {
+        shards: vec![shard_cfg; SHARDS],
+        policy: PlacementPolicy::Affinity,
+    });
+
+    let saturator = rt.register_tenant(TenantSpec::new("saturator", CAPACITY));
+    let sat_home = rt.home_shard(saturator);
+    // Per-shard bound 2 for every client tenant; 12 of them guarantees
+    // some are homed on the shard we saturate (the hash is deterministic,
+    // so this is a structural assertion, not a coin flip).
+    let clients: Vec<TenantId> =
+        (0..12).map(|i| rt.register_tenant(TenantSpec::new(format!("client{i}"), 2))).collect();
+    assert!(
+        clients.iter().any(|&t| rt.home_shard(t) == sat_home),
+        "pick more client tenants: none homed on the saturated shard"
+    );
+
+    // Pin the saturator's home shard at capacity: CAPACITY blockers via
+    // the blocking path (which routes home unconditionally). One spins on
+    // the shard's only worker; the rest hold gate slots in its queues.
+    let release = Arc::new(AtomicBool::new(false));
+    let blockers: Vec<_> = (0..CAPACITY)
+        .map(|_| {
+            rt.submit_as(
+                saturator,
+                Blocker(Arc::clone(&release)),
+                SchedConfig::basic(1, 8),
+                SchedulerKind::ReExpansion,
+            )
+        })
+        .collect();
+    assert_eq!(rt.snapshot().loads[sat_home as usize].pending, CAPACITY, "home shard pinned full");
+
+    let local_ok = AtomicU64::new(0);
+    let local_capacity_rejects = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let rt = rt.clone();
+            let clients = &clients;
+            let (local_ok, local_capacity_rejects) = (&local_ok, &local_capacity_rejects);
+            s.spawn(move || {
+                let mut rng = 0x5EED_0000_0000_0000u64 | (client + 1);
+                let mut fib_handles = Vec::new();
+                let mut tree_handles = Vec::new();
+                let mut reject_handles = Vec::new();
+                for i in 0..ITERS {
+                    let tenant = clients[(xorshift(&mut rng) as usize) % clients.len()];
+                    match xorshift(&mut rng) % 4 {
+                        // fib(10) = 55 through the spec path, tier rotating.
+                        0 | 1 => {
+                            let tier = match xorshift(&mut rng) % 3 {
+                                0 => SpecTier::Auto,
+                                1 => SpecTier::Scalar,
+                                _ => SpecTier::Simd,
+                            };
+                            match rt.try_submit_spec_tier_as(
+                                tenant,
+                                FIB,
+                                vec![10],
+                                SchedConfig::restart(2, 256, 32),
+                                SchedulerKind::RestartSimplified,
+                                tier,
+                            ) {
+                                Ok(h) => fib_handles.push(h),
+                                Err(args) => {
+                                    assert_eq!(args, vec![10], "capacity Err hands the args back");
+                                    local_capacity_rejects.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        // A 2^6-leaf tree through the program path.
+                        2 => match rt.try_submit_as(
+                            tenant,
+                            Tree(6),
+                            SchedConfig::basic(2, 64),
+                            SchedulerKind::ReExpansion,
+                        ) {
+                            Ok(h) => tree_handles.push(h),
+                            Err(_) => {
+                                local_capacity_rejects.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        // A malformed source: if placed, it must come back
+                        // as Rejected and still retire its booking.
+                        _ => match rt.try_submit_spec_tier_as(
+                            tenant,
+                            "spec broken(n) { base (n < 2) { reduce n; } else { oops; } }",
+                            vec![3],
+                            SchedConfig::basic(1, 16),
+                            SchedulerKind::ReExpansion,
+                            SpecTier::Auto,
+                        ) {
+                            Ok(h) => reject_handles.push(h),
+                            Err(_) => {
+                                local_capacity_rejects.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    }
+
+                    // Sample the rolled-up snapshot mid-storm: conservation
+                    // and the per-tenant gate bound must hold at every
+                    // instant, not just at quiescence.
+                    if i % 16 == 0 {
+                        let snap = rt.snapshot();
+                        let p = snap.placement;
+                        assert_eq!(
+                            p.submitted,
+                            p.placed + p.shed + p.rejected,
+                            "conservation broke mid-storm: {p:?}"
+                        );
+                        for stats in &snap.shards {
+                            for t in &stats.tenants {
+                                assert!(
+                                    t.pending <= t.max_pending,
+                                    "tenant {} holds {} gate slots, bound {}",
+                                    t.name,
+                                    t.pending,
+                                    t.max_pending
+                                );
+                            }
+                        }
+                    }
+                }
+                local_ok.fetch_add(
+                    (fib_handles.len() + tree_handles.len() + reject_handles.len()) as u64,
+                    Ordering::Relaxed,
+                );
+                for h in fib_handles {
+                    assert_eq!(h.wait(), Ok(55), "fib(10) through a shard");
+                }
+                for h in tree_handles {
+                    assert_eq!(h.wait(), Ok(64), "2^6 leaves through a shard");
+                }
+                for h in reject_handles {
+                    let err = h.wait().expect_err("malformed source must be rejected");
+                    assert!(matches!(err, taskblocks::service::JobError::Rejected(_)));
+                }
+            });
+        }
+    });
+
+    // The clients drained their own jobs, so the siblings are empty while
+    // the saturated shard still holds its blockers: a client homed there
+    // must now shed deterministically.
+    let shed_before = rt.snapshot().placement.shed;
+    let homebound = clients.iter().copied().find(|&t| rt.home_shard(t) == sat_home).unwrap();
+    let shed_handle = rt
+        .try_submit_spec_tier_as(
+            homebound,
+            FIB,
+            vec![10],
+            SchedConfig::restart(2, 256, 32),
+            SchedulerKind::RestartSimplified,
+            SpecTier::Auto,
+        )
+        .expect("siblings have room: this job sheds, it does not reject");
+    assert_eq!(shed_handle.wait(), Ok(55));
+    assert!(rt.snapshot().placement.shed > shed_before, "the controlled overflow was shed");
+
+    // Drain the saturated shard and audit quiescence.
+    release.store(true, Ordering::Release);
+    for h in blockers {
+        assert_eq!(h.wait(), Ok(1), "released blocker completes");
+    }
+    let snap = rt.snapshot();
+    let p = snap.placement;
+    assert_eq!(p.submitted, p.placed + p.shed + p.rejected, "conservation at quiescence: {p:?}");
+    assert_eq!(p.abandoned, 0, "no core-approved submission was refused by a gate: {p:?}");
+    assert_eq!(p.placed + p.shed, p.completed, "every booking retired: {p:?}");
+    assert_eq!(
+        p.placed + p.shed,
+        local_ok.load(Ordering::Relaxed) + CAPACITY as u64 + 1,
+        "client tallies agree with the core: storm Oks + blockers + the controlled shed"
+    );
+    assert_eq!(
+        p.rejected,
+        local_capacity_rejects.load(Ordering::Relaxed),
+        "every capacity Err the clients saw is a core rejection and vice versa"
+    );
+    assert_eq!(snap.gate_slots_held(), 0, "drained shards hold no gate slots");
+    assert_eq!(snap.inflight(), 0, "drained shards run nothing");
+    for (i, view) in snap.loads.iter().enumerate() {
+        assert_eq!(view.pending, 0, "shard {i} still has a booking at quiescence");
+    }
+    // Service-stats rollup agrees with placement: accepted jobs all
+    // completed, and the malformed sources are the only failures.
+    assert_eq!(snap.submitted(), snap.completed(), "no job was lost inside a shard");
+    assert_eq!(
+        snap.completed() + snap.failed(),
+        p.completed,
+        "shard completions + spec rejections account for every retired booking"
+    );
+}
